@@ -1,0 +1,630 @@
+// Command posctl is the operator CLI for the pos testbed library:
+//
+//	posctl images                         list the built-in live images
+//	posctl table                          print Table 1 (testbed comparison)
+//	posctl expand -vars "a=1,2;b=x,y"     show the cross-product of loop vars
+//	posctl run [flags]                    run the case-study sweep end to end
+//	posctl results -dir DIR [flags]       inspect a results tree
+//	posctl publish -dir DIR [flags]       bundle an experiment for release
+//
+// Run `posctl <command> -h` for per-command flags.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"pos"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "images":
+		err = cmdImages()
+	case "table":
+		err = pos.WriteComparisonTable(os.Stdout)
+	case "expand":
+		err = cmdExpand(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "results":
+		err = cmdResults(os.Args[2:])
+	case "publish":
+		err = cmdPublish(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "topo":
+		err = cmdTopo(os.Args[2:])
+	case "runfile":
+		err = cmdRunFile(os.Args[2:])
+	case "plot":
+		err = cmdPlot(os.Args[2:])
+	case "ndr":
+		err = cmdNDR(os.Args[2:])
+	case "repeat":
+		err = cmdRepeat(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "vposd":
+		err = cmdVposd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: posctl <command> [flags]
+
+commands:
+  images     list the built-in live images
+  table      print Table 1 (testbed/methodology comparison)
+  expand     show the measurement runs a loop-variable spec expands into
+  run        execute the Linux-router case study end to end
+  runfile    execute an experiment loaded from a directory (published layout)
+  ndr        binary-search the device's non-drop rate (RFC 2544 style)
+  repeat     run an experiment repeatedly and report the deviation
+  serve      expose the controller HTTP API for a demo testbed
+  vposd      run the virtual-testbed-as-a-service endpoint
+  results    inspect a results tree
+  plot       generate throughput figures from an experiment's results
+  check      verify an experiment's artifact completeness
+  topo       validate and canonicalize a topology description
+  publish    bundle an experiment for release`)
+}
+
+func cmdImages() error {
+	img := pos.DebianBusterImage()
+	fmt.Printf("%s\n  kernel %s\n  packages:\n", img.Ref(), img.Kernel)
+	for name, ver := range img.Packages {
+		fmt.Printf("    %-24s %s\n", name, ver)
+	}
+	return nil
+}
+
+func cmdExpand(args []string) error {
+	fs := flag.NewFlagSet("expand", flag.ExitOnError)
+	spec := fs.String("vars", "", `loop variables, e.g. "pkt_sz=64,1500;pkt_rate=10000,20000"`)
+	fs.Parse(args)
+	if *spec == "" {
+		return fmt.Errorf("expand: -vars required")
+	}
+	vars, err := parseLoopVars(*spec)
+	if err != nil {
+		return err
+	}
+	combos, err := pos.CrossProduct(vars)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d measurement runs:\n", len(combos))
+	for i, c := range combos {
+		fmt.Printf("  run %3d: %s\n", i, c.Key())
+	}
+	return nil
+}
+
+func parseLoopVars(spec string) ([]pos.LoopVar, error) {
+	var vars []pos.LoopVar
+	for _, part := range strings.Split(spec, ";") {
+		name, vals, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad loop variable %q (want name=v1,v2)", part)
+		}
+		vars = append(vars, pos.LoopVar{Name: name, Values: strings.Split(vals, ",")})
+	}
+	return vars, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	flavor := fs.String("flavor", "pos", "platform: pos (bare metal) or vpos (virtual)")
+	sizes := fs.String("sizes", "64,1500", "frame sizes in bytes")
+	rates := fs.String("rates", "10000,100000,300000", "offered rates in pps")
+	runtime := fs.Float64("runtime", 1, "per-run measurement window in virtual seconds")
+	dir := fs.String("results", "", "results root (default: temp dir)")
+	seed := fs.Uint64("seed", 1, "vpos jitter seed")
+	fs.Parse(args)
+
+	var fl pos.Flavor
+	switch *flavor {
+	case "pos":
+		fl = pos.BareMetal
+	case "vpos":
+		fl = pos.Virtual
+	default:
+		return fmt.Errorf("run: unknown flavor %q", *flavor)
+	}
+	cfg := pos.SweepConfig{RuntimeSec: *runtime}
+	var err error
+	if cfg.Sizes, err = parseInts(*sizes); err != nil {
+		return err
+	}
+	if cfg.RatesPPS, err = parseInts(*rates); err != nil {
+		return err
+	}
+	root := *dir
+	if root == "" {
+		if root, err = os.MkdirTemp("", "posctl-run-*"); err != nil {
+			return err
+		}
+	}
+	store, err := pos.NewResultsStore(root)
+	if err != nil {
+		return err
+	}
+	topo, err := pos.NewCaseStudy(fl, pos.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	exp := topo.Experiment(cfg)
+	runner := topo.Testbed.Runner()
+	runner.Progress = func(ev pos.ProgressEvent) {
+		if ev.Phase == "measurement" {
+			fmt.Printf("run %d/%d: %s\n", ev.Run+1, ev.TotalRuns, ev.Message)
+		}
+	}
+	sum, err := runner.Run(context.Background(), exp, store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d runs complete (%d failed)\nresults: %s\n", sum.TotalRuns, sum.FailedRuns, sum.ResultsDir)
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdRunFile(args []string) error {
+	fs := flag.NewFlagSet("runfile", flag.ExitOnError)
+	dir := fs.String("dir", "", "experiment directory (required)")
+	flavor := fs.String("flavor", "pos", "platform: pos or vpos")
+	loadgenNode := fs.String("loadgen", "", "node to bind the loadgen role (default: host.yml)")
+	dutNode := fs.String("dut", "", "node to bind the dut role (default: host.yml)")
+	resultsRoot := fs.String("results", "", "results root (default: temp dir)")
+	seed := fs.Uint64("seed", 1, "vpos jitter seed")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("runfile: -dir required")
+	}
+	var fl pos.Flavor
+	switch *flavor {
+	case "pos":
+		fl = pos.BareMetal
+	case "vpos":
+		fl = pos.Virtual
+	default:
+		return fmt.Errorf("runfile: unknown flavor %q", *flavor)
+	}
+	bindings := map[string]string{}
+	if *loadgenNode != "" {
+		bindings["loadgen"] = *loadgenNode
+	}
+	if *dutNode != "" {
+		bindings["dut"] = *dutNode
+	}
+	exp, err := pos.LoadExperimentDir(*dir, bindings)
+	if err != nil {
+		return err
+	}
+	root := *resultsRoot
+	if root == "" {
+		if root, err = os.MkdirTemp("", "posctl-runfile-*"); err != nil {
+			return err
+		}
+	}
+	store, err := pos.NewResultsStore(root)
+	if err != nil {
+		return err
+	}
+	topo, err := pos.NewCaseStudy(fl, pos.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	runner := topo.Testbed.Runner()
+	runner.Progress = func(ev pos.ProgressEvent) {
+		if ev.Phase == "measurement" {
+			fmt.Printf("run %d/%d: %s\n", ev.Run+1, ev.TotalRuns, ev.Message)
+		}
+	}
+	sum, err := runner.Run(context.Background(), exp, store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d runs complete (%d failed)\nresults: %s\n", sum.TotalRuns, sum.FailedRuns, sum.ResultsDir)
+	return nil
+}
+
+func cmdNDR(args []string) error {
+	fs := flag.NewFlagSet("ndr", flag.ExitOnError)
+	flavor := fs.String("flavor", "pos", "platform: pos or vpos")
+	size := fs.Int("size", 64, "frame size in bytes")
+	minRate := fs.Float64("min", 10_000, "bracket floor in pps")
+	maxRate := fs.Float64("max", 2_500_000, "bracket ceiling in pps")
+	acceptLoss := fs.Float64("accept-loss", 0, "acceptable loss ratio")
+	seed := fs.Uint64("seed", 1, "vpos jitter seed")
+	fs.Parse(args)
+	var fl pos.Flavor
+	switch *flavor {
+	case "pos":
+		fl = pos.BareMetal
+	case "vpos":
+		fl = pos.Virtual
+	default:
+		return fmt.Errorf("ndr: unknown flavor %q", *flavor)
+	}
+	topo, err := pos.NewCaseStudy(fl, pos.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	res, err := pos.SearchNDR(pos.NDRConfig{
+		MinPPS: *minRate, MaxPPS: *maxRate, AcceptLoss: *acceptLoss, Precision: 0.005,
+	}, func(rate float64) (float64, error) {
+		p, err := topo.DirectRun(*size, rate, 1)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Printf("  trial %9.0f pps: loss %.5f\n", rate, p.LossRatio)
+		return p.LossRatio, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary())
+	return nil
+}
+
+func cmdRepeat(args []string) error {
+	fs := flag.NewFlagSet("repeat", flag.ExitOnError)
+	flavor := fs.String("flavor", "pos", "platform: pos or vpos")
+	reps := fs.Int("n", 3, "number of repetitions")
+	rates := fs.String("rates", "10000,100000", "offered rates in pps")
+	sizes := fs.String("sizes", "64", "frame sizes in bytes")
+	seed := fs.Uint64("seed", 1, "vpos jitter seed")
+	fs.Parse(args)
+	var fl pos.Flavor
+	switch *flavor {
+	case "pos":
+		fl = pos.BareMetal
+	case "vpos":
+		fl = pos.Virtual
+	default:
+		return fmt.Errorf("repeat: unknown flavor %q", *flavor)
+	}
+	cfg := pos.SweepConfig{RuntimeSec: 1}
+	var err error
+	if cfg.Sizes, err = parseInts(*sizes); err != nil {
+		return err
+	}
+	if cfg.RatesPPS, err = parseInts(*rates); err != nil {
+		return err
+	}
+	topo, err := pos.NewCaseStudy(fl, pos.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	defer topo.Close()
+	dir, err := os.MkdirTemp("", "posctl-repeat-*")
+	if err != nil {
+		return err
+	}
+	store, err := pos.NewResultsStore(dir)
+	if err != nil {
+		return err
+	}
+	rep, err := pos.VerifyRepeatability(context.Background(), topo.Testbed.Runner(), topo.Experiment(cfg), store,
+		pos.RepeatConfig{Repetitions: *reps, Node: topo.LoadGen, Artifact: "moongen.log"})
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(rep.Render())
+	return nil
+}
+
+func cmdVposd(args []string) error {
+	fs := flag.NewFlagSet("vposd", flag.ExitOnError)
+	dir := fs.String("dir", "", "instance results root (default: temp dir)")
+	fs.Parse(args)
+	root := *dir
+	if root == "" {
+		var err error
+		if root, err = os.MkdirTemp("", "vposd-*"); err != nil {
+			return err
+		}
+	}
+	mgr, err := pos.NewVposManager(root)
+	if err != nil {
+		return err
+	}
+	srv, err := pos.ServeVpos(mgr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("virtual testbed service on http://%s/instances (results under %s)\n", srv.Addr(), root)
+	fmt.Println("POST /instances to create a vpos instance; press Ctrl-C to stop")
+	select {}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	nodes := fs.String("nodes", "vriga,vtartu,vvilnius", "node names to create")
+	resultsDir := fs.String("results", "", "results root to expose read-only (optional)")
+	fs.Parse(args)
+	tb := pos.NewTestbed()
+	defer tb.Close()
+	if err := tb.Images.Add(pos.DebianBusterImage()); err != nil {
+		return err
+	}
+	for _, n := range strings.Split(*nodes, ",") {
+		if _, err := tb.AddNode(strings.TrimSpace(n)); err != nil {
+			return err
+		}
+	}
+	srv, err := pos.ServeAPI(tb)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if *resultsDir != "" {
+		store, err := pos.NewResultsStore(*resultsDir)
+		if err != nil {
+			return err
+		}
+		srv.SetResults(store)
+		fmt.Println("results endpoints enabled for", *resultsDir)
+	}
+	fmt.Printf("pos controller API on http://%s/api/v1/ (nodes: %s)\n", srv.Addr(), *nodes)
+	fmt.Println("press Ctrl-C to stop")
+	select {} // serve until killed
+}
+
+func cmdResults(args []string) error {
+	fs := flag.NewFlagSet("results", flag.ExitOnError)
+	dir := fs.String("dir", "", "results root (required)")
+	user := fs.String("user", "user", "experiment owner")
+	name := fs.String("exp", "", "experiment name (empty: list nothing but hint)")
+	id := fs.String("id", "", "experiment id (empty: list ids)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("results: -dir required")
+	}
+	store, err := pos.NewResultsStore(*dir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("results: -exp required (experiment name, e.g. linux-router-pos)")
+	}
+	ids, err := store.ListExperiments(*user, *name)
+	if err != nil {
+		return err
+	}
+	if *id == "" {
+		fmt.Printf("%d executions of %s/%s:\n", len(ids), *user, *name)
+		for _, i := range ids {
+			fmt.Println(" ", i)
+		}
+		return nil
+	}
+	exp, err := store.OpenExperiment(*user, *name, *id)
+	if err != nil {
+		return err
+	}
+	runs, err := exp.Runs()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("experiment %s: %d runs\n", *id, len(runs))
+	for _, run := range runs {
+		meta, err := exp.ReadRunMeta(run)
+		if err != nil {
+			return err
+		}
+		status := "ok"
+		if meta.Failed {
+			status = "FAILED: " + meta.Error
+		}
+		arts, _ := exp.RunArtifacts(run)
+		fmt.Printf("  run %3d  %-40s %d artifacts  %s\n", run, metaKey(meta), len(arts), status)
+	}
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	dir := fs.String("dir", "", "results root (required)")
+	user := fs.String("user", "user", "experiment owner")
+	name := fs.String("exp", "", "experiment name (required)")
+	id := fs.String("id", "", "experiment id (default: latest)")
+	fs.Parse(args)
+	if *dir == "" || *name == "" {
+		return fmt.Errorf("check: -dir and -exp required")
+	}
+	store, err := pos.NewResultsStore(*dir)
+	if err != nil {
+		return err
+	}
+	eid := *id
+	if eid == "" {
+		ids, err := store.ListExperiments(*user, *name)
+		if err != nil || len(ids) == 0 {
+			return fmt.Errorf("check: no executions of %s/%s found", *user, *name)
+		}
+		eid = ids[len(ids)-1]
+	}
+	exp, err := store.OpenExperiment(*user, *name, eid)
+	if err != nil {
+		return err
+	}
+	rep, err := pos.CheckArtifact(exp)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if !rep.OK() {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	file := fs.String("file", "", "topology description (required)")
+	build := fs.Bool("build", false, "also instantiate the topology as a smoke test")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("topo: -file required")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	spec, err := pos.ParseTopology(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d devices, %d links\n", len(spec.Devices), len(spec.Links))
+	direct, switches := spec.DirectlyWired()
+	if direct {
+		fmt.Println("wiring: direct, non-switched (pos discipline, R2)")
+	} else {
+		fmt.Printf("wiring: switched via %v — experiment isolation is weakened (R2)\n", switches)
+	}
+	if *build {
+		if _, err := spec.Build(); err != nil {
+			return err
+		}
+		fmt.Println("build: ok")
+	}
+	fmt.Print("canonical form:\n" + string(spec.Render()))
+	return nil
+}
+
+func metaKey(meta pos.RunMeta) string {
+	c := pos.Combination(meta.LoopVars)
+	return c.Key()
+}
+
+func cmdPlot(args []string) error {
+	fs := flag.NewFlagSet("plot", flag.ExitOnError)
+	dir := fs.String("dir", "", "results root (required)")
+	user := fs.String("user", "user", "experiment owner")
+	name := fs.String("exp", "", "experiment name (required)")
+	id := fs.String("id", "", "experiment id (default: latest)")
+	node := fs.String("node", "vriga", "node whose MoonGen logs to parse")
+	artifact := fs.String("artifact", "moongen.log", "per-run artifact to parse")
+	groupBy := fs.String("group-by", "pkt_sz", "loop variable for series grouping")
+	xVar := fs.String("x", "pkt_rate", "loop variable for the x axis")
+	title := fs.String("title", "", "figure title (default: experiment name)")
+	fs.Parse(args)
+	if *dir == "" || *name == "" {
+		return fmt.Errorf("plot: -dir and -exp required")
+	}
+	store, err := pos.NewResultsStore(*dir)
+	if err != nil {
+		return err
+	}
+	eid := *id
+	if eid == "" {
+		ids, err := store.ListExperiments(*user, *name)
+		if err != nil || len(ids) == 0 {
+			return fmt.Errorf("plot: no executions of %s/%s found", *user, *name)
+		}
+		eid = ids[len(ids)-1]
+	}
+	exp, err := store.OpenExperiment(*user, *name, eid)
+	if err != nil {
+		return err
+	}
+	runs, err := pos.LoadRuns(exp, *node, *artifact)
+	if err != nil {
+		return err
+	}
+	series, err := pos.ThroughputSeries(runs, *groupBy, *xVar, 1e-6)
+	if err != nil {
+		return err
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no parseable runs (node %q, artifact %q)", *node, *artifact)
+	}
+	figTitle := *title
+	if figTitle == "" {
+		figTitle = *name
+	}
+	fig := pos.ThroughputFigure(figTitle, series)
+	for fname, data := range pos.ExportFigure("figures/throughput", fig) {
+		if err := exp.AddExperimentArtifact(fname, data); err != nil {
+			return err
+		}
+		fmt.Println("wrote", exp.Dir()+"/"+fname)
+	}
+	return nil
+}
+
+func cmdPublish(args []string) error {
+	fs := flag.NewFlagSet("publish", flag.ExitOnError)
+	dir := fs.String("dir", "", "results root (required)")
+	user := fs.String("user", "user", "experiment owner")
+	name := fs.String("exp", "", "experiment name (required)")
+	id := fs.String("id", "", "experiment id (default: latest)")
+	out := fs.String("out", "", "archive path (default: <exp>-<id>.tar.gz)")
+	fs.Parse(args)
+	if *dir == "" || *name == "" {
+		return fmt.Errorf("publish: -dir and -exp required")
+	}
+	store, err := pos.NewResultsStore(*dir)
+	if err != nil {
+		return err
+	}
+	eid := *id
+	if eid == "" {
+		ids, err := store.ListExperiments(*user, *name)
+		if err != nil || len(ids) == 0 {
+			return fmt.Errorf("publish: no executions of %s/%s found", *user, *name)
+		}
+		eid = ids[len(ids)-1]
+	}
+	exp, err := store.OpenExperiment(*user, *name, eid)
+	if err != nil {
+		return err
+	}
+	dest := *out
+	if dest == "" {
+		dest = *name + "-" + eid + ".tar.gz"
+	}
+	m, err := pos.Release(exp, *user, *name, dest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published %d files (%d runs, %d failed) -> %s\n", len(m.Files), m.Runs, m.FailedRuns, dest)
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package pos is a Go reproduction of "The pos Framework: A Methodology and
+// Toolchain for Reproducible Network Experiments" (Gallenmüller, Scholz,
+// Stubbe, Carle — CoNEXT 2021).
+//
+// pos ("plain orchestrating service") makes network experiments reproducible
+// by construction: experiments are pure data — per-host setup and
+// measurement scripts strictly separated from global/local/loop variable
+// files — executed by a testbed controller that allocates nodes on a shared
+// calendar, resets them out of band, boots them from versioned live images,
+// expands loop variables into a full cross product of measurement runs, and
+// collects every artifact (scripts, variables, outputs, metadata) into a
+// self-describing results tree ready for evaluation and publication.
+//
+// # Architecture
+//
+// The public API of this package fronts three layers:
+//
+//   - The methodology (internal/core): variables, cross-product expansion,
+//     and the setup → measurement → evaluation workflow engine.
+//   - The testbed (internal/testbed and friends): emulated experiment hosts
+//     with IPMI-like out-of-band management and SSH-like script execution
+//     over real TCP, live-boot images, an allocation calendar, host-side
+//     utility tools (variables, barriers, result upload), and a central
+//     results store.
+//   - The data plane (internal/sim, netem, loadgen, router): a
+//     deterministic discrete-event emulation of the paper's hardware — a
+//     MoonGen-style load generator and a Linux-router DuT on directly wired
+//     10 Gbit/s links — with calibrated bare-metal and virtualized
+//     performance models reproducing Fig. 3 of the paper.
+//
+// Evaluation (internal/eval, internal/plot) parses MoonGen-format logs into
+// throughput/latency series and renders line, histogram, CDF, HDR, and
+// violin figures to SVG, TeX, and CSV. Publication (internal/publish)
+// bundles all artifacts into an archive plus a generated website.
+//
+// # Quick start
+//
+//	topo, _ := pos.NewCaseStudy(pos.BareMetal)
+//	defer topo.Close()
+//	store, _ := pos.NewResultsStore("results")
+//	sum, _ := topo.Testbed.Runner().Run(context.Background(),
+//	        topo.Experiment(pos.PaperSweep()), store)
+//	fmt.Println(sum.TotalRuns, "runs in", sum.ResultsDir)
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record of
+// every table and figure.
+package pos

@@ -1,0 +1,84 @@
+// Quickstart: run a miniature version of the paper's case study end to end —
+// allocate the two-node testbed, boot both hosts from the pinned Debian
+// Buster live image, sweep a few rate/size combinations, and print where the
+// collected artifacts landed.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"pos"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build the paper's two-node topology on the bare-metal platform.
+	topo, err := pos.NewCaseStudy(pos.BareMetal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer topo.Close()
+
+	// Results land in a pos-style tree: <root>/<user>/<experiment>/<ts>/.
+	dir, err := os.MkdirTemp("", "pos-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := pos.NewResultsStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small sweep: 2 packet sizes x 3 rates = 6 measurement runs.
+	exp := topo.Experiment(pos.SweepConfig{
+		Sizes:      []int{64, 1500},
+		RatesPPS:   []int{10_000, 100_000, 300_000},
+		RuntimeSec: 1,
+	})
+	fmt.Printf("experiment %q: %d runs over hosts %v\n",
+		exp.Name, pos.NumRuns(exp.LoopVars), exp.NodeNames())
+
+	runner := topo.Testbed.Runner()
+	runner.Progress = func(ev pos.ProgressEvent) {
+		if ev.Phase == "measurement" {
+			fmt.Printf("  run %2d/%d  %s\n", ev.Run+1, ev.TotalRuns, ev.Message)
+		}
+	}
+	sum, err := runner.Run(context.Background(), exp, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncompleted %d runs (%d failed)\n", sum.TotalRuns, sum.FailedRuns)
+	fmt.Println("artifacts:", sum.ResultsDir)
+
+	// Evaluation: parse the uploaded MoonGen logs and print the series.
+	ids, err := store.ListExperiments(exp.User, exp.Name)
+	if err != nil || len(ids) == 0 {
+		log.Fatalf("no experiments recorded: %v", err)
+	}
+	rec, err := store.OpenExperiment(exp.User, exp.Name, ids[len(ids)-1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs, err := pos.LoadRuns(rec, topo.LoadGen, "moongen.log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	series, err := pos.ThroughputSeries(runs, "pkt_sz", "pkt_rate", 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthroughput (received Mpps over offered Mpps):")
+	for _, s := range series {
+		fmt.Printf("  %5s B:", s.Name)
+		for _, p := range s.Points {
+			fmt.Printf("  %.3f→%.3f", p.X, p.Y)
+		}
+		fmt.Println()
+	}
+}

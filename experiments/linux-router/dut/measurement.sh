@@ -1,0 +1,3 @@
+# The DuT is passive during a run; collect its counters afterwards.
+pos_sync run_done 2
+pos_run router.stats router_stats --reset

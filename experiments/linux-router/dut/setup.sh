@@ -1,0 +1,5 @@
+# DuT setup: enable IPv4 forwarding, then meet the LoadGen.
+echo enabling ip_forward on $NODE
+router_enable
+pos_set_var global dut_ready 1
+pos_sync setup_done 2

@@ -1,0 +1,4 @@
+# One measurement run: rate and size come from the loop variables.
+echo run $RUN rate=$pkt_rate size=$pkt_sz
+pos_run moongen.log moongen --rate $pkt_rate --size $pkt_sz --time $runtime
+pos_sync run_done 2

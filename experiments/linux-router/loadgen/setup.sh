@@ -1,0 +1,4 @@
+# LoadGen setup: announce readiness and wait for the DuT.
+echo configuring MoonGen on $NODE as $ROLE
+pos_set_var global loadgen_ready 1
+pos_sync setup_done 2

@@ -1,0 +1,3 @@
+module pos
+
+go 1.22

@@ -1,0 +1,250 @@
+package api
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pos/internal/image"
+	"pos/internal/results"
+	"pos/internal/testbed"
+)
+
+func setup(t *testing.T) (*testbed.Testbed, *Client) {
+	t.Helper()
+	tb := testbed.New()
+	t.Cleanup(tb.Close)
+	if err := tb.Images.Add(image.DefaultDebianBuster()); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"vriga", "vtartu"} {
+		if _, err := tb.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := Serve(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return tb, NewClient(srv.Addr())
+}
+
+func TestListAndGetNodes(t *testing.T) {
+	_, c := setup(t)
+	nodes, err := c.Nodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0].Name != "vriga" || nodes[0].State != "off" {
+		t.Errorf("nodes = %+v", nodes)
+	}
+	n, err := c.Node("vtartu")
+	if err != nil || n.Name != "vtartu" {
+		t.Errorf("node = %+v, %v", n, err)
+	}
+	if _, err := c.Node("ghost"); err == nil {
+		t.Error("got a missing node")
+	}
+}
+
+func TestBootCycleOverHTTP(t *testing.T) {
+	_, c := setup(t)
+	if err := c.SetBoot("vriga", "debian-buster", map[string]string{"hugepages": "8"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Power("vriga", "on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "running" || st.Boots != 1 {
+		t.Errorf("status = %+v", st)
+	}
+	res, err := c.Exec("vriga", "echo booted with $BOOT_hugepages", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "booted with 8") {
+		t.Errorf("output = %q", res.Output)
+	}
+	st, err = c.Power("vriga", "off")
+	if err != nil || st.State != "off" {
+		t.Errorf("off: %+v, %v", st, err)
+	}
+}
+
+func TestSetBootRejectsUnknownImage(t *testing.T) {
+	_, c := setup(t)
+	if err := c.SetBoot("vriga", "no-such-image", nil); err == nil {
+		t.Error("unknown image accepted")
+	}
+}
+
+func TestPowerValidation(t *testing.T) {
+	_, c := setup(t)
+	if _, err := c.Power("vriga", "explode"); err == nil {
+		t.Error("unknown power op accepted")
+	}
+	// Power on without image selected.
+	if _, err := c.Power("vriga", "on"); err == nil {
+		t.Error("power on without image succeeded")
+	}
+}
+
+func TestExecErrorsCarryOutput(t *testing.T) {
+	_, c := setup(t)
+	if err := c.SetBoot("vriga", "debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Power("vriga", "on"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("vriga", "echo partial\nexit 3", nil)
+	if err == nil {
+		t.Fatal("non-zero exit not reported")
+	}
+	if res.ExitCode != 3 || !strings.Contains(res.Output, "partial") {
+		t.Errorf("res = %+v", res)
+	}
+	// Exec on a powered-off node.
+	if _, err := c.Power("vriga", "off"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Exec("vriga", "echo hi", nil)
+	if err == nil || res.ExitCode != -1 {
+		t.Errorf("powered-off exec: %+v, %v", res, err)
+	}
+}
+
+func TestImagesEndpoint(t *testing.T) {
+	_, c := setup(t)
+	imgs, err := c.Images()
+	if err != nil || len(imgs) != 1 || !strings.HasPrefix(imgs[0], "debian-buster@") {
+		t.Errorf("images = %v, %v", imgs, err)
+	}
+}
+
+func TestAllocationLifecycle(t *testing.T) {
+	_, c := setup(t)
+	a, err := c.Allocate("alice", []string{"vriga", "vtartu"}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == 0 || a.User != "alice" || len(a.Nodes) != 2 {
+		t.Errorf("allocation = %+v", a)
+	}
+	// Conflicting allocation refused.
+	if _, err := c.Allocate("bob", []string{"vriga"}, 30); err == nil {
+		t.Error("conflicting allocation accepted")
+	}
+	active, err := c.Allocations()
+	if err != nil || len(active) != 1 {
+		t.Errorf("active = %+v, %v", active, err)
+	}
+	// Wrong user cannot release.
+	if err := c.Release("bob", a.ID); err == nil {
+		t.Error("cross-user release succeeded")
+	}
+	if err := c.Release("alice", a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate("bob", []string{"vriga"}, 30); err != nil {
+		t.Errorf("allocation after release failed: %v", err)
+	}
+}
+
+func TestAllocationValidation(t *testing.T) {
+	_, c := setup(t)
+	if _, err := c.Allocate("u", []string{"vriga"}, 0); err == nil {
+		t.Error("zero-minute allocation accepted")
+	}
+	if _, err := c.Allocate("u", []string{"ghost"}, 10); err == nil {
+		t.Error("unknown node allocation accepted")
+	}
+}
+
+func TestFullRemoteExperimentControl(t *testing.T) {
+	// Drive the whole node lifecycle purely over HTTP, the way a remote
+	// experiment script would.
+	_, c := setup(t)
+	if _, err := c.Allocate("user", []string{"vtartu"}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetBoot("vtartu", "debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Power("vtartu", "reset"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("vtartu", "set PORT eno1\necho port=$PORT on $HOSTNAME", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output, "port=eno1 on vtartu") {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestResultsEndpoints(t *testing.T) {
+	tb := testbed.New()
+	t.Cleanup(tb.Close)
+	if err := tb.Images.Add(image.DefaultDebianBuster()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c := NewClient(srv.Addr())
+
+	// Without a store attached, results endpoints 404.
+	if _, err := c.Results("user", "exp"); err == nil {
+		t.Error("results without store succeeded")
+	}
+
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetResults(store)
+	exp, err := store.CreateExperiment("user", "exp", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.WriteRunMeta(results.RunMeta{Run: 0, LoopVars: map[string]string{"pkt_sz": "64"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.AddRunArtifact(0, "vriga", "moongen.log", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.WriteRunMeta(results.RunMeta{Run: 1, Failed: true, Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ids, err := c.Results("user", "exp")
+	if err != nil || len(ids) != 1 || ids[0] != exp.ID() {
+		t.Fatalf("ids = %v, %v", ids, err)
+	}
+	// Missing experiment name yields an empty list, not an error.
+	empty, err := c.Results("user", "nothing")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty = %v, %v", empty, err)
+	}
+	runs, err := c.Runs("user", "exp", exp.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if runs[0].LoopVars["pkt_sz"] != "64" || len(runs[0].Artifacts) != 1 || runs[0].Artifacts[0] != "vriga/moongen.log" {
+		t.Errorf("run 0 = %+v", runs[0])
+	}
+	if !runs[1].Failed || runs[1].Error != "boom" {
+		t.Errorf("run 1 = %+v", runs[1])
+	}
+	if _, err := c.Runs("user", "exp", "nope"); err == nil {
+		t.Error("missing execution id succeeded")
+	}
+}

@@ -1,0 +1,300 @@
+// Package casestudy reproduces the paper's Sec. 5 / Appendix A experiment:
+// a MoonGen load generator measuring the forwarding throughput of a Linux
+// router for 64 B and 1500 B packets on two platforms — pos (bare metal) and
+// vpos (the virtual clone of the testbed).
+//
+// It assembles a two-node testbed (LoadGen and DuT) with directly wired
+// 10 Gbit/s links, attaches the data plane (internal/loadgen,
+// internal/router over internal/netem on a shared internal/sim engine), and
+// registers the domain commands the experiment scripts call: `moongen` on
+// the load generator, `router_enable`/`router_stats` on the DuT. The
+// experiment definition itself is pure pos methodology — scripts plus
+// variable files — so the identical scripts run on both platforms, the
+// property the paper demonstrates.
+package casestudy
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"pos/internal/image"
+	"pos/internal/loadgen"
+	"pos/internal/netem"
+	"pos/internal/node"
+	"pos/internal/packet"
+	"pos/internal/perfmodel"
+	"pos/internal/router"
+	"pos/internal/sim"
+	"pos/internal/testbed"
+)
+
+// Flavor selects the platform of the case study.
+type Flavor string
+
+// The two platforms compared in Fig. 3.
+const (
+	// BareMetal is the hardware testbed: Intel 82599 NICs with hardware
+	// timestamping, a Linux router forwarding ~1.75 Mpps.
+	BareMetal Flavor = "pos"
+	// Virtual is vpos: KVM guests behind Linux bridges — ~44x lower
+	// drop-free throughput, unstable under overload, no hardware
+	// timestamps (and therefore no latency measurements).
+	Virtual Flavor = "vpos"
+)
+
+// Topology is the running two-node rig.
+type Topology struct {
+	Flavor   Flavor
+	Testbed  *testbed.Testbed
+	Engine   *sim.Engine
+	Gen      *loadgen.Generator
+	Router   *router.Router
+	LoadGen  string // node name playing the load generator
+	DuT      string // node name playing the device under test
+	template func(frameSize int) packet.UDPTemplate
+
+	// mu guards lastRun, written by the moongen command (executed on the
+	// loadgen node) and read by moongen_hist.
+	mu      sync.Mutex
+	lastRun *loadgen.RunResult
+}
+
+// Option tweaks the topology.
+type Option func(*options)
+
+type options struct {
+	seed        uint64
+	switched    bool
+	switchDelay sim.Duration
+	profile     *loadgen.Profile
+}
+
+// WithSeed pins the VM jitter seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithSwitch inserts an L2 switch between the hosts instead of direct
+// wiring — the ablation from the paper's limitations section.
+func WithSwitch(delay sim.Duration) Option {
+	return func(o *options) { o.switched = true; o.switchDelay = delay }
+}
+
+// WithGenerator replaces the default load generator fidelity with the given
+// profile (MoonGen, OSNT hardware, or iPerf-class software). The profile's
+// timestamping capability overrides the platform default, so an OSNT card
+// measures latency even in vpos and an iPerf host never measures it in
+// hardware terms.
+func WithGenerator(p loadgen.Profile) Option {
+	return func(o *options) { o.profile = &p }
+}
+
+// New builds the two-node topology on fresh testbed infrastructure. The
+// node names follow the paper's virtual testbed: vriga (LoadGen) and vtartu
+// (DuT).
+func New(flavor Flavor, opts ...Option) (*Topology, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	tb := testbed.New()
+	if err := tb.Images.Add(image.DefaultDebianBuster()); err != nil {
+		return nil, err
+	}
+	lgHandle, err := tb.AddNode("vriga")
+	if err != nil {
+		return nil, err
+	}
+	dutHandle, err := tb.AddNode("vtartu")
+	if err != nil {
+		return nil, err
+	}
+
+	engine := sim.NewEngine()
+	hw := flavor == BareMetal
+	var model perfmodel.Model
+	if hw {
+		model = perfmodel.NewBareMetal()
+	} else {
+		model = perfmodel.NewVirtual(o.seed)
+	}
+	rt, err := router.New(engine, router.Config{
+		Name:               "dut",
+		Model:              model,
+		HardwareTimestamps: hw,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.SetForwarding(false) // setup script must enable routing
+	var gen *loadgen.Generator
+	if o.profile != nil {
+		gen = loadgen.NewWithProfile(engine, "loadgen", *o.profile)
+	} else {
+		gen = loadgen.New(engine, "loadgen", hw)
+	}
+
+	link := netem.LinkConfig{RateBitsPerSec: 10e9}
+	if o.switched {
+		// Each cable runs through its own 2-port cross-connect, the way
+		// an L1/L2 switch would patch the topology. A single shared L2
+		// switch would be wrong here: the emulated Linux router forwards
+		// frames without rewriting MACs, so one broadcast domain across
+		// both router ports would flood and loop.
+		swA := netem.NewSwitch(engine, "swA", 2, o.switchDelay)
+		swB := netem.NewSwitch(engine, "swB", 2, o.switchDelay)
+		netem.Wire(engine, gen.TxPort(), swA.Port(0), link)
+		netem.Wire(engine, swA.Port(1), rt.Port(0), link)
+		netem.Wire(engine, rt.Port(1), swB.Port(0), link)
+		netem.Wire(engine, swB.Port(1), gen.RxPort(), link)
+	} else {
+		// pos wiring: direct, non-switched connections (R2).
+		netem.Wire(engine, gen.TxPort(), rt.Port(0), link)
+		netem.Wire(engine, rt.Port(1), gen.RxPort(), link)
+	}
+
+	topo := &Topology{
+		Flavor:  flavor,
+		Testbed: tb,
+		Engine:  engine,
+		Gen:     gen,
+		Router:  rt,
+		LoadGen: "vriga",
+		DuT:     "vtartu",
+		template: func(frameSize int) packet.UDPTemplate {
+			return packet.UDPTemplate{
+				SrcMAC:  packet.MAC{0x02, 0, 0, 0, 0, 0x01},
+				DstMAC:  packet.MAC{0x02, 0, 0, 0, 0, 0x02},
+				SrcIP:   packet.IPv4Addr{10, 0, 0, 2},
+				DstIP:   packet.IPv4Addr{10, 0, 1, 2},
+				SrcPort: 1234, DstPort: 4321,
+				FrameSize: frameSize,
+			}
+		},
+	}
+	lgHandle.OnBoot(topo.installLoadGenTools)
+	dutHandle.OnBoot(topo.installDuTTools)
+	return topo, nil
+}
+
+// Close releases the control-plane resources.
+func (t *Topology) Close() { t.Testbed.Close() }
+
+// installLoadGenTools registers the `moongen` command plus `moongen_hist`,
+// which emits the latency samples of the most recent run as MoonGen's
+// histogram CSV — the second data product the paper's plotting scripts
+// consume ("throughput and latency data created by MoonGen").
+func (t *Topology) installLoadGenTools(n *node.Node) error {
+	if err := n.RegisterCommand("moongen", func(ctx context.Context, _ *node.Node, args []string, stdout, stderr node.ErrWriter) error {
+		cfg, err := parseMoonGenArgs(args)
+		if err != nil {
+			return err
+		}
+		cfg.Template = t.template(cfg.frameSize)
+		res, err := t.Gen.Run(cfg.RunConfig)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.lastRun = &res
+		t.mu.Unlock()
+		return res.WriteReport(writerOf(stdout))
+	}); err != nil {
+		return err
+	}
+	return n.RegisterCommand("moongen_hist", func(_ context.Context, _ *node.Node, _ []string, stdout, _ node.ErrWriter) error {
+		t.mu.Lock()
+		last := t.lastRun
+		t.mu.Unlock()
+		if last == nil {
+			return fmt.Errorf("moongen_hist: no completed run")
+		}
+		if !last.LatencyAvailable {
+			return fmt.Errorf("moongen_hist: no latency data (hardware timestamps unavailable)")
+		}
+		return last.WriteLatencyCSV(writerOf(stdout))
+	})
+}
+
+// installDuTTools registers the router-control commands.
+func (t *Topology) installDuTTools(n *node.Node) error {
+	if err := n.RegisterCommand("router_enable", func(context.Context, *node.Node, []string, node.ErrWriter, node.ErrWriter) error {
+		t.Router.SetForwarding(true)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := n.RegisterCommand("router_disable", func(context.Context, *node.Node, []string, node.ErrWriter, node.ErrWriter) error {
+		t.Router.SetForwarding(false)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return n.RegisterCommand("router_stats", func(_ context.Context, _ *node.Node, args []string, stdout, _ node.ErrWriter) error {
+		st := t.Router.Stats()
+		fmt.Fprintf(writerOf(stdout), "forwarded=%d dropped=%d ttl_expired=%d bad=%d not_routing=%d\n",
+			st.Forwarded, st.Dropped, st.TTLExpired, st.BadPacket, st.NotRouting)
+		if len(args) == 1 && args[0] == "--reset" {
+			t.Router.ResetStats()
+		}
+		return nil
+	})
+}
+
+type moonGenConfig struct {
+	loadgen.RunConfig
+	frameSize int
+}
+
+// parseMoonGenArgs understands the flags the measurement script passes:
+// --rate <pps> --size <frame bytes> --time <seconds>.
+func parseMoonGenArgs(args []string) (moonGenConfig, error) {
+	cfg := moonGenConfig{}
+	cfg.frameSize = 64
+	seconds := 1.0
+	for i := 0; i < len(args); i++ {
+		flag := args[i]
+		if i+1 >= len(args) {
+			return cfg, fmt.Errorf("moongen: flag %s needs a value", flag)
+		}
+		val := args[i+1]
+		i++
+		switch flag {
+		case "--rate":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r <= 0 {
+				return cfg, fmt.Errorf("moongen: bad rate %q", val)
+			}
+			cfg.RatePPS = r
+		case "--size":
+			s, err := strconv.Atoi(val)
+			if err != nil {
+				return cfg, fmt.Errorf("moongen: bad size %q", val)
+			}
+			cfg.frameSize = s
+		case "--time":
+			sec, err := strconv.ParseFloat(val, 64)
+			if err != nil || sec <= 0 {
+				return cfg, fmt.Errorf("moongen: bad time %q", val)
+			}
+			seconds = sec
+		default:
+			return cfg, fmt.Errorf("moongen: unknown flag %s", flag)
+		}
+	}
+	if cfg.RatePPS == 0 {
+		return cfg, fmt.Errorf("moongen: --rate is required")
+	}
+	cfg.Duration = sim.Duration(seconds * float64(sim.Second))
+	return cfg, nil
+}
+
+// writerOf adapts node.ErrWriter to io.Writer.
+type writerAdapter struct{ w node.ErrWriter }
+
+func (w writerAdapter) Write(p []byte) (int, error) { return w.w.Write(p) }
+
+func writerOf(w node.ErrWriter) writerAdapter { return writerAdapter{w} }

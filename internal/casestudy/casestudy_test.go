@@ -1,0 +1,433 @@
+package casestudy
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"pos/internal/core"
+	"pos/internal/eval"
+	"pos/internal/moonparse"
+	"pos/internal/packet"
+	"pos/internal/results"
+	"pos/internal/sim"
+)
+
+func TestFullWorkflowBareMetal(t *testing.T) {
+	// The appendix experiment, miniaturized: 2 sizes x 3 rates through
+	// the complete control plane (calendar, BMC boot, shell scripts,
+	// barriers, uploads).
+	topo, err := New(BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{
+		Sizes:      []int{64, 1500},
+		RatesPPS:   []int{10_000, 150_000, 300_000},
+		RuntimeSec: 1,
+	}
+	exp := topo.Experiment(cfg)
+	runner := topo.Testbed.Runner()
+	sum, err := runner.Run(context.Background(), exp, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalRuns != 6 || sum.FailedRuns != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	ids, _ := store.ListExperiments("user", "linux-router-pos")
+	e, err := store.OpenExperiment("user", "linux-router-pos", ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every run produced a parseable MoonGen log and router counters.
+	for run := 0; run < 6; run++ {
+		logData, err := e.ReadRunArtifact(run, topo.LoadGen, "moongen.log")
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		rep, err := moonparse.Parse(bytes.NewReader(logData))
+		if err != nil {
+			t.Fatalf("run %d: parse: %v\n%s", run, err, logData)
+		}
+		meta, err := e.ReadRunMeta(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Below all bare-metal limits, RX == offered rate.
+		wantMpps := atof(meta.LoopVars["pkt_rate"]) / 1e6
+		line := packet.LineRatePPS(10e9, atoi(meta.LoopVars["pkt_sz"])) / 1e6
+		if wantMpps > line {
+			wantMpps = line
+		}
+		if got := rep.RxMpps(); got < wantMpps*0.98 || got > wantMpps*1.02 {
+			t.Errorf("run %d (%s): RX = %.4f Mpps, want ~%.4f", run, meta.LoopVars, got, wantMpps)
+		}
+		// Latency measured on bare metal.
+		if rep.Latency == nil {
+			t.Errorf("run %d: no latency on bare metal", run)
+		}
+		stats, err := e.ReadRunArtifact(run, topo.DuT, "router.stats")
+		if err != nil {
+			t.Fatalf("run %d: router stats: %v", run, err)
+		}
+		if !strings.Contains(string(stats), "forwarded=") {
+			t.Errorf("run %d: stats = %q", run, stats)
+		}
+	}
+}
+
+func TestFullWorkflowVirtualHasNoLatency(t *testing.T) {
+	topo, err := New(Virtual, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{Sizes: []int{64}, RatesPPS: []int{20_000}, RuntimeSec: 1}
+	if _, err := topo.Testbed.Runner().Run(context.Background(), topo.Experiment(cfg), store); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := store.ListExperiments("user", "linux-router-vpos")
+	e, _ := store.OpenExperiment("user", "linux-router-vpos", ids[0])
+	logData, err := e.ReadRunArtifact(0, topo.LoadGen, "moongen.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := moonparse.Parse(bytes.NewReader(logData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency != nil {
+		t.Error("vpos produced latency measurements despite missing hardware timestamps (paper: impossible)")
+	}
+	// Throughput still measured, drop-free at 20 kpps.
+	if got := rep.RxMpps(); got < 0.0195 || got > 0.0205 {
+		t.Errorf("RX = %.4f Mpps, want ~0.02", got)
+	}
+}
+
+func TestIdenticalScriptsAcrossPlatforms(t *testing.T) {
+	// The paper's essential property: the experiment scripts for pos and
+	// vpos are byte-identical; only the node bindings/testbed differ.
+	a, err := New(BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ea := a.Experiment(PaperSweep())
+	eb := b.Experiment(PaperSweep())
+	for i := range ea.Hosts {
+		if ea.Hosts[i].Setup != eb.Hosts[i].Setup {
+			t.Errorf("setup script differs for %s", ea.Hosts[i].Role)
+		}
+		if ea.Hosts[i].Measurement != eb.Hosts[i].Measurement {
+			t.Errorf("measurement script differs for %s", ea.Hosts[i].Role)
+		}
+	}
+	if len(ea.LoopVars) != 2 || core.NumRuns(ea.LoopVars) != 60 {
+		t.Errorf("paper sweep = %d runs, want 60", core.NumRuns(ea.LoopVars))
+	}
+}
+
+func TestDirectRunBareMetalShape(t *testing.T) {
+	topo, err := New(BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	// 64 B at 2.2 Mpps offered: plateau at ~1.75 Mpps.
+	p, err := topo.DirectRun(64, 2_200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RxMpps < 1.70 || p.RxMpps > 1.82 {
+		t.Errorf("64B overload RX = %.3f Mpps, want ~1.75", p.RxMpps)
+	}
+	// 1500 B at 1.0 Mpps offered: NIC ceiling ~0.81 Mpps.
+	p, err = topo.DirectRun(1500, 1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RxMpps < 0.78 || p.RxMpps > 0.84 {
+		t.Errorf("1500B overload RX = %.3f Mpps, want ~0.81", p.RxMpps)
+	}
+	if !p.LatencyOK {
+		t.Error("latency unavailable on bare metal")
+	}
+}
+
+func TestDirectRunVirtualShape(t *testing.T) {
+	topo, err := New(Virtual, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	// Drop-free at 40 kpps for both sizes.
+	for _, size := range []int{64, 1500} {
+		p, err := topo.DirectRun(size, 40_000, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.LossRatio > 0.001 {
+			t.Errorf("%dB at 40kpps: loss = %.4f, want ~0 (Fig. 3b)", size, p.LossRatio)
+		}
+		if p.LatencyOK {
+			t.Error("vpos claims latency capability")
+		}
+	}
+	// Overloaded at 300 kpps: far below offered, sizes diverge.
+	p64, err := topo.DirectRun(64, 300_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1500, err := topo.DirectRun(1500, 300_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p64.RxMpps > 0.09 || p1500.RxMpps > 0.09 {
+		t.Errorf("VM forwarded %.3f/%.3f Mpps at 300kpps, implausibly high", p64.RxMpps, p1500.RxMpps)
+	}
+	if p64.RxMpps <= p1500.RxMpps {
+		t.Errorf("no size divergence under overload: 64B=%.4f 1500B=%.4f", p64.RxMpps, p1500.RxMpps)
+	}
+}
+
+func TestBareMetalVirtualGap(t *testing.T) {
+	bm, err := New(BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bm.Close()
+	vm, err := New(Virtual, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+	pb, err := bm.DirectRun(64, 2_200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VM drop-free max is ~0.04 Mpps (the paper's comparison base).
+	ratio := pb.RxMpps / 0.04
+	if ratio < 38 || ratio > 50 {
+		t.Errorf("bare-metal/VM gap = %.1fx, want ~44x", ratio)
+	}
+}
+
+func TestSwitchedTopologyAblation(t *testing.T) {
+	direct, err := New(BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	switched, err := New(BareMetal, WithSwitch(netemCutThrough()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer switched.Close()
+	pd, err := direct.DirectRun(64, 10_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := switched.DirectRun(64, 10_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same throughput either way…
+	if pd.RxMpps != ps.RxMpps {
+		t.Errorf("throughput differs: %.4f vs %.4f", pd.RxMpps, ps.RxMpps)
+	}
+}
+
+func netemCutThrough() sim.Duration { return 300 * sim.Nanosecond }
+
+func TestMoonGenArgParsing(t *testing.T) {
+	cfg, err := parseMoonGenArgs([]string{"--rate", "10000", "--size", "1500", "--time", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RatePPS != 10000 || cfg.frameSize != 1500 || cfg.Duration != 2*sim.Second {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	for _, bad := range [][]string{
+		{},                              // missing rate
+		{"--rate"},                      // missing value
+		{"--rate", "x"},                 // bad rate
+		{"--rate", "-5"},                // negative rate
+		{"--rate", "1", "--size", "x"},  // bad size
+		{"--rate", "1", "--time", "0"},  // bad time
+		{"--rate", "1", "--bogus", "2"}, // unknown flag
+	} {
+		if _, err := parseMoonGenArgs(bad); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
+	}
+}
+
+func atof(s string) float64 {
+	var f float64
+	for _, c := range s {
+		f = f*10 + float64(c-'0')
+	}
+	return f
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func TestLatencyHistogramThroughWorkflow(t *testing.T) {
+	// Extend the measurement script with the latency-CSV upload — the
+	// full "throughput and latency data created by MoonGen" pipeline.
+	topo, err := New(BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := topo.Experiment(SweepConfig{Sizes: []int{64}, RatesPPS: []int{10_000, 100_000}, RuntimeSec: 1})
+	exp.Hosts[0].Measurement = `pos_run moongen.log moongen --rate $pkt_rate --size $pkt_sz --time $runtime
+pos_run latency.csv moongen_hist
+pos_sync run_done 2
+`
+	if _, err := topo.Testbed.Runner().Run(context.Background(), exp, store); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := store.ListExperiments("user", exp.Name)
+	rec, err := store.OpenExperiment("user", exp.Name, ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := eval.LoadLatency(rec, topo.LoadGen, "latency.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != 2 {
+		t.Fatalf("latency groups = %v", lat)
+	}
+	for combo, samples := range lat {
+		if len(samples) == 0 {
+			t.Errorf("%s: no samples", combo)
+		}
+		for _, s := range samples {
+			if s <= 0 {
+				t.Errorf("%s: non-positive latency %v", combo, s)
+			}
+		}
+	}
+	// Higher load produces higher median latency.
+	med := func(key string) float64 {
+		xs := append([]float64(nil), lat[key]...)
+		sort.Float64s(xs)
+		return xs[len(xs)/2]
+	}
+	low := med("pkt_rate=10000,pkt_sz=64")
+	high := med("pkt_rate=100000,pkt_sz=64")
+	if high <= low {
+		t.Errorf("median latency did not grow with load: %.0f vs %.0f ns", low, high)
+	}
+}
+
+func TestMoonGenHistFailsOnVpos(t *testing.T) {
+	topo, err := New(Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := topo.Experiment(SweepConfig{Sizes: []int{64}, RatesPPS: []int{10_000}, RuntimeSec: 1})
+	exp.Hosts[0].Measurement = `pos_run moongen.log moongen --rate $pkt_rate --size $pkt_sz --time $runtime
+pos_run latency.csv moongen_hist
+pos_sync run_done 2
+`
+	// The failing loadgen script never reaches its barrier, so the DuT
+	// waits for the full barrier timeout; shorten it for the test.
+	topo.Testbed.Service.BarrierTimeout = 200 * time.Millisecond
+	runner := topo.Testbed.Runner()
+	runner.ContinueOnRunFailure = true
+	sum, err := runner.Run(context.Background(), exp, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.FailedRuns != 1 {
+		t.Errorf("failed runs = %d — vpos latency collection must fail explicitly", sum.FailedRuns)
+	}
+}
+
+// TestArtifactsByteIdenticalAcrossExecutions is the strongest repeatability
+// statement: two full workflow executions on identically seeded testbeds
+// produce byte-for-byte identical measurement artifacts.
+func TestArtifactsByteIdenticalAcrossExecutions(t *testing.T) {
+	collect := func() map[string][]byte {
+		topo, err := New(Virtual, WithSeed(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer topo.Close()
+		store, err := results.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep := SweepConfig{Sizes: []int{64, 1500}, RatesPPS: []int{20_000, 250_000}, RuntimeSec: 1}
+		if _, err := topo.Testbed.Runner().Run(context.Background(), topo.Experiment(sweep), store); err != nil {
+			t.Fatal(err)
+		}
+		ids, _ := store.ListExperiments("user", "linux-router-vpos")
+		rec, err := store.OpenExperiment("user", "linux-router-vpos", ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]byte{}
+		runs, _ := rec.Runs()
+		for _, run := range runs {
+			arts, _ := rec.RunArtifacts(run)
+			for _, a := range arts {
+				parts := strings.SplitN(a, "/", 2)
+				data, err := rec.ReadRunArtifact(run, parts[0], parts[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				out[fmt.Sprintf("run%d/%s", run, a)] = data
+			}
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("artifact counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, data := range a {
+		if !bytes.Equal(data, b[name]) {
+			t.Errorf("artifact %s differs between executions", name)
+		}
+	}
+}

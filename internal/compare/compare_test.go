@@ -1,0 +1,119 @@
+package compare
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// wantTable1 is the exact matrix of the paper's Table 1.
+var wantTable1 = map[string]map[Requirement]Support{
+	"Chameleon": {Heterogeneity: Full, Isolation: Partial, Recoverability: Full, Automation: NotApplicable, Publishability: NotApplicable},
+	"CloudLab":  {Heterogeneity: Full, Isolation: Partial, Recoverability: Full, Automation: NotApplicable, Publishability: NotApplicable},
+	"Grid'5000": {Heterogeneity: Full, Isolation: Partial, Recoverability: Full, Automation: NotApplicable, Publishability: NotApplicable},
+	"OMF":       {Heterogeneity: NotApplicable, Isolation: NotApplicable, Recoverability: NotApplicable, Automation: Full, Publishability: None},
+	"NEPI":      {Heterogeneity: NotApplicable, Isolation: NotApplicable, Recoverability: NotApplicable, Automation: Full, Publishability: None},
+	"SNDZoo":    {Heterogeneity: NotApplicable, Isolation: NotApplicable, Recoverability: NotApplicable, Automation: Full, Publishability: Partial},
+	"pos":       {Heterogeneity: Full, Isolation: Full, Recoverability: Full, Automation: Full, Publishability: Full},
+}
+
+func TestTableMatchesPaper(t *testing.T) {
+	rows := Table()
+	if len(rows) != len(wantTable1) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(wantTable1))
+	}
+	for _, row := range rows {
+		want, ok := wantTable1[row.Name]
+		if !ok {
+			t.Errorf("unexpected system %q", row.Name)
+			continue
+		}
+		for _, r := range Requirements {
+			if row.Support[r] != want[r] {
+				t.Errorf("%s / %s = %s, want %s", row.Name, r.Label(), row.Support[r].Symbol(), want[r].Symbol())
+			}
+		}
+	}
+}
+
+func TestRowOrderMatchesPaper(t *testing.T) {
+	rows := Table()
+	wantOrder := []string{"Chameleon", "CloudLab", "Grid'5000", "OMF", "NEPI", "SNDZoo", "pos"}
+	for i, name := range wantOrder {
+		if rows[i].Name != name {
+			t.Errorf("row %d = %s, want %s", i, rows[i].Name, name)
+		}
+	}
+}
+
+func TestOnlyPosFullyCoversEverything(t *testing.T) {
+	for _, row := range Table() {
+		all := true
+		for _, r := range Requirements {
+			if row.Support[r] != Full {
+				all = false
+			}
+		}
+		if all != (row.Name == "pos") {
+			t.Errorf("%s full coverage = %v", row.Name, all)
+		}
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	cases := map[Support]string{Full: "✓", Partial: "○", None: "✗", NotApplicable: "n.a."}
+	for s, want := range cases {
+		if got := s.Symbol(); got != want {
+			t.Errorf("Symbol(%d) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestEvaluateDerivations(t *testing.T) {
+	// Out-of-band control without clean-slate boots is only partial
+	// recoverability.
+	f := Features{IsTestbed: true, OutOfBandControl: true}
+	if got := Evaluate(f)[Recoverability]; got != Partial {
+		t.Errorf("recoverability = %s", got.Symbol())
+	}
+	// No isolation mechanism at all.
+	if got := Evaluate(Features{IsTestbed: true})[Isolation]; got != None {
+		t.Errorf("isolation = %s", got.Symbol())
+	}
+	// A methodology without scripted experiments has no automation.
+	if got := Evaluate(Features{IsMethodology: true})[Automation]; got != None {
+		t.Errorf("automation = %s", got.Symbol())
+	}
+	// Pure methodology: testbed requirements stay n.a.
+	if got := Evaluate(Features{IsMethodology: true})[Isolation]; got != NotApplicable {
+		t.Errorf("isolation for methodology = %s", got.Symbol())
+	}
+}
+
+func TestWriteRendersLegendAndRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Chameleon", "pos", "Heterog. (R1)", "Publish. (R5)", "fully supported"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // header + 7 rows + legend
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRequirementLabels(t *testing.T) {
+	if Requirement(99).Label() != "?" {
+		t.Error("unknown requirement label")
+	}
+	for _, r := range Requirements {
+		if r.Label() == "?" {
+			t.Errorf("requirement %d unlabeled", r)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// HostSpec describes one experiment host's role: which physical testbed node
+// plays it, which live image it boots, and its two exclusive script files —
+// setup and measurement — per the pos experimental structure (Sec. 4.3).
+type HostSpec struct {
+	// Role is the logical name ("loadgen", "dut") used in artifacts.
+	Role string
+	// Node is the physical testbed node assigned to the role; the
+	// appendix's `./experiment.sh vriga vtartu` is exactly this binding.
+	Node string
+	// Image is the live-boot image ref ("name" or "name@version").
+	Image string
+	// BootParams are kernel/boot parameters for this host.
+	BootParams map[string]string
+	// LocalVars are the host's local variables.
+	LocalVars Vars
+	// Setup configures the host once after boot.
+	Setup string
+	// Measurement runs once per loop-variable combination.
+	Measurement string
+}
+
+// Experiment is a complete pos experiment definition: scripts + variables,
+// nothing else. Because the definition is pure data, it can be archived,
+// published, and re-executed byte-identically — reproducibility by design.
+type Experiment struct {
+	// Name identifies the experiment in the results tree.
+	Name string
+	// User owns the calendar allocation.
+	User string
+	// GlobalVars are visible to every host.
+	GlobalVars Vars
+	// LoopVars parameterize the measurement runs (cross product).
+	LoopVars []LoopVar
+	// Hosts are the participating experiment hosts.
+	Hosts []HostSpec
+	// Duration is the calendar reservation length; 0 defaults to 3 h,
+	// the runtime of the paper's case study.
+	Duration time.Duration
+}
+
+// DefaultDuration is the calendar reservation used when none is given.
+const DefaultDuration = 3 * time.Hour
+
+// Validate checks structural soundness before any testbed resource is
+// touched: the workflow must fail in the setup phase's first step, not
+// halfway through a three-hour campaign.
+func (e *Experiment) Validate() error {
+	if e.Name == "" {
+		return fmt.Errorf("core: experiment needs a name")
+	}
+	if e.User == "" {
+		return fmt.Errorf("core: experiment needs a user (calendar owner)")
+	}
+	if len(e.Hosts) == 0 {
+		return fmt.Errorf("core: experiment needs at least one host")
+	}
+	roles := make(map[string]bool, len(e.Hosts))
+	nodes := make(map[string]bool, len(e.Hosts))
+	for i, h := range e.Hosts {
+		if h.Role == "" {
+			return fmt.Errorf("core: host %d has no role", i)
+		}
+		if h.Node == "" {
+			return fmt.Errorf("core: host %q has no node binding", h.Role)
+		}
+		if h.Image == "" {
+			return fmt.Errorf("core: host %q has no image", h.Role)
+		}
+		if roles[h.Role] {
+			return fmt.Errorf("core: duplicate role %q", h.Role)
+		}
+		if nodes[h.Node] {
+			return fmt.Errorf("core: node %q assigned to two roles — a node may participate in one experiment role only", h.Node)
+		}
+		roles[h.Role] = true
+		nodes[h.Node] = true
+		if h.Measurement == "" {
+			return fmt.Errorf("core: host %q has no measurement script", h.Role)
+		}
+	}
+	if _, err := CrossProduct(e.LoopVars); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NodeNames returns the physical nodes the experiment binds, in host order.
+func (e *Experiment) NodeNames() []string {
+	out := make([]string, len(e.Hosts))
+	for i, h := range e.Hosts {
+		out[i] = h.Node
+	}
+	return out
+}
+
+// ReservationDuration returns the calendar duration to reserve.
+func (e *Experiment) ReservationDuration() time.Duration {
+	if e.Duration > 0 {
+		return e.Duration
+	}
+	return DefaultDuration
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pos/internal/calendar"
+	"pos/internal/hosttools"
+	"pos/internal/results"
+)
+
+// Host is the runner's view of one experiment host. The testbed package
+// implements it over the mgmt (initialization) and shell (configuration)
+// interfaces; tests may implement it in memory.
+type Host interface {
+	// Name returns the physical node name.
+	Name() string
+	// SetBoot selects the live image and boot parameters.
+	SetBoot(imageRef string, params map[string]string) error
+	// Reboot power-cycles the node via the out-of-band interface.
+	Reboot() error
+	// DeployTools installs the pos utility tools after boot.
+	DeployTools() error
+	// Exec runs a script with the given variables, returning the captured
+	// output; a failing script returns both output and an error.
+	Exec(ctx context.Context, script string, env map[string]string) (string, error)
+}
+
+// Phase names for progress reporting.
+const (
+	PhaseSetup       = "setup"
+	PhaseMeasurement = "measurement"
+	PhaseEvaluation  = "evaluation"
+)
+
+// ProgressEvent is emitted as the workflow advances — the paper's progress
+// bar during the measurement phase.
+type ProgressEvent struct {
+	Phase string
+	// Run and TotalRuns are set during the measurement phase.
+	Run, TotalRuns int
+	// Host is set for per-host events.
+	Host string
+	// Message is a human-readable note.
+	Message string
+}
+
+// RunRecord summarizes one measurement run.
+type RunRecord struct {
+	Run      int
+	Combo    Combination
+	Failed   bool
+	Error    string
+	Duration time.Duration
+}
+
+// Summary is the outcome of a workflow execution.
+type Summary struct {
+	Experiment string
+	ResultsDir string
+	TotalRuns  int
+	FailedRuns int
+	Records    []RunRecord
+	Started    time.Time
+	Finished   time.Time
+}
+
+// Runner executes experiments against a set of hosts following the pos
+// workflow. One Runner serves one experiment execution at a time.
+type Runner struct {
+	// Hosts maps physical node names to their control handles.
+	Hosts map[string]Host
+	// Service is the controller-side variable/barrier/upload endpoint
+	// shared with the hosts' deployed tools.
+	Service *hosttools.Service
+	// Calendar, when non-nil, enforces allocation before any node is
+	// touched.
+	Calendar *calendar.Calendar
+	// Progress, when non-nil, observes workflow events.
+	Progress func(ProgressEvent)
+	// ContinueOnRunFailure keeps sweeping after a failed measurement run
+	// (the run is recorded as failed either way).
+	ContinueOnRunFailure bool
+	// RebootBetweenRuns reboots and re-configures every host before each
+	// measurement run — maximal isolation at heavy time cost; the
+	// default (false) matches the paper's workflow of one boot per
+	// experiment.
+	RebootBetweenRuns bool
+	// RunTimeout bounds each measurement run (all hosts). A hung
+	// measurement script then fails its run instead of stalling the
+	// whole campaign; recoverability (R3) handles the wedged host.
+	// Zero means no limit.
+	RunTimeout time.Duration
+	// Clock supplies timestamps (defaults to time.Now); tests pin it.
+	Clock func() time.Time
+
+	// progressMu serializes Progress callbacks: per-host events fire
+	// from concurrent goroutines, but observers see a serial stream.
+	progressMu sync.Mutex
+}
+
+func (r *Runner) now() time.Time {
+	if r.Clock != nil {
+		return r.Clock()
+	}
+	return time.Now()
+}
+
+func (r *Runner) progress(ev ProgressEvent) {
+	if r.Progress != nil {
+		r.progressMu.Lock()
+		defer r.progressMu.Unlock()
+		r.Progress(ev)
+	}
+}
+
+// Run executes the full experiment workflow of Fig. 2 — allocate, configure,
+// boot, setup, measurement sweep — recording every artifact into exp's
+// results experiment. The evaluation phase is performed separately on the
+// recorded results (eval and plot packages); by the time Run returns, the
+// results directory is complete and self-describing.
+func (r *Runner) Run(ctx context.Context, e *Experiment, store *results.Store) (*Summary, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Service == nil {
+		return nil, errors.New("core: runner needs a hosttools service")
+	}
+	hosts := make([]Host, len(e.Hosts))
+	for i, spec := range e.Hosts {
+		h, ok := r.Hosts[spec.Node]
+		if !ok {
+			return nil, fmt.Errorf("core: node %q not present in this testbed", spec.Node)
+		}
+		hosts[i] = h
+	}
+
+	// --- Setup phase -------------------------------------------------
+	// Allocate the devices on the calendar first: a multi-user testbed
+	// must refuse the experiment before touching anyone else's nodes.
+	if r.Calendar != nil {
+		start := r.now()
+		alloc, err := r.Calendar.Allocate(e.User, e.NodeNames(), start, start.Add(e.ReservationDuration()))
+		if err != nil {
+			return nil, fmt.Errorf("core: allocation: %w", err)
+		}
+		defer r.Calendar.Release(e.User, alloc.ID)
+	}
+
+	started := r.now()
+	exp, err := store.CreateExperiment(e.User, e.Name, started)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.archiveDefinition(e, exp); err != nil {
+		return nil, err
+	}
+
+	// Load variables: global and loop scopes on the service, local per
+	// host; boot configuration per host.
+	r.Service.ClearScope(hosttools.ScopeGlobal)
+	for k, v := range e.GlobalVars {
+		r.Service.SetVar(hosttools.ScopeGlobal, k, v)
+	}
+	for i, spec := range e.Hosts {
+		r.Service.ClearScope(spec.Node)
+		for k, v := range spec.LocalVars {
+			r.Service.SetVar(spec.Node, k, v)
+		}
+		if err := hosts[i].SetBoot(spec.Image, spec.BootParams); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", spec.Node, err)
+		}
+	}
+
+	// Boot all hosts in parallel, then deploy the utility tools.
+	r.progress(ProgressEvent{Phase: PhaseSetup, Message: "booting hosts"})
+	if err := r.forEachHost(hosts, func(h Host) error {
+		if err := h.Reboot(); err != nil {
+			return err
+		}
+		return h.DeployTools()
+	}); err != nil {
+		return nil, fmt.Errorf("core: boot: %w", err)
+	}
+
+	// Execute setup scripts in parallel; pos waits for every host to
+	// finish its setup before the first measurement run starts.
+	setupOutputs := make([]string, len(hosts))
+	if err := r.forEachHostIndexed(hosts, func(i int, h Host) error {
+		spec := e.Hosts[i]
+		r.progress(ProgressEvent{Phase: PhaseSetup, Host: spec.Node, Message: "running setup script"})
+		env := r.runEnv(e, spec, nil)
+		out, err := h.Exec(ctx, spec.Setup, env)
+		setupOutputs[i] = out
+		return err
+	}); err != nil {
+		r.archiveSetupOutputs(e, exp, setupOutputs)
+		return nil, fmt.Errorf("core: setup phase: %w", err)
+	}
+	if err := r.archiveSetupOutputs(e, exp, setupOutputs); err != nil {
+		return nil, err
+	}
+
+	// --- Measurement phase -------------------------------------------
+	combos, err := CrossProduct(e.LoopVars)
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{
+		Experiment: e.Name,
+		ResultsDir: exp.Dir(),
+		TotalRuns:  len(combos),
+		Started:    started,
+	}
+	for runIdx, combo := range combos {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		rec, _ := r.oneRun(ctx, e, exp, hosts, runIdx, len(combos), combo)
+		sum.Records = append(sum.Records, rec)
+		if rec.Failed {
+			sum.FailedRuns++
+			if !r.ContinueOnRunFailure {
+				sum.Finished = r.now()
+				return sum, fmt.Errorf("core: run %d (%s) failed: %s", runIdx, combo.Key(), rec.Error)
+			}
+		}
+	}
+	sum.Finished = r.now()
+	return sum, nil
+}
+
+// oneRun executes a single measurement run across all hosts.
+func (r *Runner) oneRun(ctx context.Context, e *Experiment, exp *results.Experiment, hosts []Host, runIdx, total int, combo Combination) (RunRecord, error) {
+	r.progress(ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total, Message: combo.Key()})
+	rec := RunRecord{Run: runIdx, Combo: combo}
+	runStart := r.now()
+
+	// Loop variables for this run, visible to all hosts.
+	r.Service.ClearScope(hosttools.ScopeLoop)
+	for k, v := range combo {
+		r.Service.SetVar(hosttools.ScopeLoop, k, v)
+	}
+	// Route uploads from the host tools into this run's directory.
+	r.Service.SetUploader(hosttools.UploaderFunc(func(nodeName, artifact string, data []byte) error {
+		return exp.AddRunArtifact(runIdx, nodeName, artifact, data)
+	}))
+
+	if r.RebootBetweenRuns {
+		if err := r.rebootAndResetup(ctx, e, hosts); err != nil {
+			rec.Failed, rec.Error = true, err.Error()
+			rec.Duration = r.now().Sub(runStart)
+			r.writeMeta(exp, runIdx, combo, runStart, rec)
+			return rec, err
+		}
+	}
+
+	if r.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.RunTimeout)
+		defer cancel()
+	}
+	var mu sync.Mutex
+	outputs := make([]string, len(hosts))
+	runErr := r.forEachHostIndexed(hosts, func(i int, h Host) error {
+		spec := e.Hosts[i]
+		env := r.runEnv(e, spec, combo)
+		env["RUN"] = fmt.Sprintf("%d", runIdx)
+		out, err := h.Exec(ctx, spec.Measurement, env)
+		mu.Lock()
+		outputs[i] = out
+		mu.Unlock()
+		return err
+	})
+	for i, spec := range e.Hosts {
+		if err := exp.AddRunArtifact(runIdx, spec.Node, "measurement.out", []byte(outputs[i])); err != nil {
+			return rec, err
+		}
+	}
+	if runErr != nil {
+		rec.Failed, rec.Error = true, runErr.Error()
+	}
+	rec.Duration = r.now().Sub(runStart)
+	if err := r.writeMeta(exp, runIdx, combo, runStart, rec); err != nil {
+		return rec, err
+	}
+	return rec, runErr
+}
+
+func (r *Runner) writeMeta(exp *results.Experiment, runIdx int, combo Combination, start time.Time, rec RunRecord) error {
+	return exp.WriteRunMeta(results.RunMeta{
+		Run:        runIdx,
+		LoopVars:   combo,
+		StartedAt:  start,
+		FinishedAt: r.now(),
+		Failed:     rec.Failed,
+		Error:      rec.Error,
+	})
+}
+
+// rebootAndResetup re-establishes the clean-slate state before a run.
+func (r *Runner) rebootAndResetup(ctx context.Context, e *Experiment, hosts []Host) error {
+	return r.forEachHostIndexed(hosts, func(i int, h Host) error {
+		if err := h.Reboot(); err != nil {
+			return err
+		}
+		if err := h.DeployTools(); err != nil {
+			return err
+		}
+		spec := e.Hosts[i]
+		_, err := h.Exec(ctx, spec.Setup, r.runEnv(e, spec, nil))
+		return err
+	})
+}
+
+// runEnv merges the variable scopes for one host with pos precedence:
+// global < local < loop.
+func (r *Runner) runEnv(e *Experiment, spec HostSpec, combo Combination) map[string]string {
+	env := Merge(e.GlobalVars, spec.LocalVars, Vars(combo))
+	env["ROLE"] = spec.Role
+	env["NODE"] = spec.Node
+	return env
+}
+
+// archiveDefinition stores the experiment's scripts and variable files —
+// the artifacts others need to reproduce it.
+func (r *Runner) archiveDefinition(e *Experiment, exp *results.Experiment) error {
+	global, err := json.MarshalIndent(e.GlobalVars, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := exp.AddExperimentArtifact("experiment/global-vars.json", append(global, '\n')); err != nil {
+		return err
+	}
+	loop, err := MarshalLoopVars(e.LoopVars)
+	if err != nil {
+		return err
+	}
+	if err := exp.AddExperimentArtifact("experiment/loop-variables.json", loop); err != nil {
+		return err
+	}
+	for _, spec := range e.Hosts {
+		base := "experiment/" + spec.Role + "/"
+		local, err := json.MarshalIndent(spec.LocalVars, "", "  ")
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		files := map[string][]byte{
+			base + "local-vars.json": append(local, '\n'),
+			base + "setup.sh":        []byte(spec.Setup),
+			base + "measurement.sh":  []byte(spec.Measurement),
+		}
+		for name, data := range files {
+			if err := exp.AddExperimentArtifact(name, data); err != nil {
+				return err
+			}
+		}
+	}
+	binding := make(map[string]string, len(e.Hosts))
+	for _, spec := range e.Hosts {
+		binding[spec.Role] = spec.Node
+	}
+	b, err := json.MarshalIndent(binding, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return exp.AddExperimentArtifact("experiment/topology.json", append(b, '\n'))
+}
+
+func (r *Runner) archiveSetupOutputs(e *Experiment, exp *results.Experiment, outputs []string) error {
+	for i, spec := range e.Hosts {
+		if err := exp.AddExperimentArtifact("setup/"+spec.Node+".out", []byte(outputs[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachHost runs fn for every host concurrently, returning the first error.
+func (r *Runner) forEachHost(hosts []Host, fn func(Host) error) error {
+	return r.forEachHostIndexed(hosts, func(_ int, h Host) error { return fn(h) })
+}
+
+func (r *Runner) forEachHostIndexed(hosts []Host, fn func(int, Host) error) error {
+	errs := make([]error, len(hosts))
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		wg.Add(1)
+		go func(i int, h Host) {
+			defer wg.Done()
+			if err := fn(i, h); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", h.Name(), err)
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

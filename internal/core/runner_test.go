@@ -1,0 +1,524 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pos/internal/calendar"
+	"pos/internal/hosttools"
+	"pos/internal/results"
+)
+
+// fakeHost is an in-memory core.Host that records the control sequence.
+type fakeHost struct {
+	name string
+
+	mu        sync.Mutex
+	bootImage string
+	bootParam map[string]string
+	reboots   int
+	deploys   int
+	execs     []map[string]string // env of each Exec, in order
+	scripts   []string
+	failBoot  bool
+	failExec  string // substring of script that triggers failure
+	onExec    func(script string, env map[string]string)
+	// onExecCtx, when set, runs with the exec context and may block.
+	onExecCtx func(ctx context.Context, script string) error
+}
+
+func (f *fakeHost) Name() string { return f.name }
+
+func (f *fakeHost) SetBoot(img string, params map[string]string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bootImage = img
+	f.bootParam = params
+	return nil
+}
+
+func (f *fakeHost) Reboot() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failBoot {
+		return errors.New("boot failed")
+	}
+	f.reboots++
+	return nil
+}
+
+func (f *fakeHost) DeployTools() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.deploys++
+	return nil
+}
+
+func (f *fakeHost) Exec(ctx context.Context, script string, env map[string]string) (string, error) {
+	f.mu.Lock()
+	cp := make(map[string]string, len(env))
+	for k, v := range env {
+		cp[k] = v
+	}
+	f.execs = append(f.execs, cp)
+	f.scripts = append(f.scripts, script)
+	hook := f.onExec
+	ctxHook := f.onExecCtx
+	fail := f.failExec != "" && strings.Contains(script, f.failExec)
+	f.mu.Unlock()
+	if hook != nil {
+		hook(script, env)
+	}
+	if ctxHook != nil {
+		if err := ctxHook(ctx, script); err != nil {
+			return "timed out", err
+		}
+	}
+	if fail {
+		return "partial", errors.New("script failed")
+	}
+	return "output of " + strings.TrimSpace(script), nil
+}
+
+func caseStudyExperiment() *Experiment {
+	return &Experiment{
+		Name: "linux-router",
+		User: "user",
+		GlobalVars: Vars{
+			"dut_mac": "02:00:00:00:00:02",
+		},
+		LoopVars: []LoopVar{
+			{Name: "pkt_sz", Values: []string{"64", "1500"}},
+			{Name: "pkt_rate", Values: []string{"10000", "20000", "30000"}},
+		},
+		Hosts: []HostSpec{
+			{
+				Role: "loadgen", Node: "vriga", Image: "debian-buster",
+				LocalVars:   Vars{"port": "eno1"},
+				Setup:       "setup loadgen",
+				Measurement: "measure loadgen",
+			},
+			{
+				Role: "dut", Node: "vtartu", Image: "debian-buster",
+				LocalVars:   Vars{"port": "eno2"},
+				Setup:       "setup dut",
+				Measurement: "measure dut",
+			},
+		},
+		Duration: time.Hour,
+	}
+}
+
+func newRunner(hosts ...*fakeHost) (*Runner, *results.Store) {
+	m := make(map[string]Host, len(hosts))
+	var names []string
+	for _, h := range hosts {
+		m[h.name] = h
+		names = append(names, h.name)
+	}
+	return &Runner{
+		Hosts:    m,
+		Service:  hosttools.NewService(nil),
+		Calendar: calendar.New(names),
+	}, nil
+}
+
+func storeAt(t *testing.T) *results.Store {
+	t.Helper()
+	s, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFullWorkflow(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+
+	var events []ProgressEvent
+	r.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+
+	sum, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalRuns != 6 || sum.FailedRuns != 0 || len(sum.Records) != 6 {
+		t.Errorf("summary = %+v", sum)
+	}
+	// One boot + tool deployment per host.
+	if lg.reboots != 1 || lg.deploys != 1 || dut.reboots != 1 {
+		t.Errorf("boots lg=%d/%d dut=%d", lg.reboots, lg.deploys, dut.reboots)
+	}
+	// Each host ran 1 setup + 6 measurements.
+	if len(lg.execs) != 7 || len(dut.execs) != 7 {
+		t.Fatalf("execs lg=%d dut=%d, want 7", len(lg.execs), len(dut.execs))
+	}
+	// Boot config recorded.
+	if lg.bootImage != "debian-buster" {
+		t.Errorf("boot image = %s", lg.bootImage)
+	}
+	// Measurement env carries merged vars with loop overrides.
+	env := lg.execs[1]
+	if env["pkt_sz"] != "64" || env["pkt_rate"] != "10000" {
+		t.Errorf("first run env = %v", env)
+	}
+	if env["dut_mac"] != "02:00:00:00:00:02" || env["port"] != "eno1" || env["ROLE"] != "loadgen" || env["RUN"] != "0" {
+		t.Errorf("env = %v", env)
+	}
+	// DuT gets its own local vars.
+	if dut.execs[1]["port"] != "eno2" {
+		t.Errorf("dut env = %v", dut.execs[1])
+	}
+	// Progress includes measurement events with run counters.
+	var measured int
+	for _, ev := range events {
+		if ev.Phase == PhaseMeasurement {
+			measured++
+			if ev.TotalRuns != 6 {
+				t.Errorf("event = %+v", ev)
+			}
+		}
+	}
+	if measured != 6 {
+		t.Errorf("measurement events = %d", measured)
+	}
+}
+
+func TestWorkflowArtifacts(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	sum, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := store.OpenExperiment("user", "linux-router", idFromDir(t, sum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The experiment definition is archived.
+	for _, a := range []string{
+		"experiment/global-vars.json",
+		"experiment/loop-variables.json",
+		"experiment/loadgen/setup.sh",
+		"experiment/loadgen/measurement.sh",
+		"experiment/dut/local-vars.json",
+		"experiment/topology.json",
+		"setup/vriga.out",
+		"setup/vtartu.out",
+	} {
+		if _, err := exp.ReadExperimentArtifact(a); err != nil {
+			t.Errorf("missing artifact %s: %v", a, err)
+		}
+	}
+	// Loop vars round trip.
+	data, _ := exp.ReadExperimentArtifact("experiment/loop-variables.json")
+	vars, err := UnmarshalLoopVars(data)
+	if err != nil || len(vars) != 2 {
+		t.Errorf("loop vars artifact: %v, %v", vars, err)
+	}
+	// Per-run metadata and outputs.
+	runs, err := exp.Runs()
+	if err != nil || len(runs) != 6 {
+		t.Fatalf("runs = %v, %v", runs, err)
+	}
+	meta, err := exp.ReadRunMeta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.LoopVars["pkt_sz"] != "64" || meta.LoopVars["pkt_rate"] != "10000" {
+		t.Errorf("run 0 meta = %+v", meta)
+	}
+	out, err := exp.ReadRunArtifact(3, "vriga", "measurement.out")
+	if err != nil || !strings.Contains(string(out), "measure loadgen") {
+		t.Errorf("run 3 output = %q, %v", out, err)
+	}
+}
+
+func idFromDir(t *testing.T, dir string) string {
+	t.Helper()
+	i := strings.LastIndex(dir, "/")
+	return dir[i+1:]
+}
+
+func TestUploadsRoutedToCurrentRun(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	// During each measurement Exec, upload an artifact through the
+	// service the way pos tools do.
+	lg.onExec = func(script string, env map[string]string) {
+		if strings.Contains(script, "measure") {
+			r.Service.Upload("vriga", "moongen.log", []byte("run "+env["RUN"]))
+		}
+	}
+	sum, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, _ := store.OpenExperiment("user", "linux-router", idFromDir(t, sum.ResultsDir))
+	for run := 0; run < 6; run++ {
+		data, err := exp.ReadRunArtifact(run, "vriga", "moongen.log")
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if string(data) != fmt.Sprintf("run %d", run) {
+			t.Errorf("run %d upload = %q", run, data)
+		}
+	}
+}
+
+func TestAllocationConflictBlocksExperiment(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	// Another user holds vtartu.
+	now := time.Now()
+	if _, err := r.Calendar.Allocate("other", []string{"vtartu"}, now.Add(-time.Minute), now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err == nil {
+		t.Fatal("experiment ran on allocated nodes")
+	}
+	if lg.reboots != 0 && dut.reboots != 0 {
+		t.Error("nodes touched despite allocation failure")
+	}
+}
+
+func TestAllocationReleasedAfterRun(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	if _, err := r.Run(context.Background(), caseStudyExperiment(), store); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately rerunnable: the reservation was released.
+	if _, err := r.Run(context.Background(), caseStudyExperiment(), store); err != nil {
+		t.Fatalf("second run blocked: %v", err)
+	}
+}
+
+func TestBootFailureAbortsBeforeMeasurement(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu", failBoot: true}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	_, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err == nil {
+		t.Fatal("boot failure not reported")
+	}
+	if len(lg.execs) != 0 {
+		t.Error("scripts ran despite boot failure")
+	}
+}
+
+func TestSetupFailureAborts(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu", failExec: "setup"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	_, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err == nil || !strings.Contains(err.Error(), "setup") {
+		t.Fatalf("err = %v", err)
+	}
+	// No measurement ran anywhere.
+	for _, h := range []*fakeHost{lg, dut} {
+		for _, s := range h.scripts {
+			if strings.Contains(s, "measure") {
+				t.Error("measurement ran after setup failure")
+			}
+		}
+	}
+}
+
+func TestMeasurementFailureStopsByDefault(t *testing.T) {
+	lg := &fakeHost{name: "vriga", failExec: "measure"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	sum, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err == nil {
+		t.Fatal("failed run not reported")
+	}
+	if sum == nil || sum.FailedRuns != 1 || len(sum.Records) != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestMeasurementFailureContinueOption(t *testing.T) {
+	lg := &fakeHost{name: "vriga", failExec: "measure"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	r.ContinueOnRunFailure = true
+	store := storeAt(t)
+	sum, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err != nil {
+		t.Fatalf("continue-on-failure returned error: %v", err)
+	}
+	if sum.FailedRuns != 6 || len(sum.Records) != 6 {
+		t.Errorf("summary = %+v", sum)
+	}
+	// Failure recorded in run metadata.
+	exp, _ := store.OpenExperiment("user", "linux-router", idFromDir(t, sum.ResultsDir))
+	meta, err := exp.ReadRunMeta(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Failed || meta.Error == "" {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+func TestRebootBetweenRuns(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	r.RebootBetweenRuns = true
+	store := storeAt(t)
+	e := caseStudyExperiment()
+	e.LoopVars = []LoopVar{{Name: "pkt_sz", Values: []string{"64", "1500"}}}
+	if _, err := r.Run(context.Background(), e, store); err != nil {
+		t.Fatal(err)
+	}
+	// 1 initial boot + 1 per run.
+	if lg.reboots != 3 {
+		t.Errorf("reboots = %d, want 3", lg.reboots)
+	}
+	// Setup re-ran before each run: 1 + 2 setups + 2 measurements = 5.
+	if len(lg.execs) != 5 {
+		t.Errorf("execs = %d, want 5", len(lg.execs))
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	r, _ := newRunner(&fakeHost{name: "a"})
+	store := storeAt(t)
+	cases := []*Experiment{
+		{User: "u", Hosts: []HostSpec{{Role: "r", Node: "a", Image: "i", Measurement: "m"}}}, // no name
+		{Name: "n", Hosts: []HostSpec{{Role: "r", Node: "a", Image: "i", Measurement: "m"}}}, // no user
+		{Name: "n", User: "u"}, // no hosts
+		{Name: "n", User: "u", Hosts: []HostSpec{{Node: "a", Image: "i", Measurement: "m"}}},                                                                   // no role
+		{Name: "n", User: "u", Hosts: []HostSpec{{Role: "r", Image: "i", Measurement: "m"}}},                                                                   // no node
+		{Name: "n", User: "u", Hosts: []HostSpec{{Role: "r", Node: "a", Measurement: "m"}}},                                                                    // no image
+		{Name: "n", User: "u", Hosts: []HostSpec{{Role: "r", Node: "a", Image: "i"}}},                                                                          // no measurement
+		{Name: "n", User: "u", Hosts: []HostSpec{{Role: "r", Node: "a", Image: "i", Measurement: "m"}, {Role: "r", Node: "b", Image: "i", Measurement: "m"}}},  // dup role
+		{Name: "n", User: "u", Hosts: []HostSpec{{Role: "r", Node: "a", Image: "i", Measurement: "m"}, {Role: "r2", Node: "a", Image: "i", Measurement: "m"}}}, // dup node
+	}
+	for i, e := range cases {
+		if _, err := r.Run(context.Background(), e, store); err == nil {
+			t.Errorf("case %d: invalid experiment accepted", i)
+		}
+	}
+}
+
+func TestUnknownNodeRejected(t *testing.T) {
+	r, _ := newRunner(&fakeHost{name: "a"})
+	store := storeAt(t)
+	e := &Experiment{
+		Name: "n", User: "u",
+		Hosts: []HostSpec{{Role: "r", Node: "ghost", Image: "i", Measurement: "m"}},
+	}
+	if _, err := r.Run(context.Background(), e, store); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestContextCancellationStopsSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	lg := &fakeHost{name: "vriga"}
+	lg.onExec = func(script string, _ map[string]string) {
+		if strings.Contains(script, "measure") {
+			cancel()
+		}
+	}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	sum, err := r.Run(ctx, caseStudyExperiment(), store)
+	if err == nil {
+		t.Fatal("cancelled sweep completed")
+	}
+	if sum != nil && len(sum.Records) == 6 {
+		t.Error("sweep ran to completion despite cancellation")
+	}
+}
+
+func TestRunWithoutServiceFails(t *testing.T) {
+	r := &Runner{Hosts: map[string]Host{"a": &fakeHost{name: "a"}}}
+	store := storeAt(t)
+	e := &Experiment{Name: "n", User: "u", Hosts: []HostSpec{{Role: "r", Node: "a", Image: "i", Measurement: "m"}}}
+	if _, err := r.Run(context.Background(), e, store); err == nil {
+		t.Error("runner without service accepted")
+	}
+}
+
+func TestLoopVarsVisibleThroughService(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	var seen []string
+	lg.onExec = func(script string, env map[string]string) {
+		if strings.Contains(script, "measure") {
+			if v, ok := r.Service.GetVar(hosttools.ScopeLoop, "pkt_rate"); ok {
+				seen = append(seen, v)
+			}
+		}
+	}
+	if _, err := r.Run(context.Background(), caseStudyExperiment(), store); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("loop scope visible in %d runs, want 6", len(seen))
+	}
+	if seen[0] != "10000" || seen[1] != "20000" {
+		t.Errorf("loop values = %v", seen)
+	}
+}
+
+func TestRunTimeoutBoundsHungMeasurement(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	hang := make(chan struct{})
+	lg.onExecCtx = func(ctx context.Context, script string) error {
+		if strings.Contains(script, "measure") {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-hang:
+			}
+		}
+		return nil
+	}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	r.RunTimeout = 30 * time.Millisecond
+	r.ContinueOnRunFailure = true
+	store := storeAt(t)
+	e := caseStudyExperiment()
+	e.LoopVars = []LoopVar{{Name: "x", Values: []string{"1"}}}
+	start := time.Now()
+	sum, err := r.Run(context.Background(), e, store)
+	close(hang)
+	if err != nil {
+		t.Fatalf("continue-on-failure returned %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hung run was not bounded")
+	}
+	if sum.FailedRuns != 1 {
+		t.Errorf("failed runs = %d, want 1 (timeout)", sum.FailedRuns)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossProductCaseStudy(t *testing.T) {
+	// The appendix experiment: 2 packet sizes x 30 rates = 60 runs.
+	var rates []string
+	for r := 10000; r <= 300000; r += 10000 {
+		rates = append(rates, fmt.Sprint(r))
+	}
+	vars := []LoopVar{
+		{Name: "pkt_sz", Values: []string{"64", "1500"}},
+		{Name: "pkt_rate", Values: rates},
+	}
+	combos, err := CrossProduct(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 60 {
+		t.Fatalf("runs = %d, want 60 (Appendix A)", len(combos))
+	}
+	if NumRuns(vars) != 60 {
+		t.Errorf("NumRuns = %d", NumRuns(vars))
+	}
+	// First var slowest: first 30 combos are pkt_sz=64.
+	for i := 0; i < 30; i++ {
+		if combos[i]["pkt_sz"] != "64" {
+			t.Fatalf("combo %d: pkt_sz = %s", i, combos[i]["pkt_sz"])
+		}
+	}
+	if combos[30]["pkt_sz"] != "1500" || combos[30]["pkt_rate"] != "10000" {
+		t.Errorf("combo 30 = %v", combos[30])
+	}
+	// Last var fastest.
+	if combos[0]["pkt_rate"] != "10000" || combos[1]["pkt_rate"] != "20000" {
+		t.Errorf("rate order: %v, %v", combos[0], combos[1])
+	}
+}
+
+func TestCrossProductEmpty(t *testing.T) {
+	combos, err := CrossProduct(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 1 || len(combos[0]) != 0 {
+		t.Errorf("combos = %v, want one empty combination", combos)
+	}
+}
+
+func TestCrossProductValidation(t *testing.T) {
+	if _, err := CrossProduct([]LoopVar{{Name: "", Values: []string{"1"}}}); err == nil {
+		t.Error("accepted empty name")
+	}
+	if _, err := CrossProduct([]LoopVar{{Name: "x", Values: nil}}); err == nil {
+		t.Error("accepted empty values")
+	}
+	if _, err := CrossProduct([]LoopVar{
+		{Name: "x", Values: []string{"1"}},
+		{Name: "x", Values: []string{"2"}},
+	}); err == nil {
+		t.Error("accepted duplicate name")
+	}
+}
+
+func TestCrossProductExplosionGuard(t *testing.T) {
+	// 2^25 combinations exceeds the guard.
+	var vars []LoopVar
+	for i := 0; i < 25; i++ {
+		vars = append(vars, LoopVar{Name: fmt.Sprintf("v%d", i), Values: []string{"a", "b"}})
+	}
+	if _, err := CrossProduct(vars); err == nil {
+		t.Error("accepted exponential cross product")
+	}
+}
+
+// Property: the cross product has exactly prod(len(values)) combinations,
+// all distinct, and every combination assigns every variable one of its
+// declared values.
+func TestCrossProductProperty(t *testing.T) {
+	prop := func(sizes []uint8) bool {
+		if len(sizes) > 5 {
+			sizes = sizes[:5]
+		}
+		var vars []LoopVar
+		want := 1
+		for i, s := range sizes {
+			n := int(s)%4 + 1
+			want *= n
+			var vals []string
+			for j := 0; j < n; j++ {
+				vals = append(vals, fmt.Sprintf("v%d_%d", i, j))
+			}
+			vars = append(vars, LoopVar{Name: fmt.Sprintf("var%d", i), Values: vals})
+		}
+		combos, err := CrossProduct(vars)
+		if err != nil || len(combos) != want {
+			return false
+		}
+		seen := make(map[string]bool, len(combos))
+		for _, c := range combos {
+			if len(c) != len(vars) {
+				return false
+			}
+			k := c.Key()
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			for _, v := range vars {
+				found := false
+				for _, val := range v.Values {
+					if c[v.Name] == val {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePrecedence(t *testing.T) {
+	global := Vars{"a": "g", "b": "g", "c": "g"}
+	local := Vars{"b": "l", "c": "l"}
+	loop := Vars{"c": "x"}
+	m := Merge(global, local, loop)
+	if m["a"] != "g" || m["b"] != "l" || m["c"] != "x" {
+		t.Errorf("merge = %v", m)
+	}
+	// Inputs untouched.
+	if global["b"] != "g" || local["c"] != "l" {
+		t.Error("Merge mutated its inputs")
+	}
+}
+
+func TestVarsClone(t *testing.T) {
+	v := Vars{"k": "1"}
+	c := v.Clone()
+	c["k"] = "2"
+	if v["k"] != "1" {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestCombinationKeyCanonical(t *testing.T) {
+	a := Combination{"x": "1", "y": "2"}
+	b := Combination{"y": "2", "x": "1"}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() != "x=1,y=2" {
+		t.Errorf("key = %q", a.Key())
+	}
+}
+
+func TestLoopVarsMarshalRoundTrip(t *testing.T) {
+	vars := []LoopVar{
+		{Name: "pkt_sz", Values: []string{"64", "1500"}},
+		{Name: "pkt_rate", Values: []string{"10000"}},
+	}
+	data, err := MarshalLoopVars(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalLoopVars(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "pkt_sz" || got[1].Values[0] != "10000" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := UnmarshalLoopVars([]byte("not json")); err == nil {
+		t.Error("accepted invalid loop vars")
+	}
+}

@@ -1,0 +1,300 @@
+// Package expfile reads and writes pos experiment directories — the on-disk
+// artifact layout the paper publishes (experiment scripts beside variable
+// files, one subdirectory per experiment host):
+//
+//	experiment/
+//	  experiment.yml        name, user, duration
+//	  global-vars.yml       global variables
+//	  loop-variables.yml    loop variables (the cross-product axes)
+//	  loadgen/
+//	    host.yml            node binding, image, boot parameters
+//	    local-vars.yml      host-local variables (optional)
+//	    setup.sh            setup-phase script
+//	    measurement.sh      measurement-phase script
+//	  dut/
+//	    ...
+//
+// Because an Experiment loaded from disk is identical to one constructed in
+// code, a published directory is sufficient to re-execute the experiment —
+// the reproducibility-by-design property.
+package expfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"pos/internal/core"
+	"pos/internal/yamlite"
+)
+
+// File names of the layout.
+const (
+	ExperimentFile = "experiment.yml"
+	GlobalVarsFile = "global-vars.yml"
+	LoopVarsFile   = "loop-variables.yml"
+	HostFile       = "host.yml"
+	LocalVarsFile  = "local-vars.yml"
+	SetupFile      = "setup.sh"
+	MeasureFile    = "measurement.sh"
+)
+
+// bootPrefix marks boot-parameter keys in host.yml.
+const bootPrefix = "boot."
+
+// Load reads an experiment directory. bindings optionally remaps roles to
+// physical nodes (the appendix's `./experiment.sh vriga vtartu` step); a
+// role missing from bindings uses the node named in its host.yml.
+func Load(dir string, bindings map[string]string) (*core.Experiment, error) {
+	exp := &core.Experiment{}
+
+	meta, err := parseFile(filepath.Join(dir, ExperimentFile))
+	if err != nil {
+		return nil, err
+	}
+	if exp.Name, err = meta.Scalar("name"); err != nil {
+		return nil, fmt.Errorf("expfile: %s: %w", ExperimentFile, err)
+	}
+	if exp.User, err = meta.Scalar("user"); err != nil {
+		return nil, fmt.Errorf("expfile: %s: %w", ExperimentFile, err)
+	}
+	if durStr, derr := meta.Scalar("duration"); derr == nil {
+		d, perr := time.ParseDuration(durStr)
+		if perr != nil {
+			return nil, fmt.Errorf("expfile: bad duration %q: %w", durStr, perr)
+		}
+		exp.Duration = d
+	}
+
+	if exp.GlobalVars, err = loadVars(filepath.Join(dir, GlobalVarsFile), true); err != nil {
+		return nil, err
+	}
+	if exp.LoopVars, err = loadLoopVars(filepath.Join(dir, LoopVarsFile)); err != nil {
+		return nil, err
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("expfile: %w", err)
+	}
+	var roles []string
+	for _, e := range entries {
+		if e.IsDir() {
+			roles = append(roles, e.Name())
+		}
+	}
+	sort.Strings(roles)
+	for _, role := range roles {
+		spec, err := loadHost(dir, role)
+		if err != nil {
+			return nil, err
+		}
+		if node, ok := bindings[role]; ok {
+			spec.Node = node
+		}
+		exp.Hosts = append(exp.Hosts, spec)
+	}
+	if err := exp.Validate(); err != nil {
+		return nil, fmt.Errorf("expfile: %s: %w", dir, err)
+	}
+	return exp, nil
+}
+
+func loadHost(dir, role string) (core.HostSpec, error) {
+	base := filepath.Join(dir, role)
+	spec := core.HostSpec{Role: role}
+
+	host, err := parseFile(filepath.Join(base, HostFile))
+	if err != nil {
+		return spec, err
+	}
+	for _, key := range host.Keys() {
+		val, _ := host.Scalar(key)
+		switch {
+		case key == "node":
+			spec.Node = val
+		case key == "image":
+			spec.Image = val
+		case strings.HasPrefix(key, bootPrefix):
+			if spec.BootParams == nil {
+				spec.BootParams = map[string]string{}
+			}
+			spec.BootParams[strings.TrimPrefix(key, bootPrefix)] = val
+		default:
+			return spec, fmt.Errorf("expfile: %s/%s: unknown key %q", role, HostFile, key)
+		}
+	}
+
+	if spec.LocalVars, err = loadVars(filepath.Join(base, LocalVarsFile), false); err != nil {
+		return spec, err
+	}
+	setup, err := os.ReadFile(filepath.Join(base, SetupFile))
+	if err != nil && !os.IsNotExist(err) {
+		return spec, fmt.Errorf("expfile: %w", err)
+	}
+	spec.Setup = string(setup)
+	measure, err := os.ReadFile(filepath.Join(base, MeasureFile))
+	if err != nil {
+		return spec, fmt.Errorf("expfile: %s: measurement script: %w", role, err)
+	}
+	spec.Measurement = string(measure)
+	return spec, nil
+}
+
+// loadVars reads a scalar-only variable file. When required is false a
+// missing file yields nil.
+func loadVars(path string, required bool) (core.Vars, error) {
+	doc, err := parseFile(path)
+	if err != nil {
+		if !required && os.IsNotExist(underlying(err)) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	m, err := doc.StringMap()
+	if err != nil {
+		return nil, fmt.Errorf("expfile: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+func loadLoopVars(path string) ([]core.LoopVar, error) {
+	doc, err := parseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.LoopVar
+	for _, key := range doc.Keys() {
+		vals, err := doc.List(key)
+		if err != nil {
+			return nil, fmt.Errorf("expfile: %s: %w", path, err)
+		}
+		out = append(out, core.LoopVar{Name: key, Values: vals})
+	}
+	return out, nil
+}
+
+type fileError struct {
+	path string
+	err  error
+}
+
+func (e *fileError) Error() string { return fmt.Sprintf("expfile: %s: %v", e.path, e.err) }
+func (e *fileError) Unwrap() error { return e.err }
+
+func underlying(err error) error {
+	if fe, ok := err.(*fileError); ok {
+		return fe.err
+	}
+	return err
+}
+
+func parseFile(path string) (*yamlite.Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &fileError{path: path, err: err}
+	}
+	doc, err := yamlite.Parse(data)
+	if err != nil {
+		return nil, &fileError{path: path, err: err}
+	}
+	return doc, nil
+}
+
+// Save writes an experiment as a directory in the published layout. The
+// directory must not already contain an experiment (files are not
+// overwritten silently).
+func Save(exp *core.Experiment, dir string) error {
+	if err := exp.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("expfile: %w", err)
+	}
+	write := func(rel string, data []byte) error {
+		path := filepath.Join(dir, rel)
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("expfile: %s already exists", path)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("expfile: %w", err)
+		}
+		return os.WriteFile(path, data, 0o644)
+	}
+
+	meta := map[string]yamlite.Value{
+		"name": {Scalar: exp.Name},
+		"user": {Scalar: exp.User},
+	}
+	keys := []string{"name", "user"}
+	if exp.Duration > 0 {
+		meta["duration"] = yamlite.Value{Scalar: exp.Duration.String()}
+		keys = append(keys, "duration")
+	}
+	if err := write(ExperimentFile, yamlite.Marshal(keys, meta)); err != nil {
+		return err
+	}
+	if err := write(GlobalVarsFile, marshalVars(exp.GlobalVars)); err != nil {
+		return err
+	}
+	loopKeys := make([]string, 0, len(exp.LoopVars))
+	loopVals := make(map[string]yamlite.Value, len(exp.LoopVars))
+	for _, lv := range exp.LoopVars {
+		loopKeys = append(loopKeys, lv.Name)
+		loopVals[lv.Name] = yamlite.Value{List: lv.Values, IsList: true}
+	}
+	if err := write(LoopVarsFile, yamlite.Marshal(loopKeys, loopVals)); err != nil {
+		return err
+	}
+
+	for _, h := range exp.Hosts {
+		hostKeys := []string{"node", "image"}
+		hostVals := map[string]yamlite.Value{
+			"node":  {Scalar: h.Node},
+			"image": {Scalar: h.Image},
+		}
+		var bootKeys []string
+		for k := range h.BootParams {
+			bootKeys = append(bootKeys, k)
+		}
+		sort.Strings(bootKeys)
+		for _, k := range bootKeys {
+			key := bootPrefix + k
+			hostKeys = append(hostKeys, key)
+			hostVals[key] = yamlite.Value{Scalar: h.BootParams[k]}
+		}
+		if err := write(filepath.Join(h.Role, HostFile), yamlite.Marshal(hostKeys, hostVals)); err != nil {
+			return err
+		}
+		if len(h.LocalVars) > 0 {
+			if err := write(filepath.Join(h.Role, LocalVarsFile), marshalVars(h.LocalVars)); err != nil {
+				return err
+			}
+		}
+		if h.Setup != "" {
+			if err := write(filepath.Join(h.Role, SetupFile), []byte(h.Setup)); err != nil {
+				return err
+			}
+		}
+		if err := write(filepath.Join(h.Role, MeasureFile), []byte(h.Measurement)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func marshalVars(vars core.Vars) []byte {
+	keys := make([]string, 0, len(vars))
+	for k := range vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make(map[string]yamlite.Value, len(vars))
+	for _, k := range keys {
+		vals[k] = yamlite.Value{Scalar: vars[k]}
+	}
+	return yamlite.Marshal(keys, vals)
+}

@@ -1,0 +1,196 @@
+package expfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pos/internal/core"
+)
+
+func sampleExperiment() *core.Experiment {
+	return &core.Experiment{
+		Name:       "linux-router",
+		User:       "user",
+		Duration:   3 * time.Hour,
+		GlobalVars: core.Vars{"runtime": "2", "dut_mac": "02:00:00:00:00:02"},
+		LoopVars: []core.LoopVar{
+			{Name: "pkt_sz", Values: []string{"64", "1500"}},
+			{Name: "pkt_rate", Values: []string{"10000", "20000"}},
+		},
+		Hosts: []core.HostSpec{
+			{
+				Role: "dut", Node: "vtartu", Image: "debian-buster@20201012T110000Z",
+				BootParams:  map[string]string{"isolcpus": "1-5", "nr_hugepages": "512"},
+				LocalVars:   core.Vars{"port_in": "eno1"},
+				Setup:       "router_enable\npos_sync setup_done 2\n",
+				Measurement: "pos_sync run_done 2\n",
+			},
+			{
+				Role: "loadgen", Node: "vriga", Image: "debian-buster@20201012T110000Z",
+				LocalVars:   core.Vars{"port_tx": "eno1"},
+				Setup:       "pos_sync setup_done 2\n",
+				Measurement: "moongen --rate $pkt_rate --size $pkt_sz\npos_sync run_done 2\n",
+			},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig := sampleExperiment()
+	if err := Save(orig, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.User != orig.User || got.Duration != orig.Duration {
+		t.Errorf("meta = %s/%s/%v", got.Name, got.User, got.Duration)
+	}
+	if len(got.GlobalVars) != 2 || got.GlobalVars["runtime"] != "2" {
+		t.Errorf("globals = %v", got.GlobalVars)
+	}
+	if len(got.LoopVars) != 2 || got.LoopVars[0].Name != "pkt_sz" || len(got.LoopVars[1].Values) != 2 {
+		t.Errorf("loop vars = %+v", got.LoopVars)
+	}
+	if len(got.Hosts) != 2 {
+		t.Fatalf("hosts = %d", len(got.Hosts))
+	}
+	// Roles load sorted: dut before loadgen.
+	dut := got.Hosts[0]
+	if dut.Role != "dut" || dut.Node != "vtartu" || dut.Image != "debian-buster@20201012T110000Z" {
+		t.Errorf("dut = %+v", dut)
+	}
+	if dut.BootParams["isolcpus"] != "1-5" || dut.BootParams["nr_hugepages"] != "512" {
+		t.Errorf("boot params = %v", dut.BootParams)
+	}
+	if dut.LocalVars["port_in"] != "eno1" {
+		t.Errorf("local vars = %v", dut.LocalVars)
+	}
+	lg := got.Hosts[1]
+	if !strings.Contains(lg.Measurement, "moongen --rate $pkt_rate") {
+		t.Errorf("measurement = %q", lg.Measurement)
+	}
+	if !strings.Contains(dut.Setup, "router_enable") {
+		t.Errorf("setup = %q", dut.Setup)
+	}
+}
+
+func TestLoadWithBindings(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(sampleExperiment(), dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, map[string]string{"dut": "node7", "loadgen": "node9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hosts[0].Node != "node7" || got.Hosts[1].Node != "node9" {
+		t.Errorf("bindings not applied: %s/%s", got.Hosts[0].Node, got.Hosts[1].Node)
+	}
+}
+
+func TestLayoutFilesOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(sampleExperiment(), dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"experiment.yml", "global-vars.yml", "loop-variables.yml",
+		"dut/host.yml", "dut/local-vars.yml", "dut/setup.sh", "dut/measurement.sh",
+		"loadgen/host.yml", "loadgen/measurement.sh",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestSaveRefusesOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(sampleExperiment(), dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(sampleExperiment(), dir); err == nil {
+		t.Error("Save overwrote an existing experiment")
+	}
+}
+
+func TestSaveValidates(t *testing.T) {
+	if err := Save(&core.Experiment{}, t.TempDir()); err == nil {
+		t.Error("Save accepted an invalid experiment")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	// Missing directory entirely.
+	if _, err := Load(filepath.Join(t.TempDir(), "nope"), nil); err == nil {
+		t.Error("loaded a missing directory")
+	}
+	// Missing measurement script.
+	dir := t.TempDir()
+	if err := Save(sampleExperiment(), dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "dut", "measurement.sh")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, nil); err == nil {
+		t.Error("loaded without a measurement script")
+	}
+}
+
+func TestLoadUnknownHostKey(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(sampleExperiment(), dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "dut", "host.yml")
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, append(data, []byte("bogus: key\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, nil); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadBadDuration(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(sampleExperiment(), dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "experiment.yml")
+	if err := os.WriteFile(path, []byte("name: x\nuser: u\nduration: tomorrow\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, nil); err == nil {
+		t.Error("accepted bad duration")
+	}
+}
+
+func TestOptionalFilesOmitted(t *testing.T) {
+	// A minimal host: no setup script, no local vars.
+	exp := &core.Experiment{
+		Name: "mini", User: "u",
+		Hosts: []core.HostSpec{{Role: "only", Node: "n1", Image: "img", Measurement: "echo hi\n"}},
+	}
+	dir := t.TempDir()
+	if err := Save(exp, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "only", "setup.sh")); !os.IsNotExist(err) {
+		t.Error("empty setup script written")
+	}
+	got, err := Load(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hosts[0].Setup != "" || got.Hosts[0].LocalVars != nil {
+		t.Errorf("host = %+v", got.Hosts[0])
+	}
+}

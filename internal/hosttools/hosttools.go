@@ -1,0 +1,298 @@
+// Package hosttools provides the pos utility tools that the controller
+// deploys onto every experiment host right after boot (Sec. 4.4): commands to
+// read and communicate variables, to synchronize hosts with barriers, and to
+// run commands with their output captured and uploaded to the controller as
+// results. The controller-side state (variable store, barriers, uploads)
+// lives in Service; Install registers the host-side commands on a node.
+package hosttools
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pos/internal/node"
+)
+
+// Variable scopes, mirroring the pos variable kinds.
+const (
+	// ScopeGlobal variables are visible to every experiment host.
+	ScopeGlobal = "global"
+	// ScopeLoop variables hold the current measurement run's loop values.
+	ScopeLoop = "loop"
+	// Local scope is the node's own name.
+)
+
+// Uploader receives captured results on the controller.
+type Uploader interface {
+	// Upload stores one result artifact produced on a node.
+	Upload(nodeName, artifact string, data []byte) error
+}
+
+// UploaderFunc adapts a function to Uploader.
+type UploaderFunc func(nodeName, artifact string, data []byte) error
+
+// Upload implements Uploader.
+func (f UploaderFunc) Upload(n, a string, d []byte) error { return f(n, a, d) }
+
+// ErrBarrierTimeout is returned when a barrier does not fill in time.
+var ErrBarrierTimeout = errors.New("hosttools: barrier timed out")
+
+// DefaultBarrierTimeout bounds barrier waits so a crashed host cannot hang
+// an experiment forever.
+const DefaultBarrierTimeout = 30 * time.Second
+
+// Service is the controller-side endpoint the host tools talk to.
+type Service struct {
+	mu       sync.Mutex
+	vars     map[string]map[string]string
+	barriers map[string]*barrier
+	uploader Uploader
+	// BarrierTimeout overrides DefaultBarrierTimeout when positive.
+	BarrierTimeout time.Duration
+}
+
+// NewService returns an empty service. uploader may be nil, in which case
+// uploads fail with a descriptive error.
+func NewService(uploader Uploader) *Service {
+	return &Service{
+		vars:     make(map[string]map[string]string),
+		barriers: make(map[string]*barrier),
+		uploader: uploader,
+	}
+}
+
+// SetUploader replaces the upload sink (e.g. per measurement run).
+func (s *Service) SetUploader(u Uploader) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.uploader = u
+}
+
+// SetVar stores a variable in a scope ("global", "loop", or a node name).
+func (s *Service) SetVar(scope, key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.vars[scope]
+	if !ok {
+		m = make(map[string]string)
+		s.vars[scope] = m
+	}
+	m[key] = value
+}
+
+// GetVar reads a variable from a scope.
+func (s *Service) GetVar(scope, key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vars[scope][key]
+	return v, ok
+}
+
+// Vars snapshots one scope.
+func (s *Service) Vars(scope string) map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.vars[scope]))
+	for k, v := range s.vars[scope] {
+		out[k] = v
+	}
+	return out
+}
+
+// ClearScope drops every variable in a scope (used between measurement runs
+// for the loop scope).
+func (s *Service) ClearScope(scope string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.vars, scope)
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu      sync.Mutex
+	need    int
+	arrived int
+	gen     int
+	release chan struct{}
+}
+
+func newBarrier(need int) *barrier {
+	return &barrier{need: need, release: make(chan struct{})}
+}
+
+func (b *barrier) wait(ctx context.Context) error {
+	b.mu.Lock()
+	b.arrived++
+	if b.arrived >= b.need {
+		b.arrived = 0
+		b.gen++
+		close(b.release)
+		b.release = make(chan struct{})
+		b.mu.Unlock()
+		return nil
+	}
+	ch := b.release
+	b.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ErrBarrierTimeout
+	}
+}
+
+// Barrier blocks until parties callers (including this one) have reached the
+// named barrier, or until the timeout elapses. All callers must agree on the
+// party count; a mismatch is reported as an error.
+func (s *Service) Barrier(ctx context.Context, name string, parties int) error {
+	if parties < 1 {
+		return fmt.Errorf("hosttools: barrier %q: parties must be >= 1", name)
+	}
+	s.mu.Lock()
+	b, ok := s.barriers[name]
+	if !ok {
+		b = newBarrier(parties)
+		s.barriers[name] = b
+	}
+	timeout := s.BarrierTimeout
+	s.mu.Unlock()
+	if b.need != parties {
+		return fmt.Errorf("hosttools: barrier %q: party count mismatch (%d vs %d)", name, parties, b.need)
+	}
+	if timeout <= 0 {
+		timeout = DefaultBarrierTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	return b.wait(ctx)
+}
+
+// Upload forwards a result artifact to the configured uploader.
+func (s *Service) Upload(nodeName, artifact string, data []byte) error {
+	s.mu.Lock()
+	u := s.uploader
+	s.mu.Unlock()
+	if u == nil {
+		return fmt.Errorf("hosttools: no uploader configured (artifact %s from %s)", artifact, nodeName)
+	}
+	return u.Upload(nodeName, artifact, data)
+}
+
+// Install deploys the pos utility commands onto a running node. It must be
+// re-run after every boot, as live-booting wipes deployed tools.
+func Install(n *node.Node, svc *Service) error {
+	cmds := map[string]node.Command{
+		// pos_set_var <scope> <key> <value>
+		"pos_set_var": func(_ context.Context, host *node.Node, args []string, stdout, _ node.ErrWriter) error {
+			if len(args) != 3 {
+				return fmt.Errorf("usage: pos_set_var <scope> <key> <value>")
+			}
+			scope := resolveScope(args[0], host.Name)
+			svc.SetVar(scope, args[1], args[2])
+			return nil
+		},
+		// pos_get_var <scope> <key> — prints the value
+		"pos_get_var": func(_ context.Context, host *node.Node, args []string, stdout, _ node.ErrWriter) error {
+			if len(args) != 2 {
+				return fmt.Errorf("usage: pos_get_var <scope> <key>")
+			}
+			scope := resolveScope(args[0], host.Name)
+			v, ok := svc.GetVar(scope, args[1])
+			if !ok {
+				return fmt.Errorf("variable %s/%s not set", scope, args[1])
+			}
+			fmt.Fprintln(writer{stdout}, v)
+			return nil
+		},
+		// pos_sync <name> <parties> — barrier across hosts
+		"pos_sync": func(ctx context.Context, host *node.Node, args []string, stdout, _ node.ErrWriter) error {
+			if len(args) != 2 {
+				return fmt.Errorf("usage: pos_sync <name> <parties>")
+			}
+			parties, err := strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("pos_sync: bad party count %q", args[1])
+			}
+			if err := svc.Barrier(ctx, args[0], parties); err != nil {
+				return err
+			}
+			fmt.Fprintf(writer{stdout}, "synced %s\n", args[0])
+			return nil
+		},
+		// pos_upload <artifact> <content...> — upload a result
+		"pos_upload": func(_ context.Context, host *node.Node, args []string, _, _ node.ErrWriter) error {
+			if len(args) < 1 {
+				return fmt.Errorf("usage: pos_upload <artifact> [content...]")
+			}
+			return svc.Upload(host.Name, args[0], []byte(strings.Join(args[1:], " ")))
+		},
+		// pos_upload_file <artifact> <path> — upload a node file as result
+		"pos_upload_file": func(_ context.Context, host *node.Node, args []string, _, _ node.ErrWriter) error {
+			if len(args) != 2 {
+				return fmt.Errorf("usage: pos_upload_file <artifact> <path>")
+			}
+			data, err := host.ReadFile(args[1])
+			if err != nil {
+				return err
+			}
+			return svc.Upload(host.Name, args[0], data)
+		},
+		// pos_run <artifact> <command> [args...] — run a command, echo its
+		// output, and upload the capture as a result artifact.
+		"pos_run": func(ctx context.Context, host *node.Node, args []string, stdout, stderr node.ErrWriter) error {
+			if len(args) < 2 {
+				return fmt.Errorf("usage: pos_run <artifact> <command> [args...]")
+			}
+			inner, ok := host.LookupCommand(args[1])
+			if !ok {
+				return fmt.Errorf("pos_run: %s: command not found", args[1])
+			}
+			var capture strings.Builder
+			tee := teeWriter{a: &capture, b: stdout}
+			runErr := inner(ctx, host, args[2:], tee, tee)
+			if upErr := svc.Upload(host.Name, args[0], []byte(capture.String())); upErr != nil {
+				return upErr
+			}
+			return runErr
+		},
+	}
+	for name, cmd := range cmds {
+		if err := n.RegisterCommand(name, cmd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveScope maps the script-facing scope word to a store scope.
+func resolveScope(word, nodeName string) string {
+	switch word {
+	case ScopeGlobal, ScopeLoop:
+		return word
+	case "local":
+		return nodeName
+	default:
+		return word
+	}
+}
+
+// writer adapts node.ErrWriter to io.Writer for fmt.
+type writer struct{ w node.ErrWriter }
+
+func (w writer) Write(p []byte) (int, error) { return w.w.Write(p) }
+
+// teeWriter duplicates writes to two sinks.
+type teeWriter struct {
+	a *strings.Builder
+	b node.ErrWriter
+}
+
+func (t teeWriter) Write(p []byte) (int, error) {
+	t.a.Write(p)
+	return t.b.Write(p)
+}

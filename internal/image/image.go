@@ -1,0 +1,148 @@
+// Package image provides the live-boot image store. pos enforces
+// repeatability by booting every experiment host from a read-only live image
+// with pinned software versions (built via the Debian snapshot archive), so
+// each boot starts from a byte-identical, documented state. This store keeps
+// versioned images; booting a node copies the image content into the node's
+// ephemeral filesystem and discards whatever the previous experiment left
+// behind.
+package image
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Image is an immutable live-boot image.
+type Image struct {
+	// Name is the distribution name, e.g. "debian-buster".
+	Name string
+	// Version pins the snapshot, e.g. "20201012T110000Z" — the Debian
+	// snapshot timestamp convention.
+	Version string
+	// Kernel is the kernel version booted by this image.
+	Kernel string
+	// Packages maps package name to pinned version.
+	Packages map[string]string
+	// Files is the initial filesystem content.
+	Files map[string][]byte
+}
+
+// Ref identifies an image.
+func (i Image) Ref() string { return i.Name + "@" + i.Version }
+
+// Clone returns a deep copy so callers cannot mutate the stored image.
+func (i Image) Clone() Image {
+	out := Image{Name: i.Name, Version: i.Version, Kernel: i.Kernel}
+	if i.Packages != nil {
+		out.Packages = make(map[string]string, len(i.Packages))
+		for k, v := range i.Packages {
+			out.Packages[k] = v
+		}
+	}
+	if i.Files != nil {
+		out.Files = make(map[string][]byte, len(i.Files))
+		for k, v := range i.Files {
+			out.Files[k] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}
+
+// Store is a concurrency-safe image repository.
+type Store struct {
+	mu     sync.RWMutex
+	images map[string]Image // key: name@version
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{images: make(map[string]Image)}
+}
+
+// Add registers an image. Re-registering an existing name@version fails:
+// published images are immutable, otherwise pinning would be meaningless.
+func (s *Store) Add(img Image) error {
+	if img.Name == "" || img.Version == "" {
+		return fmt.Errorf("image: name and version required, got %q@%q", img.Name, img.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := img.Ref()
+	if _, exists := s.images[key]; exists {
+		return fmt.Errorf("image: %s already exists and images are immutable", key)
+	}
+	s.images[key] = img.Clone()
+	return nil
+}
+
+// Get returns the exact name@version image.
+func (s *Store) Get(name, version string) (Image, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	img, ok := s.images[name+"@"+version]
+	if !ok {
+		return Image{}, fmt.Errorf("image: %s@%s not found", name, version)
+	}
+	return img.Clone(), nil
+}
+
+// Latest returns the lexically newest version of name — snapshot timestamps
+// sort correctly as strings.
+func (s *Store) Latest(name string) (Image, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	best := ""
+	for _, img := range s.images {
+		if img.Name == name && img.Version > best {
+			best = img.Version
+		}
+	}
+	if best == "" {
+		return Image{}, fmt.Errorf("image: no versions of %s", name)
+	}
+	return s.images[name+"@"+best].Clone(), nil
+}
+
+// Resolve parses "name" or "name@version" and returns the image, taking the
+// latest version when unpinned.
+func (s *Store) Resolve(ref string) (Image, error) {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == '@' {
+			return s.Get(ref[:i], ref[i+1:])
+		}
+	}
+	return s.Latest(ref)
+}
+
+// List returns all image refs, sorted.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := make([]string, 0, len(s.images))
+	for k := range s.images {
+		refs = append(refs, k)
+	}
+	sort.Strings(refs)
+	return refs
+}
+
+// DefaultDebianBuster is the image used by the paper's case study: Debian
+// Buster with kernel 4.19, pinned to the snapshot the published results used.
+func DefaultDebianBuster() Image {
+	return Image{
+		Name:    "debian-buster",
+		Version: "20201012T110000Z",
+		Kernel:  "4.19.0-11-amd64",
+		Packages: map[string]string{
+			"linux-image-4.19": "4.19.146-1",
+			"iproute2":         "4.20.0-2",
+			"moongen":          "2020.07",
+			"python3":          "3.7.3-1",
+		},
+		Files: map[string][]byte{
+			"/etc/os-release": []byte("PRETTY_NAME=\"Debian GNU/Linux 10 (buster)\"\n"),
+			"/etc/hostname":   []byte("live\n"),
+		},
+	}
+}

@@ -1,0 +1,120 @@
+package image
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndGet(t *testing.T) {
+	s := NewStore()
+	img := Image{Name: "debian", Version: "1", Kernel: "4.19", Files: map[string][]byte{"/a": []byte("x")}}
+	if err := s.Add(img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("debian", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kernel != "4.19" || string(got.Files["/a"]) != "x" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestImagesAreImmutable(t *testing.T) {
+	s := NewStore()
+	img := Image{Name: "debian", Version: "1", Files: map[string][]byte{"/a": []byte("x")}}
+	if err := s.Add(img); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding the same name@version must fail.
+	if err := s.Add(img); err == nil {
+		t.Error("Add allowed overwriting a published image")
+	}
+	// Mutating the original or a fetched copy must not affect the store.
+	img.Files["/a"][0] = 'y'
+	got, _ := s.Get("debian", "1")
+	if string(got.Files["/a"]) != "x" {
+		t.Error("store content changed via caller mutation")
+	}
+	got.Files["/a"][0] = 'z'
+	again, _ := s.Get("debian", "1")
+	if string(again.Files["/a"]) != "x" {
+		t.Error("store content changed via fetched-copy mutation")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Add(Image{Name: "", Version: "1"}); err == nil {
+		t.Error("accepted empty name")
+	}
+	if err := s.Add(Image{Name: "x", Version: ""}); err == nil {
+		t.Error("accepted empty version")
+	}
+}
+
+func TestLatestPicksNewestSnapshot(t *testing.T) {
+	s := NewStore()
+	for _, v := range []string{"20201012T110000Z", "20210101T000000Z", "20200101T000000Z"} {
+		if err := s.Add(Image{Name: "debian", Version: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Latest("debian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != "20210101T000000Z" {
+		t.Errorf("Latest = %s", got.Version)
+	}
+	if _, err := s.Latest("missing"); err == nil {
+		t.Error("Latest found a missing image")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := NewStore()
+	s.Add(Image{Name: "debian", Version: "1"})
+	s.Add(Image{Name: "debian", Version: "2"})
+	pinned, err := s.Resolve("debian@1")
+	if err != nil || pinned.Version != "1" {
+		t.Errorf("Resolve pinned = %+v, %v", pinned, err)
+	}
+	latest, err := s.Resolve("debian")
+	if err != nil || latest.Version != "2" {
+		t.Errorf("Resolve latest = %+v, %v", latest, err)
+	}
+	if _, err := s.Resolve("debian@9"); err == nil {
+		t.Error("Resolve found a missing version")
+	}
+}
+
+func TestList(t *testing.T) {
+	s := NewStore()
+	s.Add(Image{Name: "b", Version: "1"})
+	s.Add(Image{Name: "a", Version: "1"})
+	got := s.List()
+	if len(got) != 2 || got[0] != "a@1" || got[1] != "b@1" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestRef(t *testing.T) {
+	if r := (Image{Name: "x", Version: "y"}).Ref(); r != "x@y" {
+		t.Errorf("Ref = %q", r)
+	}
+}
+
+func TestDefaultDebianBuster(t *testing.T) {
+	img := DefaultDebianBuster()
+	if !strings.HasPrefix(img.Kernel, "4.19") {
+		t.Errorf("case-study kernel = %s, want 4.19.x (paper Sec. 5)", img.Kernel)
+	}
+	if img.Version == "" || img.Packages["moongen"] == "" {
+		t.Errorf("incomplete default image: %+v", img)
+	}
+	s := NewStore()
+	if err := s.Add(img); err != nil {
+		t.Fatal(err)
+	}
+}

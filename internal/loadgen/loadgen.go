@@ -1,0 +1,345 @@
+// Package loadgen emulates the paper's load generator, MoonGen: a scriptable
+// traffic source that synthesizes packets at a configured rate at runtime or
+// replays recorded pcap traffic, measures TX/RX throughput per second, and —
+// where NIC hardware timestamping is available end to end — samples one-way
+// forwarding latency. Its report format mirrors MoonGen's statistics output
+// closely enough that the moonparse package plays the role of the paper's
+// "parser for MoonGen's output".
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"pos/internal/netem"
+	"pos/internal/packet"
+	"pos/internal/pcap"
+	"pos/internal/sim"
+)
+
+// Generator is a dual-port traffic source/sink: it transmits on port TX and
+// counts what returns on port RX, exactly like the case study's MoonGen host
+// whose two NIC ports are wired to the DuT's two ports.
+type Generator struct {
+	Name string
+
+	engine *sim.Engine
+	tx     *netem.Port
+	rx     *netem.Port
+
+	// run state
+	active        bool
+	runEnd        sim.Time
+	rxPackets     int64
+	rxBytes       int64
+	latencies     []sim.Duration
+	latencyOK     bool
+	perSecondTx   []float64
+	perSecondRx   []float64
+	curSecTx      int64
+	curSecRx      int64
+	latencyCap    int
+	sampleCounter int
+	sampleEvery   int
+
+	// profile models the generator implementation's fidelity; noise
+	// drives its burst and timestamp jitter.
+	profile Profile
+	noise   *sim.Rand
+}
+
+// New returns a generator whose ports are named <name>.tx / <name>.rx.
+// hardwareTimestamps marks the NIC as latency-measurement capable (true on
+// the bare-metal testbed, false on vpos).
+func New(e *sim.Engine, name string, hardwareTimestamps bool) *Generator {
+	g := &Generator{Name: name, engine: e}
+	g.tx = netem.NewPort(name+".tx", nil)
+	g.rx = netem.NewPort(name+".rx", g)
+	g.tx.HardwareTimestamps = hardwareTimestamps
+	g.rx.HardwareTimestamps = hardwareTimestamps
+	// The default profile is an idealized MoonGen: millisecond batching,
+	// no burst jitter, timestamping as wired. NewWithProfile installs the
+	// fidelity models of concrete generator implementations.
+	g.profile = Profile{Name: "moongen", TickInterval: DefaultTickInterval, HardwareTimestamps: hardwareTimestamps}
+	g.noise = sim.NewRand(1)
+	return g
+}
+
+// TxPort returns the transmit port to wire to the DuT ingress.
+func (g *Generator) TxPort() *netem.Port { return g.tx }
+
+// RxPort returns the receive port to wire to the DuT egress.
+func (g *Generator) RxPort() *netem.Port { return g.rx }
+
+// RunConfig describes one measurement run.
+type RunConfig struct {
+	// Template is the synthetic frame prototype (ignored when Replay is
+	// set).
+	Template packet.UDPTemplate
+	// Replay, when non-empty, replays these captured frames round-robin
+	// instead of synthesizing from Template.
+	Replay []pcap.Packet
+	// RatePPS is the offered load in packets per second.
+	RatePPS float64
+	// Duration is the measurement window length.
+	Duration sim.Duration
+	// TickInterval is the batching granularity; 0 defaults to 1 ms.
+	TickInterval sim.Duration
+	// MaxLatencySamples bounds memory for latency sampling; 0 defaults
+	// to 100000.
+	MaxLatencySamples int
+	// DrainGrace extends RX accounting past the transmit window so
+	// packets still in the forwarding pipeline when the generator stops
+	// are not misreported as loss (MoonGen keeps its RX counters running
+	// after TX ends for the same reason). 0 defaults to 5 ms; negative
+	// disables the grace entirely.
+	DrainGrace sim.Duration
+	// LatencySampleEvery samples one batch in N; 0 defaults to 1.
+	LatencySampleEvery int
+}
+
+// DefaultTickInterval is the batch granularity of the generator.
+const DefaultTickInterval = sim.Millisecond
+
+// DefaultDrainGrace is how long RX counters keep running after the transmit
+// window ends.
+const DefaultDrainGrace = 5 * sim.Millisecond
+
+// RunResult holds the outcome of one measurement run — the generator-side
+// ground truth the evaluation phase consumes.
+type RunResult struct {
+	// FrameSize is the on-wire frame size used.
+	FrameSize int
+	// OfferedPPS is the configured rate.
+	OfferedPPS float64
+	// Duration is the configured measurement window.
+	Duration sim.Duration
+
+	// TxPackets/TxBytes were handed to the NIC; TxDropped were refused by
+	// the wire (line-rate excess).
+	TxPackets, TxBytes, TxDropped int64
+	// RxPackets/RxBytes arrived back within the window.
+	RxPackets, RxBytes int64
+
+	// TxRatePPS and RxRatePPS are window-average rates.
+	TxRatePPS, RxRatePPS float64
+	// RxMbps is the RX goodput at the Ethernet layer.
+	RxMbps float64
+	// PerSecondTx and PerSecondRx hold per-second rate samples.
+	PerSecondTx, PerSecondRx []float64
+
+	// LatencyAvailable reports whether hardware timestamping held end to
+	// end; when false, Latencies is empty (the vpos situation).
+	LatencyAvailable bool
+	// Latencies are sampled one-way delays.
+	Latencies []sim.Duration
+}
+
+// LossRatio returns the fraction of transmitted packets that never returned.
+func (r RunResult) LossRatio() float64 {
+	if r.TxPackets == 0 {
+		return 0
+	}
+	return 1 - float64(r.RxPackets)/float64(r.TxPackets)
+}
+
+// LatencyStats summarizes the latency samples (ns): average, min, max.
+func (r RunResult) LatencyStats() (avg, min, max float64) {
+	if len(r.Latencies) == 0 {
+		return 0, 0, 0
+	}
+	min = math.MaxFloat64
+	for _, d := range r.Latencies {
+		f := float64(d)
+		avg += f
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	avg /= float64(len(r.Latencies))
+	return avg, min, max
+}
+
+// Run executes one measurement run to completion on the generator's engine
+// and returns the measured result. It drives the engine itself; the caller
+// must not be inside an engine callback.
+func (g *Generator) Run(cfg RunConfig) (RunResult, error) {
+	if g.active {
+		return RunResult{}, fmt.Errorf("loadgen %s: run already active", g.Name)
+	}
+	if cfg.RatePPS <= 0 {
+		return RunResult{}, fmt.Errorf("loadgen %s: non-positive rate %v", g.Name, cfg.RatePPS)
+	}
+	if cfg.Duration <= 0 {
+		return RunResult{}, fmt.Errorf("loadgen %s: non-positive duration %v", g.Name, cfg.Duration)
+	}
+	tick := cfg.TickInterval
+	if tick <= 0 {
+		tick = g.profile.TickInterval
+	}
+	if tick <= 0 {
+		tick = DefaultTickInterval
+	}
+	if tick > cfg.Duration {
+		tick = cfg.Duration
+	}
+
+	var frames [][]byte
+	if len(cfg.Replay) > 0 {
+		for _, p := range cfg.Replay {
+			frames = append(frames, p.Data)
+		}
+	} else {
+		data, err := cfg.Template.Build()
+		if err != nil {
+			return RunResult{}, fmt.Errorf("loadgen %s: %w", g.Name, err)
+		}
+		frames = [][]byte{data}
+	}
+
+	g.active = true
+	start := g.engine.Now()
+	grace := cfg.DrainGrace
+	if grace == 0 {
+		grace = DefaultDrainGrace
+	}
+	if grace < 0 {
+		grace = 0
+	}
+	g.runEnd = start.Add(cfg.Duration + grace)
+	g.rxPackets, g.rxBytes = 0, 0
+	g.latencies = g.latencies[:0]
+	g.latencyOK = g.tx.HardwareTimestamps && g.rx.HardwareTimestamps
+	g.perSecondTx, g.perSecondRx = nil, nil
+	g.curSecTx, g.curSecRx = 0, 0
+	g.latencyCap = cfg.MaxLatencySamples
+	if g.latencyCap <= 0 {
+		g.latencyCap = 100000
+	}
+	g.sampleEvery = cfg.LatencySampleEvery
+	if g.sampleEvery <= 0 {
+		g.sampleEvery = 1
+	}
+	g.sampleCounter = 0
+
+	txBefore := g.tx.Stats()
+
+	// Schedule transmit ticks with fractional-packet carry so any rate is
+	// hit exactly on average.
+	var carry float64
+	frameIdx := 0
+	perTickExact := cfg.RatePPS * tick.Seconds()
+	var secMark sim.Time = start.Add(sim.Second)
+	for at := sim.Duration(0); at < cfg.Duration; at += tick {
+		g.engine.At(start.Add(at), func(now sim.Time) {
+			emit := perTickExact
+			if g.profile.BurstJitter > 0 {
+				// Kernel scheduling makes sockets-based
+				// generators bursty: per-tick emission varies,
+				// long-run rate is preserved by the carry.
+				f := 1 + g.profile.BurstJitter*g.noise.NormFloat64()
+				if f < 0 {
+					f = 0
+				}
+				emit *= f
+			}
+			carry += emit
+			n := int64(carry)
+			carry -= float64(n)
+			if n == 0 {
+				return
+			}
+			for now >= secMark {
+				g.rotateSecond()
+				secMark = secMark.Add(sim.Second)
+			}
+			frame := frames[frameIdx]
+			frameIdx = (frameIdx + 1) % len(frames)
+			g.tx.Send(now, netem.Batch{
+				Data:        frame,
+				FrameSize:   len(frame),
+				Count:       n,
+				SentAt:      now,
+				Timestamped: true,
+			})
+			g.curSecTx += n
+		})
+	}
+
+	// Let in-flight traffic land: run the engine until quiescent. RX
+	// accounting in HandleBatch ignores anything after runEnd.
+	if err := g.engine.Run(); err != nil {
+		g.active = false
+		return RunResult{}, err
+	}
+	g.rotateSecond()
+	g.active = false
+
+	txAfter := g.tx.Stats()
+	frameSize := len(frames[0])
+	res := RunResult{
+		FrameSize:        frameSize,
+		OfferedPPS:       cfg.RatePPS,
+		Duration:         cfg.Duration,
+		TxPackets:        txAfter.TxPackets - txBefore.TxPackets,
+		TxBytes:          txAfter.TxBytes - txBefore.TxBytes,
+		TxDropped:        txAfter.TxDropped - txBefore.TxDropped,
+		RxPackets:        g.rxPackets,
+		RxBytes:          g.rxBytes,
+		PerSecondTx:      append([]float64(nil), g.perSecondTx...),
+		PerSecondRx:      append([]float64(nil), g.perSecondRx...),
+		LatencyAvailable: len(g.latencies) > 0,
+		Latencies:        append([]sim.Duration(nil), g.latencies...),
+	}
+	secs := cfg.Duration.Seconds()
+	res.TxRatePPS = float64(res.TxPackets) / secs
+	res.RxRatePPS = float64(res.RxPackets) / secs
+	res.RxMbps = float64(res.RxBytes) * 8 / secs / 1e6
+	if !res.LatencyAvailable {
+		res.Latencies = nil
+	}
+	return res, nil
+}
+
+func (g *Generator) rotateSecond() {
+	g.perSecondTx = append(g.perSecondTx, float64(g.curSecTx))
+	g.perSecondRx = append(g.perSecondRx, float64(g.curSecRx))
+	g.curSecTx, g.curSecRx = 0, 0
+}
+
+// HandleBatch implements netem.Device for the RX port.
+func (g *Generator) HandleBatch(now sim.Time, in netem.Batch, rx *netem.Port) {
+	if !g.active || now > g.runEnd {
+		return
+	}
+	g.rxPackets += in.Count
+	g.rxBytes += in.Bytes()
+	g.curSecRx += in.Count
+	if !in.Timestamped {
+		// A hop without hardware timestamps breaks hardware latency
+		// measurement for the whole run — the paper's vpos limitation.
+		g.latencyOK = false
+	}
+	hwSample := g.latencyOK && in.Timestamped
+	swSample := !hwSample && g.profile.SoftwareTimestamps
+	if !hwSample && !swSample {
+		return
+	}
+	g.sampleCounter++
+	if g.sampleCounter%g.sampleEvery != 0 || len(g.latencies) >= g.latencyCap {
+		return
+	}
+	d := in.Delay
+	if swSample {
+		// Host-clock timestamping: the true delay plus scheduling and
+		// clock-read noise, never negative.
+		d += sim.Duration(float64(g.profile.TimestampNoise) * g.noise.NormFloat64())
+		if d < 0 {
+			d = 0
+		}
+	}
+	g.latencies = append(g.latencies, d)
+}

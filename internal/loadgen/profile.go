@@ -1,0 +1,87 @@
+package loadgen
+
+import "pos/internal/sim"
+
+// Profile models the fidelity of a traffic-generator implementation. The
+// paper's load-generator discussion (Sec. 4.2) distinguishes three classes,
+// citing the "Mind the Gap" comparison of packet generators:
+//
+//   - MoonGen: DPDK-based, fine-grained software rate control and NIC
+//     hardware timestamps — "precision and accuracy … superior to other
+//     software packet generators".
+//   - OSNT: a NetFPGA hardware generator — cycle-exact rates and
+//     hardware timestamping.
+//   - iPerf: a plain sockets-based generator on an off-the-shelf host —
+//     kernel batching makes emission bursty, and only noisy software
+//     timestamps are available for latency.
+//
+// Profiles let the same Generator reproduce all three, so the testbed can
+// quantify the gap (see BenchmarkMindTheGap).
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// TickInterval is the emission granularity: how often the generator
+	// wakes to transmit a batch.
+	TickInterval sim.Duration
+	// BurstJitter is the relative standard deviation of per-tick emission
+	// counts (kernel scheduling noise); the long-run average rate is
+	// preserved via the carry accumulator.
+	BurstJitter float64
+	// HardwareTimestamps marks NIC hardware timestamping capability.
+	HardwareTimestamps bool
+	// SoftwareTimestamps enables host-clock latency sampling when
+	// hardware timestamps are unavailable end to end; samples carry
+	// TimestampNoise.
+	SoftwareTimestamps bool
+	// TimestampNoise is the standard deviation of software-timestamp
+	// error added to each latency sample.
+	TimestampNoise sim.Duration
+	// Seed drives the profile's noise sources.
+	Seed uint64
+}
+
+// MoonGenProfile models the paper's default load generator.
+func MoonGenProfile() Profile {
+	return Profile{
+		Name:               "moongen",
+		TickInterval:       sim.Millisecond,
+		BurstJitter:        0.01,
+		HardwareTimestamps: true,
+		Seed:               1,
+	}
+}
+
+// OSNTProfile models the NetFPGA-based hardware generator: finer emission
+// granularity, zero burst jitter, hardware timestamps.
+func OSNTProfile() Profile {
+	return Profile{
+		Name:               "osnt",
+		TickInterval:       100 * sim.Microsecond,
+		BurstJitter:        0,
+		HardwareTimestamps: true,
+		Seed:               1,
+	}
+}
+
+// IPerfProfile models a sockets-based generator: coarse, bursty emission and
+// noisy software timestamps only.
+func IPerfProfile() Profile {
+	return Profile{
+		Name:               "iperf",
+		TickInterval:       4 * sim.Millisecond,
+		BurstJitter:        0.25,
+		HardwareTimestamps: false,
+		SoftwareTimestamps: true,
+		TimestampNoise:     30 * sim.Microsecond,
+		Seed:               1,
+	}
+}
+
+// NewWithProfile returns a generator whose emission behaviour follows the
+// profile.
+func NewWithProfile(e *sim.Engine, name string, p Profile) *Generator {
+	g := New(e, name, p.HardwareTimestamps)
+	g.profile = p
+	g.noise = sim.NewRand(p.Seed)
+	return g
+}

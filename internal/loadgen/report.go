@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// WriteReport emits a MoonGen-style statistics log for one run. The format
+// follows MoonGen's throughput counters closely — per-second device lines
+// followed by totals — so downstream tooling written against real MoonGen
+// logs parses these reports unchanged:
+//
+//	[Device: id=0] TX: 0.10 Mpps, 51.20 Mbit/s (67.20 Mbit/s with framing)
+//	[Device: id=1] RX: 0.10 Mpps, 51.20 Mbit/s (67.20 Mbit/s with framing)
+//	[Device: id=0] TX: 0.10 Mpps (StdDev 0.00), total 1000000 packets, 64000000 bytes
+//	[Device: id=1] RX: 0.10 Mpps (StdDev 0.00), total 1000000 packets, 64000000 bytes
+//	[Latency] avg: 12345 ns, min: 9000 ns, max: 40000 ns, samples: 1000
+func (r RunResult) WriteReport(w io.Writer) error {
+	frameBits := float64(r.FrameSize) * 8
+	framedBits := float64(r.FrameSize+20) * 8
+	for i := range r.PerSecondTx {
+		tx := r.PerSecondTx[i]
+		if _, err := fmt.Fprintf(w, "[Device: id=0] TX: %.4f Mpps, %.2f Mbit/s (%.2f Mbit/s with framing)\n",
+			tx/1e6, tx*frameBits/1e6, tx*framedBits/1e6); err != nil {
+			return err
+		}
+		var rx float64
+		if i < len(r.PerSecondRx) {
+			rx = r.PerSecondRx[i]
+		}
+		if _, err := fmt.Fprintf(w, "[Device: id=1] RX: %.4f Mpps, %.2f Mbit/s (%.2f Mbit/s with framing)\n",
+			rx/1e6, rx*frameBits/1e6, rx*framedBits/1e6); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "[Device: id=0] TX: %.4f Mpps (StdDev %.4f), total %d packets, %d bytes\n",
+		r.TxRatePPS/1e6, stddev(r.PerSecondTx)/1e6, r.TxPackets, r.TxBytes); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "[Device: id=1] RX: %.4f Mpps (StdDev %.4f), total %d packets, %d bytes\n",
+		r.RxRatePPS/1e6, stddev(r.PerSecondRx)/1e6, r.RxPackets, r.RxBytes); err != nil {
+		return err
+	}
+	if r.LatencyAvailable {
+		avg, min, max := r.LatencyStats()
+		if _, err := fmt.Fprintf(w, "[Latency] avg: %.0f ns, min: %.0f ns, max: %.0f ns, samples: %d\n",
+			avg, min, max, len(r.Latencies)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLatencyCSV emits the raw latency samples in MoonGen's histogram CSV
+// convention (one nanosecond value per line, sorted).
+func (r RunResult) WriteLatencyCSV(w io.Writer) error {
+	sorted := make([]float64, len(r.Latencies))
+	for i, d := range r.Latencies {
+		sorted[i] = float64(d)
+	}
+	sort.Float64s(sorted)
+	for _, v := range sorted {
+		if _, err := fmt.Fprintf(w, "%.0f\n", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		sq += d * d
+	}
+	variance := sq / float64(len(xs)-1)
+	// Round-off can push tiny variances negative.
+	if variance < 0 {
+		return 0
+	}
+	return math.Sqrt(variance)
+}

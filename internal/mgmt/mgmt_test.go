@@ -1,0 +1,139 @@
+package mgmt
+
+import (
+	"testing"
+
+	"pos/internal/image"
+	"pos/internal/node"
+)
+
+func setup(t *testing.T) (*node.Node, *Client) {
+	t.Helper()
+	store := image.NewStore()
+	if err := store.Add(image.DefaultDebianBuster()); err != nil {
+		t.Fatal(err)
+	}
+	n := node.New("vtartu", store)
+	n.BootDelay = 0
+	srv, err := Serve(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return n, c
+}
+
+func TestStatusOfPoweredOffNode(t *testing.T) {
+	_, c := setup(t)
+	state, boots, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != string(node.StateOff) || boots != 0 {
+		t.Errorf("status = %s/%d", state, boots)
+	}
+}
+
+func TestBootCycleOverBMC(t *testing.T) {
+	n, c := setup(t)
+	if err := c.SetBoot("debian-buster", map[string]string{"nr_hugepages": "512"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	state, boots, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != string(node.StateRunning) || boots != 1 {
+		t.Errorf("status = %s/%d", state, boots)
+	}
+	if v, _ := n.Getenv("BOOT_nr_hugepages"); v != "512" {
+		t.Errorf("boot param not applied: %q", v)
+	}
+	if err := c.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+	state, _, _ = c.Status()
+	if state != string(node.StateOff) {
+		t.Errorf("state = %s after PowerOff", state)
+	}
+}
+
+func TestSetBootRejectsUnknownImage(t *testing.T) {
+	_, c := setup(t)
+	if err := c.SetBoot("nonexistent-image", nil); err == nil {
+		t.Error("SetBoot accepted unknown image over BMC")
+	}
+}
+
+func TestPowerOnWithoutImageFails(t *testing.T) {
+	_, c := setup(t)
+	if err := c.PowerOn(); err == nil {
+		t.Error("PowerOn without image succeeded")
+	}
+}
+
+func TestOutOfBandRecoveryOfWedgedNode(t *testing.T) {
+	// The core R3 scenario: OS crashes, in-band access is gone, the BMC
+	// still answers and a reset recovers the node.
+	n, c := setup(t)
+	if err := c.SetBoot("debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	n.Wedge()
+	state, _, err := c.Status()
+	if err != nil {
+		t.Fatalf("BMC unreachable on wedged node: %v", err)
+	}
+	if state != string(node.StateWedged) {
+		t.Fatalf("state = %s, want wedged", state)
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatalf("out-of-band reset failed: %v", err)
+	}
+	state, boots, _ := c.Status()
+	if state != string(node.StateRunning) || boots != 2 {
+		t.Errorf("after reset: %s/%d", state, boots)
+	}
+}
+
+func TestResetAfterInjectedFailureRetries(t *testing.T) {
+	n, c := setup(t)
+	if err := c.SetBoot("debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.InjectBootFailures(1)
+	if err := c.PowerOn(); err == nil {
+		t.Fatal("injected failure did not surface over BMC")
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	state, _, _ := c.Status()
+	if state != string(node.StateRunning) {
+		t.Errorf("state = %s", state)
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	_, c := setup(t)
+	if _, err := c.call(Request{Op: "explode"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("Dial to dead port succeeded")
+	}
+}

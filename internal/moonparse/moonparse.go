@@ -1,0 +1,193 @@
+// Package moonparse parses MoonGen-style statistics logs — the textual
+// output the loadgen package emits and the format the pos paper's plotting
+// scripts consume ("We integrated a parser for MoonGen's output into our
+// plotting scripts"). It extracts per-second throughput samples, run totals,
+// and latency summaries, tolerating interleaved unrelated log lines the way
+// a real experiment log requires.
+package moonparse
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Direction distinguishes transmit and receive counters.
+type Direction string
+
+// Directions found in MoonGen logs.
+const (
+	TX Direction = "TX"
+	RX Direction = "RX"
+)
+
+// Sample is one per-second throughput line.
+type Sample struct {
+	Device    int
+	Direction Direction
+	Mpps      float64
+	Mbps      float64
+	// MbpsFramed includes preamble/IFG framing overhead.
+	MbpsFramed float64
+}
+
+// Total is a run-total line.
+type Total struct {
+	Device    int
+	Direction Direction
+	Mpps      float64
+	StdDev    float64
+	Packets   int64
+	Bytes     int64
+}
+
+// Latency is the latency summary line.
+type Latency struct {
+	AvgNs, MinNs, MaxNs float64
+	Samples             int64
+}
+
+// Report is a fully parsed MoonGen log.
+type Report struct {
+	Samples []Sample
+	Totals  []Total
+	// Latency is nil when the log carries no latency line (e.g. vpos).
+	Latency *Latency
+}
+
+// ErrNoTotals marks logs that contain no total lines at all — almost
+// certainly not a MoonGen log.
+var ErrNoTotals = errors.New("moonparse: no total lines found")
+
+var (
+	sampleRe = regexp.MustCompile(`^\[Device: id=(\d+)\] (TX|RX): ([\d.]+) Mpps, ([\d.]+) Mbit/s \(([\d.]+) Mbit/s with framing\)`)
+	totalRe  = regexp.MustCompile(`^\[Device: id=(\d+)\] (TX|RX): ([\d.]+) Mpps \(StdDev ([\d.]+)\), total (\d+) packets, (\d+) bytes`)
+	latRe    = regexp.MustCompile(`^\[Latency\] avg: ([\d.]+) ns, min: ([\d.]+) ns, max: ([\d.]+) ns, samples: (\d+)`)
+)
+
+// Parse reads a MoonGen log from r.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case totalRe.MatchString(line):
+			m := totalRe.FindStringSubmatch(line)
+			t := Total{
+				Device:    atoi(m[1]),
+				Direction: Direction(m[2]),
+				Mpps:      atof(m[3]),
+				StdDev:    atof(m[4]),
+				Packets:   atoi64(m[5]),
+				Bytes:     atoi64(m[6]),
+			}
+			rep.Totals = append(rep.Totals, t)
+		case sampleRe.MatchString(line):
+			m := sampleRe.FindStringSubmatch(line)
+			s := Sample{
+				Device:     atoi(m[1]),
+				Direction:  Direction(m[2]),
+				Mpps:       atof(m[3]),
+				Mbps:       atof(m[4]),
+				MbpsFramed: atof(m[5]),
+			}
+			rep.Samples = append(rep.Samples, s)
+		case latRe.MatchString(line):
+			m := latRe.FindStringSubmatch(line)
+			rep.Latency = &Latency{
+				AvgNs:   atof(m[1]),
+				MinNs:   atof(m[2]),
+				MaxNs:   atof(m[3]),
+				Samples: atoi64(m[4]),
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("moonparse: line %d: %w", lineNo, err)
+	}
+	if len(rep.Totals) == 0 {
+		return nil, ErrNoTotals
+	}
+	return rep, nil
+}
+
+// ParseString is Parse over an in-memory log.
+func ParseString(s string) (*Report, error) { return Parse(strings.NewReader(s)) }
+
+// Total returns the run total for a direction, preferring the conventional
+// device (0 for TX, 1 for RX) and falling back to the first match.
+func (r *Report) Total(dir Direction) (Total, bool) {
+	wantDev := 0
+	if dir == RX {
+		wantDev = 1
+	}
+	var fallback *Total
+	for i := range r.Totals {
+		t := &r.Totals[i]
+		if t.Direction != dir {
+			continue
+		}
+		if t.Device == wantDev {
+			return *t, true
+		}
+		if fallback == nil {
+			fallback = t
+		}
+	}
+	if fallback != nil {
+		return *fallback, true
+	}
+	return Total{}, false
+}
+
+// RxMpps is a convenience accessor for the received throughput total.
+func (r *Report) RxMpps() float64 {
+	t, ok := r.Total(RX)
+	if !ok {
+		return 0
+	}
+	return t.Mpps
+}
+
+// TxMpps is a convenience accessor for the transmitted throughput total.
+func (r *Report) TxMpps() float64 {
+	t, ok := r.Total(TX)
+	if !ok {
+		return 0
+	}
+	return t.Mpps
+}
+
+// SampleSeries extracts the per-second Mpps series for one direction.
+func (r *Report) SampleSeries(dir Direction) []float64 {
+	var out []float64
+	for _, s := range r.Samples {
+		if s.Direction == dir {
+			out = append(out, s.Mpps)
+		}
+	}
+	return out
+}
+
+func atoi(s string) int {
+	v, _ := strconv.Atoi(s)
+	return v
+}
+
+func atoi64(s string) int64 {
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}
+
+func atof(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}

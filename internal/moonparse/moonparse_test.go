@@ -1,0 +1,192 @@
+package moonparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pos/internal/loadgen"
+	"pos/internal/netem"
+	"pos/internal/packet"
+	"pos/internal/sim"
+)
+
+const sampleLog = `device config done
+[Device: id=0] TX: 0.1000 Mpps, 51.20 Mbit/s (67.20 Mbit/s with framing)
+[Device: id=1] RX: 0.0990 Mpps, 50.69 Mbit/s (66.53 Mbit/s with framing)
+[Device: id=0] TX: 0.1000 Mpps, 51.20 Mbit/s (67.20 Mbit/s with framing)
+[Device: id=1] RX: 0.1000 Mpps, 51.20 Mbit/s (67.20 Mbit/s with framing)
+some unrelated stderr noise
+[Device: id=0] TX: 0.1000 Mpps (StdDev 0.0002), total 200000 packets, 12800000 bytes
+[Device: id=1] RX: 0.0995 Mpps (StdDev 0.0005), total 199000 packets, 12736000 bytes
+[Latency] avg: 12345 ns, min: 9000 ns, max: 40000 ns, samples: 1000
+done
+`
+
+func TestParseFullLog(t *testing.T) {
+	rep, err := ParseString(sampleLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) != 4 {
+		t.Errorf("samples = %d, want 4", len(rep.Samples))
+	}
+	if len(rep.Totals) != 2 {
+		t.Errorf("totals = %d, want 2", len(rep.Totals))
+	}
+	tx, ok := rep.Total(TX)
+	if !ok || tx.Packets != 200000 || tx.Mpps != 0.1 {
+		t.Errorf("TX total = %+v ok=%v", tx, ok)
+	}
+	rx, ok := rep.Total(RX)
+	if !ok || rx.Packets != 199000 || rx.Bytes != 12736000 {
+		t.Errorf("RX total = %+v ok=%v", rx, ok)
+	}
+	if rep.Latency == nil {
+		t.Fatal("latency missing")
+	}
+	if rep.Latency.AvgNs != 12345 || rep.Latency.Samples != 1000 {
+		t.Errorf("latency = %+v", rep.Latency)
+	}
+	if got := rep.RxMpps(); got != 0.0995 {
+		t.Errorf("RxMpps = %v", got)
+	}
+	if got := rep.TxMpps(); got != 0.1 {
+		t.Errorf("TxMpps = %v", got)
+	}
+}
+
+func TestSampleSeries(t *testing.T) {
+	rep, err := ParseString(sampleLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := rep.SampleSeries(RX)
+	if len(rx) != 2 || rx[0] != 0.099 || rx[1] != 0.1 {
+		t.Errorf("RX series = %v", rx)
+	}
+	tx := rep.SampleSeries(TX)
+	if len(tx) != 2 {
+		t.Errorf("TX series = %v", tx)
+	}
+}
+
+func TestParseNoLatencyLine(t *testing.T) {
+	log := `[Device: id=0] TX: 0.0400 Mpps (StdDev 0.0100), total 40000 packets, 2560000 bytes
+[Device: id=1] RX: 0.0390 Mpps (StdDev 0.0120), total 39000 packets, 2496000 bytes
+`
+	rep, err := ParseString(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency != nil {
+		t.Error("latency parsed from log without latency line")
+	}
+}
+
+func TestParseGarbageFails(t *testing.T) {
+	if _, err := ParseString("this is not\na moongen log\n"); err != ErrNoTotals {
+		t.Errorf("err = %v, want ErrNoTotals", err)
+	}
+}
+
+func TestParseEmptyFails(t *testing.T) {
+	if _, err := ParseString(""); err == nil {
+		t.Error("accepted empty log")
+	}
+}
+
+func TestTotalFallbackDevice(t *testing.T) {
+	// RX reported on an unconventional device id still resolves.
+	log := `[Device: id=3] RX: 0.5000 Mpps (StdDev 0.0000), total 500000 packets, 32000000 bytes
+`
+	rep, err := ParseString(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, ok := rep.Total(RX)
+	if !ok || rx.Device != 3 || rx.Mpps != 0.5 {
+		t.Errorf("fallback total = %+v ok=%v", rx, ok)
+	}
+	if _, ok := rep.Total(TX); ok {
+		t.Error("found TX total in RX-only log")
+	}
+}
+
+// Round trip: what loadgen writes, moonparse must read back consistently.
+func TestRoundTripWithLoadgen(t *testing.T) {
+	e := sim.NewEngine()
+	g := loadgen.New(e, "lg", true)
+	netem.Wire(e, g.TxPort(), g.RxPort(), netem.LinkConfig{})
+	res, err := g.Run(loadgen.RunConfig{
+		Template: packet.UDPTemplate{
+			SrcIP: packet.IPv4Addr{10, 0, 0, 1}, DstIP: packet.IPv4Addr{10, 0, 0, 2},
+			FrameSize: 64,
+		},
+		RatePPS:  123_000,
+		Duration: 2 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse loadgen report: %v\n%s", err, buf.String())
+	}
+	tx, _ := rep.Total(TX)
+	if tx.Packets != res.TxPackets {
+		t.Errorf("parsed TX packets %d, want %d", tx.Packets, res.TxPackets)
+	}
+	rx, _ := rep.Total(RX)
+	if rx.Packets != res.RxPackets {
+		t.Errorf("parsed RX packets %d, want %d", rx.Packets, res.RxPackets)
+	}
+	if rep.Latency == nil {
+		t.Error("latency line missing from loadgen report on a timestamped path")
+	}
+	if len(rep.SampleSeries(TX)) < 2 {
+		t.Error("per-second samples missing")
+	}
+}
+
+func TestParseLongLinesDoNotBreakScanner(t *testing.T) {
+	long := strings.Repeat("x", 200_000)
+	log := long + "\n[Device: id=0] TX: 1.0000 Mpps (StdDev 0.0000), total 1 packets, 64 bytes\n"
+	if _, err := ParseString(log); err != nil {
+		t.Errorf("long line broke parser: %v", err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(sampleLog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: the parser terminates without panicking on arbitrary input and
+// either returns a report with totals or ErrNoTotals.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	prop := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rep, err := ParseString(input)
+		if err != nil {
+			return err == ErrNoTotals || rep == nil
+		}
+		return len(rep.Totals) > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package netem
+
+import (
+	"bytes"
+	"testing"
+
+	"pos/internal/pcap"
+	"pos/internal/sim"
+)
+
+func TestLossyLinkDropsApproximately(t *testing.T) {
+	e := sim.NewEngine()
+	sink := NewSink("rx")
+	tx := NewPort("tx", nil)
+	Wire(e, tx, sink.Port, LinkConfig{LossRatio: 0.1, Seed: 7})
+	data := frame(t, 64, 1, 2)
+	const offered = 100_000
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(sim.Time(i)*sim.Time(sim.Millisecond), func(now sim.Time) {
+			tx.Send(now, Batch{Data: data, FrameSize: 64, Count: offered / 100})
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	loss := 1 - float64(sink.Packets)/float64(offered)
+	if loss < 0.08 || loss > 0.12 {
+		t.Errorf("loss = %.4f, want ~0.10", loss)
+	}
+	// TX counters see every packet as sent — in-transit loss shows up
+	// only as the TX/RX counter discrepancy, like on real hardware.
+	st := tx.Stats()
+	if st.TxPackets != offered || st.TxDropped != 0 {
+		t.Errorf("tx accounting: sent=%d dropped=%d, want %d/0", st.TxPackets, st.TxDropped, offered)
+	}
+	if sink.Packets >= st.TxPackets {
+		t.Errorf("delivered %d >= sent %d on a lossy wire", sink.Packets, st.TxPackets)
+	}
+}
+
+func TestLossyLinkDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) int64 {
+		e := sim.NewEngine()
+		sink := NewSink("rx")
+		tx := NewPort("tx", nil)
+		Wire(e, tx, sink.Port, LinkConfig{LossRatio: 0.05, Seed: seed})
+		data := frame(t, 64, 1, 2)
+		for i := 0; i < 50; i++ {
+			i := i
+			e.At(sim.Time(i)*sim.Time(sim.Millisecond), func(now sim.Time) {
+				tx.Send(now, Batch{Data: data, FrameSize: 64, Count: 100})
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.Packets
+	}
+	if run(1) != run(1) {
+		t.Error("same seed produced different loss")
+	}
+	if run(1) == run(2) {
+		t.Error("different seeds produced identical loss (suspicious)")
+	}
+}
+
+func TestLossyLinkLargeBatchGaussianPath(t *testing.T) {
+	// Batches above 1000 packets take the Gaussian approximation; the
+	// thinning must stay near the expectation and inside [0, count].
+	e := sim.NewEngine()
+	sink := NewSink("rx")
+	tx := NewPort("tx", nil)
+	// A generous queue so the whole burst is accepted and only the loss
+	// process thins it.
+	Wire(e, tx, sink.Port, LinkConfig{LossRatio: 0.2, Seed: 3, QueueDelayLimit: 100 * sim.Millisecond})
+	data := frame(t, 64, 1, 2)
+	tx.Send(0, Batch{Data: data, FrameSize: 64, Count: 100_000})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Packets < 78_000 || sink.Packets > 82_000 {
+		t.Errorf("survived %d of 100000 at 20%% loss", sink.Packets)
+	}
+}
+
+func TestLosslessLinkHasNoRNG(t *testing.T) {
+	e := sim.NewEngine()
+	sink := NewSink("rx")
+	tx := NewPort("tx", nil)
+	l := Wire(e, tx, sink.Port, LinkConfig{})
+	if l.rng != nil {
+		t.Error("lossless link allocated a loss RNG")
+	}
+	tx.Send(0, Batch{Data: frame(t, 64, 1, 2), FrameSize: 64, Count: 1000})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Packets != 1000 {
+		t.Errorf("lossless link dropped packets: %d", sink.Packets)
+	}
+}
+
+func TestTapCapturesAndForwards(t *testing.T) {
+	var buf bytes.Buffer
+	w := pcap.NewWriter(&buf, 0)
+	e := sim.NewEngine()
+	tap := NewTap("tap0", w)
+	src := NewSink("src")
+	dst := NewSink("dst")
+	Wire(e, src.Port, tap.In(), LinkConfig{})
+	Wire(e, tap.Out(), dst.Port, LinkConfig{})
+
+	data := frame(t, 128, 1, 2)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(sim.Time(i)*sim.Time(sim.Millisecond), func(now sim.Time) {
+			src.Port.Send(now, Batch{Data: data, FrameSize: 128, Count: 10})
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Pass-through intact.
+	if dst.Packets != 50 {
+		t.Errorf("delivered %d, want 50", dst.Packets)
+	}
+	if tap.Records != 5 {
+		t.Errorf("records = %d, want 5 (one per batch)", tap.Records)
+	}
+	// The capture parses as a pcap with monotonic timestamps.
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil || len(pkts) != 5 {
+		t.Fatalf("capture = %d packets, %v", len(pkts), err)
+	}
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Timestamp.Before(pkts[i-1].Timestamp) {
+			t.Error("capture timestamps not monotonic")
+		}
+	}
+	if len(pkts[0].Data) != 128 {
+		t.Errorf("captured frame = %d bytes", len(pkts[0].Data))
+	}
+}
+
+func TestTapBidirectional(t *testing.T) {
+	e := sim.NewEngine()
+	tap := NewTap("tap0", nil) // no writer: pure pass-through
+	a := NewSink("a")
+	b := NewSink("b")
+	Wire(e, a.Port, tap.In(), LinkConfig{})
+	Wire(e, tap.Out(), b.Port, LinkConfig{})
+	a.Port.Send(0, Batch{Data: frame(t, 64, 1, 2), FrameSize: 64, Count: 3})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	b.Port.Send(e.Now(), Batch{Data: frame(t, 64, 2, 1), FrameSize: 64, Count: 4})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Packets != 3 || a.Packets != 4 {
+		t.Errorf("a=%d b=%d, want 4/3", a.Packets, b.Packets)
+	}
+}
+
+func TestDelayJitterSpreadsDeliveries(t *testing.T) {
+	measure := func(jitter sim.Duration) []sim.Duration {
+		e := sim.NewEngine()
+		sink := NewSink("rx")
+		tx := NewPort("tx", nil)
+		Wire(e, tx, sink.Port, LinkConfig{
+			PropagationDelay: 10 * sim.Microsecond,
+			DelayJitterStd:   jitter,
+			Seed:             5,
+		})
+		var delays []sim.Duration
+		sink.OnBatch = func(_ sim.Time, b Batch) { delays = append(delays, b.Delay) }
+		data := frame(t, 64, 1, 2)
+		for i := 0; i < 50; i++ {
+			i := i
+			e.At(sim.Time(i)*sim.Time(sim.Millisecond), func(now sim.Time) {
+				tx.Send(now, Batch{Data: data, FrameSize: 64, Count: 1})
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return delays
+	}
+	clean := measure(0)
+	jittered := measure(2 * sim.Microsecond)
+	distinct := map[sim.Duration]bool{}
+	for _, d := range jittered {
+		distinct[d] = true
+		if d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+	}
+	if len(distinct) < 10 {
+		t.Errorf("jittered deliveries only had %d distinct delays", len(distinct))
+	}
+	cleanDistinct := map[sim.Duration]bool{}
+	for _, d := range clean {
+		cleanDistinct[d] = true
+	}
+	if len(cleanDistinct) != 1 {
+		t.Errorf("jitter-free link produced %d distinct delays", len(cleanDistinct))
+	}
+}
+
+func TestDelayJitterDeterministicPerSeed(t *testing.T) {
+	run := func() sim.Duration {
+		e := sim.NewEngine()
+		sink := NewSink("rx")
+		tx := NewPort("tx", nil)
+		Wire(e, tx, sink.Port, LinkConfig{DelayJitterStd: sim.Microsecond, Seed: 9})
+		var got sim.Duration
+		sink.OnBatch = func(_ sim.Time, b Batch) { got = b.Delay }
+		tx.Send(0, Batch{Data: frame(t, 64, 1, 2), FrameSize: 64, Count: 1})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if run() != run() {
+		t.Error("same-seed jitter diverged")
+	}
+}

@@ -1,0 +1,187 @@
+package netem
+
+import (
+	"sync"
+
+	"pos/internal/packet"
+	"pos/internal/sim"
+)
+
+// Switch is a store-and-forward L2 switch with MAC learning and per-port
+// administrative state. The pos testbed deliberately avoids switches between
+// experiment hosts (requirement R2 — isolation); this device exists for the
+// ablation benchmarks that quantify exactly what a switched topology would
+// add (~300 ns for an L2 cut-through switch versus ~15 ns for an optical L1
+// cross-connect, Sec. 7) and as the testbed's example of a heterogeneous,
+// SNMP-managed device (R1).
+type Switch struct {
+	Name string
+	// ForwardingDelay is added to every forwarded packet.
+	ForwardingDelay sim.Duration
+
+	engine *sim.Engine
+	ports  []*Port
+
+	// mu guards the learning table and administrative state, which
+	// management agents access from their own goroutines.
+	mu      sync.Mutex
+	fdb     map[packet.MAC]*Port
+	enabled []bool
+	flooded int64
+}
+
+// Typical forwarding delays from the paper's limitations section.
+const (
+	// CutThroughSwitchDelay approximates an L2 cut-through switch.
+	CutThroughSwitchDelay = 300 * sim.Nanosecond
+	// OpticalSwitchDelay approximates an L1 optical cross-connect.
+	OpticalSwitchDelay = 15 * sim.Nanosecond
+)
+
+// NewSwitch returns a switch with n ports named name.0 … name.(n-1), all
+// administratively up.
+func NewSwitch(e *sim.Engine, name string, n int, delay sim.Duration) *Switch {
+	s := &Switch{
+		Name:            name,
+		ForwardingDelay: delay,
+		engine:          e,
+		fdb:             make(map[packet.MAC]*Port),
+		enabled:         make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		p := NewPort(name+portSuffix(i), s)
+		// Switches are transparent to hardware timestamping: the
+		// timestamps are taken at the generator's NICs, so transit
+		// through a switch must not clear the capability.
+		p.HardwareTimestamps = true
+		s.ports = append(s.ports, p)
+		s.enabled[i] = true
+	}
+	return s
+}
+
+func portSuffix(i int) string {
+	return "." + string(rune('0'+i%10))
+}
+
+// Port returns the i-th switch port.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// NumPorts reports the port count.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// SetPortEnabled changes a port's administrative status; a disabled port
+// neither receives nor transmits.
+func (s *Switch) SetPortEnabled(i int, up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i >= 0 && i < len(s.enabled) {
+		s.enabled[i] = up
+	}
+}
+
+// PortEnabled reports a port's administrative status.
+func (s *Switch) PortEnabled(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return i >= 0 && i < len(s.enabled) && s.enabled[i]
+}
+
+// FDBSize reports the number of learned MAC addresses.
+func (s *Switch) FDBSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.fdb)
+}
+
+// FlushFDB clears the learning table.
+func (s *Switch) FlushFDB() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fdb = make(map[packet.MAC]*Port)
+}
+
+// Flooded counts packets flooded due to unknown destinations.
+func (s *Switch) Flooded() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flooded
+}
+
+func (s *Switch) portIndex(p *Port) int {
+	for i, q := range s.ports {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// HandleBatch implements Device: learn the source MAC, then forward to the
+// learned destination port or flood.
+func (s *Switch) HandleBatch(now sim.Time, in Batch, rx *Port) {
+	var eth packet.Ethernet
+	if _, err := eth.DecodeFromBytes(in.Data); err != nil {
+		rx.account(func(c *Counters) { c.RxDropped += in.Count })
+		return
+	}
+	s.mu.Lock()
+	if idx := s.portIndex(rx); idx >= 0 && !s.enabled[idx] {
+		s.mu.Unlock()
+		rx.account(func(c *Counters) { c.RxDropped += in.Count })
+		return
+	}
+	s.fdb[eth.Src] = rx
+	dst, known := s.fdb[eth.Dst]
+	var targets []*Port
+	if known && dst != rx {
+		if idx := s.portIndex(dst); idx >= 0 && s.enabled[idx] {
+			targets = append(targets, dst)
+		}
+	} else if !known {
+		s.flooded += in.Count
+		for i, p := range s.ports {
+			if p != rx && p.Connected() && s.enabled[i] {
+				targets = append(targets, p)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	out := in
+	out.Delay += s.ForwardingDelay
+	for _, p := range targets {
+		p := p
+		s.engine.At(now.Add(s.ForwardingDelay), func(t sim.Time) {
+			p.Send(t, out)
+		})
+	}
+}
+
+// Sink is a Device that records everything it receives; tests and capture
+// points use it as a traffic endpoint.
+type Sink struct {
+	Port    *Port
+	Batches []Batch
+	// Packets and Bytes total the received traffic.
+	Packets, Bytes int64
+	// OnBatch, when non-nil, observes each delivery.
+	OnBatch func(now sim.Time, b Batch)
+}
+
+// NewSink returns a sink with one port.
+func NewSink(name string) *Sink {
+	s := &Sink{}
+	s.Port = NewPort(name, s)
+	return s
+}
+
+// HandleBatch implements Device.
+func (s *Sink) HandleBatch(now sim.Time, in Batch, rx *Port) {
+	s.Batches = append(s.Batches, in)
+	s.Packets += in.Count
+	s.Bytes += in.Bytes()
+	if s.OnBatch != nil {
+		s.OnBatch(now, in)
+	}
+}

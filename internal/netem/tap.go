@@ -1,0 +1,62 @@
+package netem
+
+import (
+	"time"
+
+	"pos/internal/pcap"
+	"pos/internal/sim"
+)
+
+// Tap is an inline capture point: wired between two segments, it forwards
+// every batch unchanged while recording one pcap record per batch
+// (representative frame, original batch size in the record's length field).
+// It is the emulation's tcpdump — captures taken here can be inspected with
+// standard tooling and replayed by the load generator.
+type Tap struct {
+	Name string
+
+	in, out *Port
+	writer  *pcap.Writer
+	// Epoch anchors virtual time zero in the capture's wall-clock
+	// timestamps.
+	Epoch time.Time
+	// Records counts captured batches.
+	Records int64
+}
+
+// NewTap returns a tap writing to w. Wire its In and Out ports inline.
+func NewTap(name string, w *pcap.Writer) *Tap {
+	t := &Tap{
+		Name:   name,
+		writer: w,
+		Epoch:  time.Date(2021, 12, 7, 0, 0, 0, 0, time.UTC),
+	}
+	t.in = NewPort(name+".in", t)
+	t.out = NewPort(name+".out", t)
+	t.in.HardwareTimestamps = true
+	t.out.HardwareTimestamps = true
+	return t
+}
+
+// In returns the port facing the traffic source.
+func (t *Tap) In() *Port { return t.in }
+
+// Out returns the port facing the traffic destination.
+func (t *Tap) Out() *Port { return t.out }
+
+// HandleBatch implements Device: record, then pass through.
+func (t *Tap) HandleBatch(now sim.Time, b Batch, rx *Port) {
+	if t.writer != nil {
+		_ = t.writer.WritePacket(pcap.Packet{
+			Timestamp: t.Epoch.Add(time.Duration(now)),
+			Data:      b.Data,
+			OrigLen:   b.FrameSize,
+		})
+		t.Records++
+	}
+	if rx == t.in {
+		t.out.Send(now, b)
+	} else {
+		t.in.Send(now, b)
+	}
+}

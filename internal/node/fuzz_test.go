@@ -1,0 +1,69 @@
+package node
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the script interpreter never panics, whatever bytes are thrown
+// at it — a malformed published script must fail cleanly, not crash the
+// controller.
+func TestExecNeverPanicsProperty(t *testing.T) {
+	n := bootedNode(t)
+	prop := func(script string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on script %q", script)
+				ok = false
+			}
+		}()
+		_, _ = n.Exec(context.Background(), script, nil)
+		// Recover the node if the random script happened to contain
+		// a crash builtin.
+		if n.State() != StateRunning {
+			if err := n.Reset(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variable expansion output never references the raw "$" marker
+// for defined variables, and expansion is length-bounded (no runaway
+// recursion: values are substituted literally, not re-expanded).
+func TestExpansionIsLiteralProperty(t *testing.T) {
+	n := bootedNode(t)
+	prop := func(val string) bool {
+		if strings.ContainsAny(val, "\n\r") {
+			return true // one-line scripts only
+		}
+		// A value containing $X must NOT be re-expanded.
+		env := map[string]string{"A": val + "$B", "B": "boom"}
+		out, err := n.Exec(context.Background(), `echo "$A"`, env)
+		if err != nil {
+			return false
+		}
+		return strings.Contains(out, "$B") || strings.Contains(val, "$")
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepScriptsTerminate(t *testing.T) {
+	n := bootedNode(t)
+	script := strings.Repeat("echo line\n", 10_000)
+	out, err := n.Exec(context.Background(), script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "line") != 10_000 {
+		t.Errorf("lines = %d", strings.Count(out, "line"))
+	}
+}

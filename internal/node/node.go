@@ -1,0 +1,321 @@
+// Package node emulates an experiment host: a server with an out-of-band
+// power/initialization interface (reachable even when the OS is wedged), a
+// live-boot lifecycle that restores a clean, image-defined state on every
+// boot, an ephemeral filesystem, and an in-band script execution interface.
+//
+// Experiment scripts are plain text interpreted by a small shell (see
+// script.go); domain behaviour (packet generators, routers) is attached by
+// registering commands, so the scripts an experiment ships remain data —
+// readable, publishable artifacts, exactly as the pos methodology requires.
+package node
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pos/internal/image"
+)
+
+// State is a node's power/OS state.
+type State string
+
+// Node lifecycle states.
+const (
+	StateOff     State = "off"
+	StateBooting State = "booting"
+	StateRunning State = "running"
+	// StateWedged models a crashed or misconfigured OS: the configuration
+	// interface stops responding and only the out-of-band initialization
+	// interface can recover the node (requirement R3).
+	StateWedged State = "wedged"
+)
+
+// Command implements an executable available to scripts on a node. args
+// excludes the command name itself; output written to stdout/stderr is
+// captured and uploaded to the testbed controller.
+type Command func(ctx context.Context, n *Node, args []string, stdout, stderr ErrWriter) error
+
+// ErrWriter is the minimal writer surface commands need.
+type ErrWriter interface {
+	Write(p []byte) (int, error)
+}
+
+// ExitError carries a script exit code distinct from transport errors.
+type ExitError struct {
+	Code   int
+	Output string
+}
+
+// Error implements error.
+func (e *ExitError) Error() string { return fmt.Sprintf("script exited with code %d", e.Code) }
+
+// Node is one emulated experiment host.
+type Node struct {
+	// Name is the testbed-wide node name, e.g. "vtartu".
+	Name string
+	// BootDelay is how long a (wall-clock) boot takes; keep small in
+	// tests. Defaults to 1 ms.
+	BootDelay time.Duration
+
+	mu         sync.Mutex
+	state      State
+	store      *image.Store
+	bootRef    string
+	bootParams map[string]string
+	booted     image.Image
+	fs         map[string][]byte
+	env        map[string]string
+	cmds       map[string]Command
+	bootCount  int
+	failBoots  int
+	execWG     sync.WaitGroup
+}
+
+// New returns a powered-off node using the given image store.
+func New(name string, store *image.Store) *Node {
+	return &Node{
+		Name:      name,
+		BootDelay: time.Millisecond,
+		state:     StateOff,
+		store:     store,
+		cmds:      make(map[string]Command),
+	}
+}
+
+// State returns the current lifecycle state.
+func (n *Node) State() State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// BootCount reports how many successful boots the node has completed.
+func (n *Node) BootCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bootCount
+}
+
+// SetBoot selects the live image (a Store ref, "name" or "name@version") and
+// kernel boot parameters for the next boot.
+func (n *Node) SetBoot(ref string, params map[string]string) error {
+	if n.store == nil {
+		return fmt.Errorf("node %s: no image store", n.Name)
+	}
+	if _, err := n.store.Resolve(ref); err != nil {
+		return fmt.Errorf("node %s: %w", n.Name, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bootRef = ref
+	n.bootParams = make(map[string]string, len(params))
+	for k, v := range params {
+		n.bootParams[k] = v
+	}
+	return nil
+}
+
+// InjectBootFailures makes the next count boots end in StateWedged —
+// failure injection for recoverability tests.
+func (n *Node) InjectBootFailures(count int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failBoots = count
+}
+
+// Wedge simulates an OS crash: the node stops serving Exec until reset.
+func (n *Node) Wedge() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == StateRunning {
+		n.state = StateWedged
+	}
+}
+
+// PowerOn boots the node from the selected live image. Booting discards all
+// filesystem and environment state from previous runs — the clean-slate
+// guarantee. It blocks for BootDelay (boots are fast in emulation).
+func (n *Node) PowerOn() error {
+	n.mu.Lock()
+	if n.state == StateBooting {
+		n.mu.Unlock()
+		return fmt.Errorf("node %s: already booting", n.Name)
+	}
+	if n.bootRef == "" {
+		n.mu.Unlock()
+		return fmt.Errorf("node %s: no boot image selected", n.Name)
+	}
+	img, err := n.store.Resolve(n.bootRef)
+	if err != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("node %s: %w", n.Name, err)
+	}
+	n.state = StateBooting
+	delay := n.BootDelay
+	n.mu.Unlock()
+
+	time.Sleep(delay)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failBoots > 0 {
+		n.failBoots--
+		n.state = StateWedged
+		return fmt.Errorf("node %s: boot failed (injected)", n.Name)
+	}
+	n.booted = img
+	n.fs = make(map[string][]byte, len(img.Files))
+	for p, content := range img.Files {
+		n.fs[p] = append([]byte(nil), content...)
+	}
+	n.env = map[string]string{
+		"HOSTNAME": n.Name,
+		"KERNEL":   img.Kernel,
+		"IMAGE":    img.Ref(),
+	}
+	for k, v := range n.bootParams {
+		n.env["BOOT_"+k] = v
+	}
+	n.cmds = make(map[string]Command) // tools must be redeployed after boot
+	n.state = StateRunning
+	n.bootCount++
+	return nil
+}
+
+// PowerOff cuts power immediately, from any state — this is the out-of-band
+// path, so it works even when the OS is wedged.
+func (n *Node) PowerOff() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.state = StateOff
+	n.fs = nil
+	n.env = nil
+}
+
+// Reset power-cycles the node: off, then boot the configured image.
+func (n *Node) Reset() error {
+	n.PowerOff()
+	return n.PowerOn()
+}
+
+// BootedImage returns the currently booted image (zero Image when off).
+func (n *Node) BootedImage() image.Image {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.booted
+}
+
+// RegisterCommand attaches an executable to the running node. It fails when
+// the node is not running: tools are deployed after boot, per the workflow.
+func (n *Node) RegisterCommand(name string, cmd Command) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != StateRunning {
+		return fmt.Errorf("node %s: cannot deploy %q in state %s", n.Name, name, n.state)
+	}
+	n.cmds[name] = cmd
+	return nil
+}
+
+// Commands lists registered command names, sorted.
+func (n *Node) Commands() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	names := make([]string, 0, len(n.cmds))
+	for k := range n.cmds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteFile stores a file in the node's ephemeral filesystem.
+func (n *Node) WriteFile(path string, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != StateRunning {
+		return fmt.Errorf("node %s: not running", n.Name)
+	}
+	n.fs[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// ReadFile reads from the ephemeral filesystem.
+func (n *Node) ReadFile(path string) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != StateRunning {
+		return nil, fmt.Errorf("node %s: not running", n.Name)
+	}
+	data, ok := n.fs[path]
+	if !ok {
+		return nil, fmt.Errorf("node %s: %s: no such file", n.Name, path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Setenv sets a variable in the node's script environment.
+func (n *Node) Setenv(key, value string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != StateRunning {
+		return fmt.Errorf("node %s: not running", n.Name)
+	}
+	n.env[key] = value
+	return nil
+}
+
+// Getenv reads a variable from the script environment.
+func (n *Node) Getenv(key string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.env == nil {
+		return "", false
+	}
+	v, ok := n.env[key]
+	return v, ok
+}
+
+// snapshotEnv copies the environment merged with extra overrides.
+func (n *Node) snapshotEnv(extra map[string]string) map[string]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]string, len(n.env)+len(extra))
+	for k, v := range n.env {
+		out[k] = v
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
+// LookupCommand returns a registered command by name. Builtins are not part
+// of the registry; only deployed tools and domain commands appear here.
+func (n *Node) LookupCommand(name string) (Command, bool) {
+	return n.command(name)
+}
+
+func (n *Node) command(name string) (Command, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.cmds[name]
+	return c, ok
+}
+
+// runnable guards the in-band interface.
+func (n *Node) runnable() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.state {
+	case StateRunning:
+		return nil
+	case StateWedged:
+		return fmt.Errorf("node %s: unresponsive (wedged)", n.Name)
+	default:
+		return fmt.Errorf("node %s: not running (state %s)", n.Name, n.state)
+	}
+}

@@ -1,0 +1,366 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"pos/internal/image"
+)
+
+func newStore(t *testing.T) *image.Store {
+	t.Helper()
+	s := image.NewStore()
+	if err := s.Add(image.DefaultDebianBuster()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(image.Image{Name: "minimal", Version: "1", Kernel: "5.10"}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func bootedNode(t *testing.T) *Node {
+	t.Helper()
+	n := New("vtartu", newStore(t))
+	n.BootDelay = 0
+	if err := n.SetBoot("debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLifecycle(t *testing.T) {
+	n := New("vtartu", newStore(t))
+	n.BootDelay = 0
+	if n.State() != StateOff {
+		t.Fatalf("initial state = %s", n.State())
+	}
+	if err := n.PowerOn(); err == nil {
+		t.Fatal("PowerOn without boot image succeeded")
+	}
+	if err := n.SetBoot("debian-buster@20201012T110000Z", map[string]string{"isolcpus": "1-5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if n.State() != StateRunning {
+		t.Fatalf("state = %s, want running", n.State())
+	}
+	if got := n.BootedImage().Ref(); got != "debian-buster@20201012T110000Z" {
+		t.Errorf("booted %s", got)
+	}
+	if v, _ := n.Getenv("BOOT_isolcpus"); v != "1-5" {
+		t.Errorf("boot param env = %q", v)
+	}
+	n.PowerOff()
+	if n.State() != StateOff {
+		t.Errorf("state after PowerOff = %s", n.State())
+	}
+}
+
+func TestSetBootRejectsUnknownImage(t *testing.T) {
+	n := New("x", newStore(t))
+	if err := n.SetBoot("no-such-image", nil); err == nil {
+		t.Error("SetBoot accepted unknown image")
+	}
+}
+
+func TestCleanSlateOnReboot(t *testing.T) {
+	// The live-boot property: files, env, and deployed tools written
+	// during one boot must vanish on the next.
+	n := bootedNode(t)
+	if err := n.WriteFile("/tmp/state", []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Setenv("LEAK", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterCommand("leaktool", func(context.Context, *Node, []string, ErrWriter, ErrWriter) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	first := n.BootCount()
+	if err := n.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if n.BootCount() != first+1 {
+		t.Errorf("boot count = %d", n.BootCount())
+	}
+	if _, err := n.ReadFile("/tmp/state"); err == nil {
+		t.Error("file survived reboot")
+	}
+	if _, ok := n.Getenv("LEAK"); ok {
+		t.Error("env survived reboot")
+	}
+	if len(n.Commands()) != 0 {
+		t.Errorf("tools survived reboot: %v", n.Commands())
+	}
+	// Image files are restored fresh.
+	if _, err := n.ReadFile("/etc/os-release"); err != nil {
+		t.Errorf("image file missing after reboot: %v", err)
+	}
+}
+
+func TestImageFilesFreshPerBoot(t *testing.T) {
+	n := bootedNode(t)
+	if err := n.WriteFile("/etc/hostname", []byte("mutated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := n.ReadFile("/etc/hostname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "live\n" {
+		t.Errorf("/etc/hostname = %q after reboot, want image content", data)
+	}
+}
+
+func TestInjectedBootFailureAndRecovery(t *testing.T) {
+	n := New("flaky", newStore(t))
+	n.BootDelay = 0
+	if err := n.SetBoot("minimal", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.InjectBootFailures(2)
+	if err := n.PowerOn(); err == nil {
+		t.Fatal("injected boot failure did not fail")
+	}
+	if n.State() != StateWedged {
+		t.Fatalf("state = %s, want wedged", n.State())
+	}
+	if err := n.Reset(); err == nil {
+		t.Fatal("second injected failure did not fail")
+	}
+	// Third attempt recovers — out-of-band reset heals the node (R3).
+	if err := n.Reset(); err != nil {
+		t.Fatalf("recovery boot failed: %v", err)
+	}
+	if n.State() != StateRunning {
+		t.Errorf("state = %s after recovery", n.State())
+	}
+}
+
+func TestWedgedNodeRefusesExecButAllowsPower(t *testing.T) {
+	n := bootedNode(t)
+	n.Wedge()
+	if _, err := n.Exec(context.Background(), "echo hi", nil); err == nil {
+		t.Error("wedged node executed a script")
+	}
+	if err := n.Reset(); err != nil {
+		t.Fatalf("out-of-band reset failed on wedged node: %v", err)
+	}
+	out, err := n.Exec(context.Background(), "echo hi", nil)
+	if err != nil || !strings.Contains(out, "hi") {
+		t.Errorf("after recovery: %q, %v", out, err)
+	}
+}
+
+func TestExecBasics(t *testing.T) {
+	n := bootedNode(t)
+	out, err := n.Exec(context.Background(), `
+# comment line
+echo hello world
+hostname
+echo done
+`, nil)
+	if err != nil {
+		t.Fatalf("Exec: %v (output %q)", err, out)
+	}
+	want := "hello world\nvtartu\ndone\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestExecVariableSubstitution(t *testing.T) {
+	n := bootedNode(t)
+	out, err := n.Exec(context.Background(), `
+echo rate=$pkt_rate size=${pkt_sz}B
+echo "quoted $pkt_rate"
+echo 'literal $pkt_rate'
+`, map[string]string{"pkt_rate": "10000", "pkt_sz": "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rate=10000 size=64B", "quoted 10000", "literal $pkt_rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExecSetPersistsAcrossScripts(t *testing.T) {
+	n := bootedNode(t)
+	if _, err := n.Exec(context.Background(), "set PORT eno1", nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Exec(context.Background(), "echo port=$PORT", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "port=eno1") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestExecStopsAtFirstFailure(t *testing.T) {
+	n := bootedNode(t)
+	out, err := n.Exec(context.Background(), `
+echo before
+fail something broke
+echo after
+`, nil)
+	var exit *ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("err = %v, want ExitError", err)
+	}
+	if exit.Code != 1 {
+		t.Errorf("code = %d", exit.Code)
+	}
+	if !strings.Contains(out, "before") || strings.Contains(out, "after") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestExecUnknownCommand(t *testing.T) {
+	n := bootedNode(t)
+	_, err := n.Exec(context.Background(), "definitely_not_installed --flag", nil)
+	var exit *ExitError
+	if !errors.As(err, &exit) || exit.Code != 127 {
+		t.Fatalf("err = %v, want exit 127", err)
+	}
+}
+
+func TestExecExitCode(t *testing.T) {
+	n := bootedNode(t)
+	_, err := n.Exec(context.Background(), "exit 42", nil)
+	var exit *ExitError
+	if !errors.As(err, &exit) || exit.Code != 42 {
+		t.Fatalf("err = %v, want exit 42", err)
+	}
+	if _, err := n.Exec(context.Background(), "exit 0", nil); err != nil {
+		t.Errorf("exit 0 returned error: %v", err)
+	}
+}
+
+func TestExecRegisteredCommand(t *testing.T) {
+	n := bootedNode(t)
+	err := n.RegisterCommand("moongen", func(_ context.Context, _ *Node, args []string, stdout, _ ErrWriter) error {
+		stdout.Write([]byte("moongen ran with " + strings.Join(args, ",") + "\n"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Exec(context.Background(), "moongen --rate $r", map[string]string{"r": "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "moongen ran with --rate,5") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestExecFileBuiltins(t *testing.T) {
+	n := bootedNode(t)
+	out, err := n.Exec(context.Background(), `
+write /tmp/conf key=value more
+cat /tmp/conf
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "key=value more") {
+		t.Errorf("output = %q", out)
+	}
+	if _, err := n.Exec(context.Background(), "cat /does/not/exist", nil); err == nil {
+		t.Error("cat missing file succeeded")
+	}
+}
+
+func TestExecEnvBuiltin(t *testing.T) {
+	n := bootedNode(t)
+	out, err := n.Exec(context.Background(), "env", map[string]string{"ZVAR": "42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "HOSTNAME=vtartu") || !strings.Contains(out, "ZVAR=42") {
+		t.Errorf("env output = %q", out)
+	}
+}
+
+func TestExecCrashBuiltinWedges(t *testing.T) {
+	n := bootedNode(t)
+	_, err := n.Exec(context.Background(), "crash\necho unreachable", nil)
+	if err == nil {
+		t.Fatal("script continued after crash")
+	}
+	if n.State() != StateWedged {
+		t.Errorf("state = %s, want wedged", n.State())
+	}
+}
+
+func TestExecContextCancellation(t *testing.T) {
+	n := bootedNode(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Exec(ctx, "sleep_ms 10000", nil)
+	if err == nil {
+		t.Fatal("cancelled script succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("cancellation did not interrupt sleep")
+	}
+}
+
+func TestExecQuotingErrors(t *testing.T) {
+	n := bootedNode(t)
+	for _, script := range []string{`echo "unterminated`, `echo 'unterminated`, `echo ${unterminated`} {
+		var exit *ExitError
+		if _, err := n.Exec(context.Background(), script, nil); !errors.As(err, &exit) || exit.Code != 2 {
+			t.Errorf("script %q: err = %v, want exit 2", script, err)
+		}
+	}
+}
+
+func TestExecTrailingComment(t *testing.T) {
+	n := bootedNode(t)
+	out, err := n.Exec(context.Background(), "echo hi # trailing comment", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "trailing") {
+		t.Errorf("comment leaked into output: %q", out)
+	}
+}
+
+func TestRegisterCommandRequiresRunning(t *testing.T) {
+	n := New("x", newStore(t))
+	err := n.RegisterCommand("tool", func(context.Context, *Node, []string, ErrWriter, ErrWriter) error { return nil })
+	if err == nil {
+		t.Error("deployed tool to a powered-off node")
+	}
+}
+
+func TestFileOpsRequireRunning(t *testing.T) {
+	n := New("x", newStore(t))
+	if err := n.WriteFile("/a", nil); err == nil {
+		t.Error("WriteFile on powered-off node")
+	}
+	if _, err := n.ReadFile("/a"); err == nil {
+		t.Error("ReadFile on powered-off node")
+	}
+	if err := n.Setenv("a", "b"); err == nil {
+		t.Error("Setenv on powered-off node")
+	}
+}

@@ -1,0 +1,233 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	base := time.Date(2020, 10, 12, 11, 20, 32, 230471, time.UTC)
+	want := []Packet{
+		{Timestamp: base, Data: []byte{1, 2, 3, 4}},
+		{Timestamp: base.Add(time.Microsecond), Data: bytes.Repeat([]byte{0xab}, 1500)},
+		{Timestamp: base.Add(time.Second), Data: []byte{}},
+	}
+	for _, p := range want {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatalf("WritePacket: %v", err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("LinkType = %d", r.LinkType())
+	}
+	if !r.Nanoseconds() {
+		t.Error("expected nanosecond resolution")
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Timestamp.Equal(want[i].Timestamp) {
+			t.Errorf("packet %d: ts = %v, want %v", i, got[i].Timestamp, want[i].Timestamp)
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("packet %d: %d bytes, want %d", i, len(got[i].Data), len(want[i].Data))
+		}
+		if got[i].OrigLen != len(want[i].Data) {
+			t.Errorf("packet %d: origLen = %d, want %d", i, got[i].OrigLen, len(want[i].Data))
+		}
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 10)
+	data := bytes.Repeat([]byte{7}, 100)
+	if err := w.WritePacket(Packet{Timestamp: time.Unix(0, 0), Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 10 {
+		t.Errorf("captured %d bytes, want 10", len(p.Data))
+	}
+	if p.OrigLen != 100 {
+		t.Errorf("origLen = %d, want 100", p.OrigLen)
+	}
+}
+
+func TestEmptyCaptureAfterFlush(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.ReadPacket(); err != io.EOF {
+		t.Errorf("ReadPacket = %v, want EOF", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	data := make([]byte, 24)
+	binary.LittleEndian.PutUint32(data, 0xdeadbeef)
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Error("NewReader accepted bad magic")
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	data := make([]byte, 24)
+	binary.LittleEndian.PutUint32(data[0:], MagicNanoseconds)
+	binary.LittleEndian.PutUint16(data[4:], 1)
+	binary.LittleEndian.PutUint16(data[6:], 0)
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Error("NewReader accepted version 1.0")
+	}
+}
+
+func TestTruncatedHeaderRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("NewReader accepted 3-byte file")
+	}
+}
+
+func TestTruncatedRecordRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WritePacket(Packet{Timestamp: time.Unix(1, 0), Data: []byte{1, 2, 3, 4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err == nil {
+		t.Error("ReadPacket accepted truncated record")
+	}
+}
+
+func TestBigEndianCapture(t *testing.T) {
+	// Hand-build a big-endian (swapped) microsecond capture.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:], MagicMicroseconds)
+	binary.BigEndian.PutUint16(hdr[4:], 2)
+	binary.BigEndian.PutUint16(hdr[6:], 4)
+	binary.BigEndian.PutUint32(hdr[16:], 65535)
+	binary.BigEndian.PutUint32(hdr[20:], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:], 100) // sec
+	binary.BigEndian.PutUint32(rec[4:], 250) // usec
+	binary.BigEndian.PutUint32(rec[8:], 3)   // caplen
+	binary.BigEndian.PutUint32(rec[12:], 3)  // origlen
+	buf.Write(rec)
+	buf.Write([]byte{9, 8, 7})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	p, err := r.ReadPacket()
+	if err != nil {
+		t.Fatalf("ReadPacket: %v", err)
+	}
+	want := time.Unix(100, 250_000).UTC()
+	if !p.Timestamp.Equal(want) {
+		t.Errorf("ts = %v, want %v", p.Timestamp, want)
+	}
+	if !bytes.Equal(p.Data, []byte{9, 8, 7}) {
+		t.Errorf("data = %v", p.Data)
+	}
+}
+
+// Property: writing arbitrary packets and reading them back preserves data
+// and nanosecond timestamps.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(payloads [][]byte, secs []uint32) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0)
+		for i, p := range payloads {
+			var sec uint32
+			if i < len(secs) {
+				sec = secs[i]
+			}
+			if len(p) > 65535 {
+				p = p[:65535]
+			}
+			err := w.WritePacket(Packet{Timestamp: time.Unix(int64(sec), int64(i)), Data: p})
+			if err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil || len(got) != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			p := payloads[i]
+			if len(p) > 65535 {
+				p = p[:65535]
+			}
+			if !bytes.Equal(got[i].Data, p) {
+				return false
+			}
+			if got[i].Timestamp.Nanosecond() != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWritePacket(b *testing.B) {
+	data := bytes.Repeat([]byte{0x55}, 64)
+	ts := time.Unix(0, 0)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if buf.Len() > 1<<20 {
+			buf.Reset()
+			w = NewWriter(&buf, 0)
+		}
+		if err := w.WritePacket(Packet{Timestamp: ts, Data: data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

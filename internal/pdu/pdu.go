@@ -1,0 +1,234 @@
+// Package pdu emulates a remotely switchable power distribution unit — the
+// alternative initialization API the paper names besides IPMI ("a remotely
+// switchable power plug that triggers a device reboot"). A PDU knows nothing
+// about the devices it powers: it exposes numbered outlets over a small
+// HTTP/JSON interface, and cutting an outlet's power hard-resets whatever
+// hangs off it. Testbeds use it for nodes without a BMC: even a completely
+// wedged OS cannot survive losing power (requirement R3).
+package pdu
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Outlet abstracts the powered device: the PDU can only switch the supply.
+type Outlet interface {
+	// PowerOff cuts the supply immediately.
+	PowerOff()
+	// PowerOn restores the supply (the device boots its configured
+	// image, which may fail — the PDU does not care).
+	PowerOn() error
+}
+
+// OutletState is the reported state of one outlet.
+type OutletState struct {
+	ID int `json:"id"`
+	// On reports whether the outlet currently supplies power.
+	On bool `json:"on"`
+	// Label is a free-form operator note ("rack 3, vtartu").
+	Label string `json:"label,omitempty"`
+}
+
+// Server is an emulated PDU.
+type Server struct {
+	mu      sync.Mutex
+	outlets map[int]*outlet
+	http    *http.Server
+	ln      net.Listener
+}
+
+type outlet struct {
+	dev   Outlet
+	on    bool
+	label string
+}
+
+// NewServer returns a PDU with no outlets wired.
+func NewServer() *Server {
+	return &Server{outlets: make(map[int]*outlet)}
+}
+
+// Attach wires a device to an outlet (initially powered on — devices are
+// racked live). Re-attaching to an occupied outlet fails.
+func (s *Server) Attach(id int, label string, dev Outlet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, busy := s.outlets[id]; busy {
+		return fmt.Errorf("pdu: outlet %d already occupied", id)
+	}
+	s.outlets[id] = &outlet{dev: dev, on: true, label: label}
+	return nil
+}
+
+// Serve starts the PDU's HTTP interface on a loopback port.
+func (s *Server) Serve() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("pdu: %w", err)
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /outlets", s.list)
+	mux.HandleFunc("GET /outlets/{id}", s.get)
+	mux.HandleFunc("POST /outlets/{id}/power", s.power)
+	s.http = &http.Server{Handler: mux}
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the PDU's HTTP address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the HTTP interface (outlet power is unaffected).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]OutletState, 0, len(s.outlets))
+	for id, o := range s.outlets {
+		out = append(out, OutletState{ID: id, On: o.on, Label: o.label})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) outletOf(r *http.Request) (int, *outlet, bool) {
+	var id int
+	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+		return 0, nil, false
+	}
+	s.mu.Lock()
+	o, ok := s.outlets[id]
+	s.mu.Unlock()
+	return id, o, ok
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	id, o, ok := s.outletOf(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such outlet"})
+		return
+	}
+	s.mu.Lock()
+	st := OutletState{ID: id, On: o.on, Label: o.label}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// powerRequest is the body of a power command.
+type powerRequest struct {
+	// Op is "on", "off", or "cycle".
+	Op string `json:"op"`
+}
+
+func (s *Server) power(w http.ResponseWriter, r *http.Request) {
+	id, o, ok := s.outletOf(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such outlet"})
+		return
+	}
+	var req powerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	apply := func(on bool) {
+		s.mu.Lock()
+		o.on = on
+		s.mu.Unlock()
+		if on {
+			// A boot failure is the device's problem; the outlet
+			// delivered power either way.
+			_ = o.dev.PowerOn()
+		} else {
+			o.dev.PowerOff()
+		}
+	}
+	switch req.Op {
+	case "on":
+		apply(true)
+	case "off":
+		apply(false)
+	case "cycle":
+		apply(false)
+		apply(true)
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("unknown op %q", req.Op)})
+		return
+	}
+	s.mu.Lock()
+	st := OutletState{ID: id, On: o.on, Label: o.label}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client drives a PDU over HTTP.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the PDU at addr.
+func NewClient(addr string) *Client {
+	return &Client{base: "http://" + addr, hc: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Outlets lists the PDU's outlets.
+func (c *Client) Outlets() ([]OutletState, error) {
+	resp, err := c.hc.Get(c.base + "/outlets")
+	if err != nil {
+		return nil, fmt.Errorf("pdu: %w", err)
+	}
+	defer resp.Body.Close()
+	var out []OutletState
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("pdu: %w", err)
+	}
+	return out, nil
+}
+
+// Power issues a power command ("on", "off", "cycle") to an outlet.
+func (c *Client) Power(id int, op string) (OutletState, error) {
+	body, _ := json.Marshal(powerRequest{Op: op})
+	resp, err := c.hc.Post(fmt.Sprintf("%s/outlets/%d/power", c.base, id), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return OutletState{}, fmt.Errorf("pdu: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb map[string]string
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return OutletState{}, fmt.Errorf("pdu: power %s outlet %d: %s", op, id, eb["error"])
+	}
+	var st OutletState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return OutletState{}, fmt.Errorf("pdu: %w", err)
+	}
+	return st, nil
+}
+
+// Cycle power-cycles an outlet — the PDU's reboot primitive.
+func (c *Client) Cycle(id int) error {
+	_, err := c.Power(id, "cycle")
+	return err
+}

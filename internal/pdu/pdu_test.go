@@ -1,0 +1,154 @@
+package pdu
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pos/internal/image"
+	"pos/internal/node"
+)
+
+func newNode(t *testing.T, name string) *node.Node {
+	t.Helper()
+	store := image.NewStore()
+	if err := store.Add(image.DefaultDebianBuster()); err != nil {
+		t.Fatal(err)
+	}
+	n := node.New(name, store)
+	n.BootDelay = 0
+	if err := n.SetBoot("debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func setup(t *testing.T) (*Server, *Client, *node.Node) {
+	t.Helper()
+	n := newNode(t, "vtartu")
+	s := NewServer()
+	if err := s.Attach(3, "rack 1, vtartu", n); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, NewClient(s.Addr()), n
+}
+
+func TestListOutlets(t *testing.T) {
+	_, c, _ := setup(t)
+	outlets, err := c.Outlets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outlets) != 1 || outlets[0].ID != 3 || !outlets[0].On || outlets[0].Label != "rack 1, vtartu" {
+		t.Errorf("outlets = %+v", outlets)
+	}
+}
+
+func TestPowerOffOn(t *testing.T) {
+	_, c, n := setup(t)
+	st, err := c.Power(3, "off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.On {
+		t.Error("outlet reports on after off")
+	}
+	if n.State() != node.StateOff {
+		t.Errorf("node state = %s", n.State())
+	}
+	st, err = c.Power(3, "on")
+	if err != nil || !st.On {
+		t.Fatalf("power on: %+v, %v", st, err)
+	}
+	if n.State() != node.StateRunning {
+		t.Errorf("node state = %s after power on", n.State())
+	}
+}
+
+func TestCycleRecoversWedgedNode(t *testing.T) {
+	// The R3 scenario without a BMC: OS wedged, only the power plug can
+	// recover the machine.
+	_, c, n := setup(t)
+	n.Wedge()
+	if _, err := n.Exec(context.Background(), "echo alive", nil); err == nil {
+		t.Fatal("wedged node executed a script")
+	}
+	if err := c.Cycle(3); err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Exec(context.Background(), "echo alive", nil)
+	if err != nil || !strings.Contains(out, "alive") {
+		t.Errorf("after power cycle: %q, %v", out, err)
+	}
+	if n.BootCount() != 2 {
+		t.Errorf("boot count = %d", n.BootCount())
+	}
+}
+
+func TestCycleSurvivesBootFailure(t *testing.T) {
+	// The PDU delivers power regardless of whether the device boots.
+	_, c, n := setup(t)
+	n.InjectBootFailures(1)
+	if err := c.Cycle(3); err != nil {
+		t.Fatalf("cycle reported the device's boot failure: %v", err)
+	}
+	if n.State() != node.StateWedged {
+		t.Errorf("state = %s, want wedged after injected failure", n.State())
+	}
+	// A second cycle recovers.
+	if err := c.Cycle(3); err != nil {
+		t.Fatal(err)
+	}
+	if n.State() != node.StateRunning {
+		t.Errorf("state = %s", n.State())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, c, _ := setup(t)
+	if _, err := c.Power(99, "off"); err == nil {
+		t.Error("power to missing outlet succeeded")
+	}
+	if _, err := c.Power(3, "explode"); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := s.Attach(3, "dup", newNode(t, "other")); err == nil {
+		t.Error("double attach accepted")
+	}
+}
+
+func TestMultipleOutlets(t *testing.T) {
+	s := NewServer()
+	a, b := newNode(t, "a"), newNode(t, "b")
+	if err := s.Attach(1, "a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(2, "b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(s.Addr())
+	if _, err := c.Power(1, "off"); err != nil {
+		t.Fatal(err)
+	}
+	if a.State() != node.StateOff {
+		t.Error("outlet 1 did not cut node a")
+	}
+	if b.State() != node.StateRunning {
+		t.Error("outlet 1 affected node b")
+	}
+	outlets, _ := c.Outlets()
+	if len(outlets) != 2 || outlets[0].ID != 1 || outlets[1].ID != 2 {
+		t.Errorf("outlets = %+v", outlets)
+	}
+}

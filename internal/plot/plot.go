@@ -1,0 +1,363 @@
+// Package plot renders the out-of-the-box figures the pos evaluation phase
+// produces: line plots (throughput over offered rate, Fig. 3), histograms,
+// CDFs, HDR latency curves, and violin plots. Each figure renders to SVG,
+// TeX (pgfplots), and CSV — the "multiple formats" the paper names —
+// without external dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pos/internal/eval"
+)
+
+// Kind selects the plot geometry.
+type Kind string
+
+// Supported plot kinds (Sec. 4.4 lists exactly these representations).
+const (
+	Line      Kind = "line"
+	HistoKind Kind = "histogram"
+	CDFKind   Kind = "cdf"
+	HDRKind   Kind = "hdr"
+	Violin    Kind = "violin"
+)
+
+// Figure is a renderable chart.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Kind   Kind
+	Series []eval.Series
+	// Violins is used only by Kind == Violin.
+	Violins []NamedViolin
+	// Width and Height in SVG pixels; zero values default to 640x400.
+	Width, Height int
+}
+
+// NamedViolin pairs a distribution summary with its category label.
+type NamedViolin struct {
+	Name   string
+	Violin eval.Violin
+}
+
+const (
+	defaultW = 640
+	defaultH = 400
+	padL     = 70
+	padR     = 20
+	padT     = 40
+	padB     = 55
+)
+
+// Palette is the series color cycle (Okabe-Ito, color-blind safe).
+var Palette = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442"}
+
+func (f *Figure) dims() (w, h int) {
+	w, h = f.Width, f.Height
+	if w <= 0 {
+		w = defaultW
+	}
+	if h <= 0 {
+		h = defaultH
+	}
+	return w, h
+}
+
+// bounds computes the data range across all series.
+func (f *Figure) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	add := func(x, y float64) {
+		xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+		ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			add(p.X, p.Y-p.YErr)
+			add(p.X, p.Y+p.YErr)
+		}
+	}
+	for i, v := range f.Violins {
+		add(float64(i), v.Violin.Summary.Min)
+		add(float64(i), v.Violin.Summary.Max)
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	// Anchor throughput-style plots at zero for honest proportions.
+	if ymin > 0 {
+		ymin = 0
+	}
+	return
+}
+
+// ticks produces ~n nicely rounded tick positions across [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 || math.IsNaN(span) || math.IsInf(span, 0) {
+		return []float64{lo}
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step/1e6; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SVG renders the figure as a standalone SVG document.
+func (f *Figure) SVG() string {
+	w, h := f.dims()
+	xmin, xmax, ymin, ymax := f.bounds()
+	plotW, plotH := float64(w-padL-padR), float64(h-padT-padB)
+	xpos := func(x float64) float64 { return padL + (x-xmin)/(xmax-xmin)*plotW }
+	ypos := func(y float64) float64 { return float64(h-padB) - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n", w/2, esc(f.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", padL, h-padB, w-padR, h-padB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", padL, padT, padL, h-padB)
+	for _, t := range ticks(xmin, xmax, 6) {
+		x := xpos(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n", x, h-padB, x, h-padB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n", x, h-padB+18, fmtTick(t))
+	}
+	for _, t := range ticks(ymin, ymax, 6) {
+		y := ypos(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n", padL-5, y, padL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n", padL-8, y+4, fmtTick(t))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n", padL, y, w-padR, y)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n", w/2, h-12, esc(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n", h/2, h/2, esc(f.YLabel))
+
+	switch f.Kind {
+	case Violin:
+		f.renderViolins(&b, xpos, ypos)
+	case HistoKind:
+		f.renderBars(&b, xpos, ypos, h)
+	default:
+		f.renderLines(&b, xpos, ypos)
+	}
+
+	// Legend.
+	ly := padT + 4
+	for i, s := range f.Series {
+		color := Palette[i%len(Palette)]
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", w-padR-120, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n", w-padR-104, ly+10, esc(s.Name))
+		ly += 18
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func (f *Figure) renderLines(b *strings.Builder, xpos, ypos func(float64) float64) {
+	for i, s := range f.Series {
+		color := Palette[i%len(Palette)]
+		var path strings.Builder
+		for j, p := range s.Points {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, xpos(p.X), ypos(p.Y))
+		}
+		fmt.Fprintf(b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", strings.TrimSpace(path.String()), color)
+		for _, p := range s.Points {
+			// Error bars from aggregated repetitions.
+			if p.YErr > 0 {
+				x, lo, hi := xpos(p.X), ypos(p.Y-p.YErr), ypos(p.Y+p.YErr)
+				fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.2"/>`+"\n", x, lo, x, hi, color)
+				fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.2"/>`+"\n", x-3, lo, x+3, lo, color)
+				fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.2"/>`+"\n", x-3, hi, x+3, hi, color)
+			}
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s"/>`+"\n", xpos(p.X), ypos(p.Y), color)
+		}
+	}
+}
+
+func (f *Figure) renderBars(b *strings.Builder, xpos, ypos func(float64) float64, h int) {
+	for i, s := range f.Series {
+		color := Palette[i%len(Palette)]
+		width := 8.0
+		if len(s.Points) > 1 {
+			width = math.Max(2, (xpos(s.Points[1].X)-xpos(s.Points[0].X))*0.8)
+		}
+		for _, p := range s.Points {
+			y := ypos(p.Y)
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.75"/>`+"\n",
+				xpos(p.X)-width/2, y, width, float64(h-padB)-y, color)
+		}
+	}
+}
+
+func (f *Figure) renderViolins(b *strings.Builder, xpos, ypos func(float64) float64) {
+	halfWidth := 0.35
+	for i, nv := range f.Violins {
+		color := Palette[i%len(Palette)]
+		cx := float64(i)
+		if len(nv.Violin.Profile) > 1 {
+			var path strings.Builder
+			// Right side down, left side up.
+			for j, p := range nv.Violin.Profile {
+				cmd := "L"
+				if j == 0 {
+					cmd = "M"
+				}
+				fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, xpos(cx+p.Y*halfWidth), ypos(p.X))
+			}
+			for j := len(nv.Violin.Profile) - 1; j >= 0; j-- {
+				p := nv.Violin.Profile[j]
+				fmt.Fprintf(&path, "L%.1f %.1f ", xpos(cx-p.Y*halfWidth), ypos(p.X))
+			}
+			fmt.Fprintf(b, `<path d="%sZ" fill="%s" fill-opacity="0.5" stroke="%s"/>`+"\n", strings.TrimSpace(path.String()), color, color)
+		}
+		// Quartile box and median tick.
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="3"/>`+"\n",
+			xpos(cx), ypos(nv.Violin.Q1), xpos(cx), ypos(nv.Violin.Q3))
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="white" stroke="black"/>`+"\n",
+			xpos(cx), ypos(nv.Violin.Summary.Median))
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			xpos(cx), ypos(0)+32, esc(nv.Name))
+	}
+}
+
+// CSV renders the figure's data as comma-separated values: one row per
+// point, with a series column. A yerr column appears when any point carries
+// aggregation error.
+func (f *Figure) CSV() string {
+	hasErr := false
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.YErr > 0 {
+				hasErr = true
+			}
+		}
+	}
+	var b strings.Builder
+	if hasErr {
+		b.WriteString("series,x,y,yerr\n")
+	} else {
+		b.WriteString("series,x,y\n")
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if hasErr {
+				fmt.Fprintf(&b, "%s,%g,%g,%g\n", s.Name, p.X, p.Y, p.YErr)
+			} else {
+				fmt.Fprintf(&b, "%s,%g,%g\n", s.Name, p.X, p.Y)
+			}
+		}
+	}
+	for _, nv := range f.Violins {
+		v := nv.Violin
+		fmt.Fprintf(&b, "%s,min,%g\n", nv.Name, v.Summary.Min)
+		fmt.Fprintf(&b, "%s,q1,%g\n", nv.Name, v.Q1)
+		fmt.Fprintf(&b, "%s,median,%g\n", nv.Name, v.Summary.Median)
+		fmt.Fprintf(&b, "%s,q3,%g\n", nv.Name, v.Q3)
+		fmt.Fprintf(&b, "%s,max,%g\n", nv.Name, v.Summary.Max)
+	}
+	return b.String()
+}
+
+// TeX renders the figure as a pgfplots axis environment.
+func (f *Figure) TeX() string {
+	var b strings.Builder
+	b.WriteString("\\begin{tikzpicture}\n\\begin{axis}[\n")
+	fmt.Fprintf(&b, "  title={%s},\n  xlabel={%s},\n  ylabel={%s},\n", texEsc(f.Title), texEsc(f.XLabel), texEsc(f.YLabel))
+	b.WriteString("  legend pos=north west,\n]\n")
+	for _, s := range f.Series {
+		hasErr := false
+		for _, p := range s.Points {
+			if p.YErr > 0 {
+				hasErr = true
+			}
+		}
+		switch {
+		case f.Kind == HistoKind:
+			b.WriteString("\\addplot+[ybar] coordinates {\n")
+		case f.Kind == CDFKind:
+			b.WriteString("\\addplot+[const plot] coordinates {\n")
+		case hasErr:
+			b.WriteString("\\addplot+[mark=*, error bars/.cd, y dir=both, y explicit] coordinates {\n")
+		default:
+			b.WriteString("\\addplot+[mark=*] coordinates {\n")
+		}
+		for _, p := range s.Points {
+			if hasErr {
+				fmt.Fprintf(&b, "  (%g, %g) +- (0, %g)\n", p.X, p.Y, p.YErr)
+			} else {
+				fmt.Fprintf(&b, "  (%g, %g)\n", p.X, p.Y)
+			}
+		}
+		b.WriteString("};\n")
+		fmt.Fprintf(&b, "\\addlegendentry{%s}\n", texEsc(s.Name))
+	}
+	b.WriteString("\\end{axis}\n\\end{tikzpicture}\n")
+	return b.String()
+}
+
+func texEsc(s string) string {
+	r := strings.NewReplacer("_", "\\_", "%", "\\%", "&", "\\&", "#", "\\#")
+	return r.Replace(s)
+}
+
+// Sorted returns series names in render order, for tests and manifests.
+func (f *Figure) Sorted() []string {
+	names := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

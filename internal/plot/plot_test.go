@@ -1,0 +1,253 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"pos/internal/eval"
+)
+
+func sampleSeries() []eval.Series {
+	return []eval.Series{
+		{Name: "64", Points: []eval.Point{{X: 0.01, Y: 0.01}, {X: 0.02, Y: 0.02}, {X: 0.3, Y: 0.04}}},
+		{Name: "1500", Points: []eval.Point{{X: 0.01, Y: 0.01}, {X: 0.02, Y: 0.02}, {X: 0.3, Y: 0.035}}},
+	}
+}
+
+func TestThroughputFigureSVGWellFormed(t *testing.T) {
+	f := Throughput("Fig 3a", sampleSeries())
+	svg := f.SVG()
+	// Structural checks.
+	for _, want := range []string{"<svg", "</svg>", "Fig 3a", "offered rate [Mpps]", "received rate [Mpps]", "64 B", "1500 B", "<path", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Must be valid XML.
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Errorf("SVG is not well-formed XML: %v", err)
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	f := &Figure{Title: `a<b & "c"`, Kind: Line, Series: sampleSeries()}
+	svg := f.SVG()
+	if strings.Contains(svg, `a<b`) {
+		t.Error("unescaped < in SVG")
+	}
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Errorf("escaped SVG invalid: %v", err)
+	}
+}
+
+func TestEmptyFigureStillRenders(t *testing.T) {
+	f := &Figure{Title: "empty", Kind: Line}
+	svg := f.SVG()
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty figure did not render")
+	}
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Errorf("empty SVG invalid: %v", err)
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	f := Throughput("t", sampleSeries())
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 7 { // header + 6 points
+		t.Errorf("lines = %d:\n%s", len(lines), csv)
+	}
+	if !strings.Contains(csv, "64 B,0.01,0.01") {
+		t.Errorf("csv = %s", csv)
+	}
+}
+
+func TestTeXFormat(t *testing.T) {
+	f := Throughput("fig_3a", sampleSeries())
+	tex := f.TeX()
+	for _, want := range []string{"\\begin{tikzpicture}", "\\begin{axis}", "\\addplot", "\\addlegendentry{64 B}", "(0.01, 0.01)", "fig\\_3a", "\\end{axis}"} {
+		if !strings.Contains(tex, want) {
+			t.Errorf("TeX missing %q:\n%s", want, tex)
+		}
+	}
+}
+
+func TestCDFFigure(t *testing.T) {
+	f := LatencyCDF("latency", map[string][]float64{
+		"pos": {10000, 20000, 30000},
+	})
+	if f.Kind != CDFKind {
+		t.Errorf("kind = %s", f.Kind)
+	}
+	// ns -> µs conversion.
+	if got := f.Series[0].Points[0].X; got != 10 {
+		t.Errorf("first point X = %v, want 10µs", got)
+	}
+	tex := f.TeX()
+	if !strings.Contains(tex, "const plot") {
+		t.Error("CDF TeX missing step-plot style")
+	}
+}
+
+func TestHistogramFigure(t *testing.T) {
+	f := LatencyHistogram("hist", []float64{1000, 2000, 2000, 3000}, 3)
+	svg := f.SVG()
+	if !strings.Contains(svg, "<rect") {
+		t.Error("histogram has no bars")
+	}
+	if !strings.Contains(f.TeX(), "ybar") {
+		t.Error("histogram TeX missing ybar")
+	}
+}
+
+func TestHDRFigure(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64(i) * 1000
+	}
+	f := LatencyHDR("hdr", map[string][]float64{"pos": samples})
+	pts := f.Series[0].Points
+	if len(pts) != len(eval.HDRQuantiles) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Error("HDR curve decreasing")
+		}
+	}
+}
+
+func TestViolinFigure(t *testing.T) {
+	f := LatencyViolin("violin", map[string][]float64{
+		"pos":  {1000, 2000, 2000, 3000, 4000},
+		"vpos": {50000, 60000, 60000, 70000},
+	})
+	if len(f.Violins) != 2 {
+		t.Fatalf("violins = %d", len(f.Violins))
+	}
+	// Sorted by name.
+	if f.Violins[0].Name != "pos" || f.Violins[1].Name != "vpos" {
+		t.Errorf("order = %s/%s", f.Violins[0].Name, f.Violins[1].Name)
+	}
+	svg := f.SVG()
+	if !strings.Contains(svg, "fill-opacity") {
+		t.Error("violin bodies missing")
+	}
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Errorf("violin SVG invalid: %v", err)
+	}
+	csv := f.CSV()
+	for _, want := range []string{"pos,median,", "vpos,q1,", "vpos,max,"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("violin CSV missing %q", want)
+		}
+	}
+}
+
+func TestExportNamed(t *testing.T) {
+	f := Throughput("t", sampleSeries())
+	files := ExportNamed("throughput", f)
+	for _, name := range []string{"throughput.svg", "throughput.tex", "throughput.csv"} {
+		if len(files[name]) == 0 {
+			t.Errorf("missing %s", name)
+		}
+	}
+	if len(files) != 3 {
+		t.Errorf("files = %d", len(files))
+	}
+}
+
+func TestTicksAreRounded(t *testing.T) {
+	got := ticks(0, 1, 6)
+	if len(got) < 4 {
+		t.Fatalf("ticks = %v", got)
+	}
+	for _, tick := range got {
+		if tick < 0 || tick > 1.001 {
+			t.Errorf("tick %v out of range", tick)
+		}
+	}
+	// Degenerate range.
+	if got := ticks(5, 5, 6); len(got) != 1 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 0.5: "0.5", 1: "1", 2.5: "2.5", 1e7: "1e+07"}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	f := Throughput("t", sampleSeries())
+	names := f.Sorted()
+	if names[0] != "1500 B" || names[1] != "64 B" {
+		t.Errorf("sorted = %v", names)
+	}
+}
+
+func TestErrorBarsRendered(t *testing.T) {
+	f := &Figure{
+		Title: "agg", Kind: Line,
+		Series: []eval.Series{{Name: "64", Points: []eval.Point{
+			{X: 1, Y: 10, YErr: 2},
+			{X: 2, Y: 20},
+		}}},
+	}
+	svg := f.SVG()
+	// Error bar = 3 extra line elements for the errored point.
+	if strings.Count(svg, "<line") < 3 {
+		t.Errorf("no error bars in SVG:\n%s", svg)
+	}
+	csv := f.CSV()
+	if !strings.HasPrefix(csv, "series,x,y,yerr\n") || !strings.Contains(csv, "64,1,10,2") {
+		t.Errorf("csv = %q", csv)
+	}
+	tex := f.TeX()
+	if !strings.Contains(tex, "error bars") || !strings.Contains(tex, "+- (0, 2)") {
+		t.Errorf("tex = %q", tex)
+	}
+	// Bounds include Y+YErr: the top error bar is inside the plot area.
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Errorf("SVG invalid: %v", err)
+	}
+}
+
+func TestNoErrColumnWithoutErrors(t *testing.T) {
+	f := Throughput("t", sampleSeries())
+	if strings.Contains(f.CSV(), "yerr") {
+		t.Error("yerr column present without errors")
+	}
+	if strings.Contains(f.TeX(), "error bars") {
+		t.Error("TeX error bars without errors")
+	}
+}
+
+func TestStabilityFigure(t *testing.T) {
+	f := Stability("vpos instability", map[string][]float64{
+		"stable":   {0.02, 0.02, 0.02},
+		"unstable": {0.06, 0.05, 0.066},
+	})
+	if len(f.Series) != 2 || f.Series[0].Name != "stable" {
+		t.Fatalf("series = %+v", f.Series)
+	}
+	if f.Series[1].Points[2].X != 2 || f.Series[1].Points[2].Y != 0.066 {
+		t.Errorf("point = %+v", f.Series[1].Points[2])
+	}
+	svg := f.SVG()
+	if !strings.Contains(svg, "time [s]") {
+		t.Error("x label missing")
+	}
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Errorf("SVG invalid: %v", err)
+	}
+}

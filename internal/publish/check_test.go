@@ -1,0 +1,151 @@
+package publish
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"pos/internal/casestudy"
+	"pos/internal/results"
+)
+
+// completeExperiment runs a real miniature workflow to get a guaranteed
+// publishable artifact tree.
+func completeExperiment(t *testing.T) *results.Experiment {
+	t.Helper()
+	topo, err := casestudy.New(casestudy.BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(topo.Close)
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := casestudy.SweepConfig{Sizes: []int{64}, RatesPPS: []int{10_000, 20_000}, RuntimeSec: 1}
+	if _, err := topo.Testbed.Runner().Run(context.Background(), topo.Experiment(sweep), store); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := store.ListExperiments("user", "linux-router-pos")
+	exp, err := store.OpenExperiment("user", "linux-router-pos", ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+func TestCheckPassesOnRealWorkflowOutput(t *testing.T) {
+	exp := completeExperiment(t)
+	rep, err := Check(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("complete artifact flagged:\n%s", rep.Render())
+	}
+	if rep.RunsChecked != 2 {
+		t.Errorf("runs checked = %d", rep.RunsChecked)
+	}
+	if !strings.Contains(rep.Render(), "PUBLISHABLE") {
+		t.Errorf("render = %q", rep.Render())
+	}
+}
+
+func TestCheckFlagsMissingDefinition(t *testing.T) {
+	store, _ := results.NewStore(t.TempDir())
+	exp, err := store.CreateExperiment("u", "bare", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.WriteRunMeta(results.RunMeta{Run: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.AddRunArtifact(0, "n", "out", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("missing definition not flagged")
+	}
+	if !strings.Contains(rep.Render(), "experiment definition artifact missing") {
+		t.Errorf("render = %q", rep.Render())
+	}
+}
+
+func TestCheckFlagsNoRuns(t *testing.T) {
+	store, _ := results.NewStore(t.TempDir())
+	exp, _ := store.CreateExperiment("u", "empty", time.Now())
+	rep, err := Check(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !strings.Contains(rep.Render(), "no measurement runs") {
+		t.Errorf("report = %s", rep.Render())
+	}
+}
+
+func TestCheckFlagsRunGap(t *testing.T) {
+	store, _ := results.NewStore(t.TempDir())
+	exp, _ := store.CreateExperiment("u", "gap", time.Now())
+	for _, run := range []int{0, 2} { // hole at 1
+		exp.WriteRunMeta(results.RunMeta{Run: run, LoopVars: map[string]string{"r": string(rune('0' + run))}})
+		exp.AddRunArtifact(run, "n", "out", []byte("x"))
+	}
+	rep, err := Check(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !strings.Contains(rep.Render(), "contiguous") {
+		t.Errorf("report = %s", rep.Render())
+	}
+}
+
+func TestCheckFlagsEmptySuccessfulRun(t *testing.T) {
+	store, _ := results.NewStore(t.TempDir())
+	exp, _ := store.CreateExperiment("u", "hollow", time.Now())
+	exp.WriteRunMeta(results.RunMeta{Run: 0})
+	rep, err := Check(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Severity == "error" && strings.Contains(f.Msg, "no artifacts") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("empty run not flagged: %s", rep.Render())
+	}
+}
+
+func TestCheckWarnsOnDuplicatesAndSilentFailures(t *testing.T) {
+	store, _ := results.NewStore(t.TempDir())
+	exp, _ := store.CreateExperiment("u", "warns", time.Now())
+	combo := map[string]string{"pkt_sz": "64"}
+	exp.WriteRunMeta(results.RunMeta{Run: 0, LoopVars: combo})
+	exp.AddRunArtifact(0, "n", "out", []byte("x"))
+	exp.WriteRunMeta(results.RunMeta{Run: 1, LoopVars: combo}) // duplicate combo
+	exp.AddRunArtifact(1, "n", "out", []byte("x"))
+	exp.WriteRunMeta(results.RunMeta{Run: 2, Failed: true, LoopVars: map[string]string{"pkt_sz": "1500"}}) // failed, no error msg, no artifacts
+	rep, err := Check(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.Render()
+	if !strings.Contains(text, "duplicate loop combination") {
+		t.Errorf("duplicate not warned: %s", text)
+	}
+	if !strings.Contains(text, "failed run without artifacts") {
+		t.Errorf("silent failure not warned: %s", text)
+	}
+	// Warnings don't block publication — but the missing definition does
+	// in this synthetic tree.
+	if rep.OK() {
+		t.Error("synthetic tree without definition passed")
+	}
+}

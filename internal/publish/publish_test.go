@@ -1,0 +1,170 @@
+package publish
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pos/internal/results"
+)
+
+func sampleExperiment(t *testing.T) *results.Experiment {
+	t.Helper()
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := store.CreateExperiment("user", "linux-router", time.Date(2020, 10, 12, 11, 20, 32, 230471000, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.AddExperimentArtifact("experiment/measurement.sh", []byte("moongen --rate $pkt_rate")); err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		if err := exp.WriteRunMeta(results.RunMeta{Run: run, Failed: run == 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.AddRunArtifact(run, "loadgen", "moongen.log", []byte("log data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exp.AddExperimentArtifact("figures/throughput.svg", []byte("<svg/>")); err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+func TestBuildManifest(t *testing.T) {
+	exp := sampleExperiment(t)
+	m, err := BuildManifest(exp, "user", "linux-router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 3 || m.FailedRuns != 1 {
+		t.Errorf("manifest = %+v", m)
+	}
+	if m.ID != exp.ID() {
+		t.Errorf("id = %s", m.ID)
+	}
+	// All artifacts present and sorted.
+	wantSome := []string{
+		"experiment/measurement.sh",
+		"figures/throughput.svg",
+		"run_0000/loadgen/moongen.log",
+		"run_0000/metadata.json",
+	}
+	joined := strings.Join(m.Files, "\n")
+	for _, w := range wantSome {
+		if !strings.Contains(joined, w) {
+			t.Errorf("manifest missing %s:\n%s", w, joined)
+		}
+	}
+	for i := 1; i < len(m.Files); i++ {
+		if m.Files[i] < m.Files[i-1] {
+			t.Error("files not sorted")
+		}
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	exp := sampleExperiment(t)
+	var buf bytes.Buffer
+	m, err := Archive(exp, "linux-router", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tar.NewReader(gz)
+	var names []string
+	contents := map[string]string{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, hdr.Name)
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contents[hdr.Name] = string(data)
+	}
+	if len(names) != len(m.Files) {
+		t.Errorf("archive entries = %d, manifest = %d", len(names), len(m.Files))
+	}
+	prefix := "linux-router-" + exp.ID() + "/"
+	for _, n := range names {
+		if !strings.HasPrefix(n, prefix) {
+			t.Errorf("entry %q not rooted at %q", n, prefix)
+		}
+	}
+	if got := contents[prefix+"experiment/measurement.sh"]; got != "moongen --rate $pkt_rate" {
+		t.Errorf("script content = %q", got)
+	}
+}
+
+func TestWebsite(t *testing.T) {
+	exp := sampleExperiment(t)
+	m, err := BuildManifest(exp, "user", "linux-router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site, err := Website(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(site)
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"linux-router",
+		"3 measurement runs (1 failed)",
+		"run_0000/",
+		"experiment/measurement.sh",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("website missing %q", want)
+		}
+	}
+}
+
+func TestRelease(t *testing.T) {
+	exp := sampleExperiment(t)
+	dest := filepath.Join(t.TempDir(), "artifacts.tar.gz")
+	m, err := Release(exp, "user", "linux-router", dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.User != "user" {
+		t.Errorf("user = %q", m.User)
+	}
+	// The website was generated into the experiment before archiving.
+	if _, err := exp.ReadExperimentArtifact("index.html"); err != nil {
+		t.Errorf("index.html missing: %v", err)
+	}
+	found := false
+	for _, f := range m.Files {
+		if f == "index.html" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("index.html not in the released bundle")
+	}
+	fi, err := os.Stat(dest)
+	if err != nil || fi.Size() == 0 {
+		t.Errorf("archive missing or empty: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package repeat
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"pos/internal/casestudy"
+	"pos/internal/core"
+	"pos/internal/eval"
+	"pos/internal/results"
+)
+
+func smallSweep() casestudy.SweepConfig {
+	return casestudy.SweepConfig{
+		Sizes:      []int{64},
+		RatesPPS:   []int{10_000, 100_000},
+		RuntimeSec: 1,
+	}
+}
+
+func TestBareMetalIsIdenticallyRepeatable(t *testing.T) {
+	topo, err := casestudy.New(casestudy.BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(context.Background(), topo.Testbed.Runner(), topo.Experiment(smallSweep()), store,
+		Config{Repetitions: 3, Node: topo.LoadGen, Artifact: "moongen.log"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Errorf("deterministic testbed not identically repeatable: %+v", rep)
+	}
+	if rep.MaxRelDev != 0 {
+		t.Errorf("max deviation = %v", rep.MaxRelDev)
+	}
+	if len(rep.Deviations) != 2 {
+		t.Errorf("deviations = %d, want one per combination", len(rep.Deviations))
+	}
+	out := string(rep.Render())
+	if !strings.Contains(out, "IDENTICAL") || !strings.Contains(out, "pkt_rate=10000") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestOverloadedVirtualDeviates(t *testing.T) {
+	// The VM redraws its capacity jitter as virtual time advances, so
+	// back-to-back repetitions of an overloaded run differ — exactly the
+	// instability the paper shows in Fig. 3b.
+	topo, err := casestudy.New(casestudy.Virtual, casestudy.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := casestudy.SweepConfig{Sizes: []int{64}, RatesPPS: []int{250_000}, RuntimeSec: 1}
+	rep, err := Verify(context.Background(), topo.Testbed.Runner(), topo.Experiment(sweep), store,
+		Config{Repetitions: 3, Node: topo.LoadGen, Artifact: "moongen.log"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Identical {
+		t.Error("overloaded vpos reported as identical — jitter lost")
+	}
+	if rep.MaxRelDev <= 0 || rep.MaxRelDev > 0.5 {
+		t.Errorf("max deviation = %v, want small but non-zero", rep.MaxRelDev)
+	}
+	if !strings.Contains(string(rep.Render()), "max relative deviation") {
+		t.Errorf("render = %q", rep.Render())
+	}
+}
+
+func TestVerifyValidation(t *testing.T) {
+	topo, err := casestudy.New(casestudy.BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, _ := results.NewStore(t.TempDir())
+	runner := topo.Testbed.Runner()
+	exp := topo.Experiment(smallSweep())
+	if _, err := Verify(context.Background(), runner, exp, store, Config{Repetitions: 1, Node: "a", Artifact: "b"}); err == nil {
+		t.Error("accepted one repetition")
+	}
+	if _, err := Verify(context.Background(), runner, exp, store, Config{Repetitions: 2}); err == nil {
+		t.Error("accepted empty node/artifact")
+	}
+	// Wrong artifact name: no comparable runs.
+	if _, err := Verify(context.Background(), runner, exp, store, Config{Repetitions: 2, Node: topo.LoadGen, Artifact: "nope.log"}); err == nil {
+		t.Error("accepted missing artifact")
+	}
+}
+
+func TestCustomMetric(t *testing.T) {
+	topo, err := casestudy.New(casestudy.BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, _ := results.NewStore(t.TempDir())
+	// Compare TX instead of RX.
+	rep, err := Verify(context.Background(), topo.Testbed.Runner(), topo.Experiment(smallSweep()), store,
+		Config{
+			Repetitions: 2, Node: topo.LoadGen, Artifact: "moongen.log",
+			Metric: func(r eval.RunData) (float64, bool) {
+				if r.Report == nil {
+					return 0, false
+				}
+				return r.Report.TxMpps(), true
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Errorf("TX not repeatable: %+v", rep)
+	}
+}
+
+func TestFailedRunsExcluded(t *testing.T) {
+	// Verify errors out when an execution produces nothing comparable;
+	// emulate by a metric that rejects everything.
+	topo, err := casestudy.New(casestudy.BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, _ := results.NewStore(t.TempDir())
+	_, err = Verify(context.Background(), topo.Testbed.Runner(), topo.Experiment(smallSweep()), store,
+		Config{
+			Repetitions: 2, Node: topo.LoadGen, Artifact: "moongen.log",
+			Metric: func(eval.RunData) (float64, bool) { return 0, false },
+		})
+	if err == nil {
+		t.Error("no-comparable-runs execution accepted")
+	}
+	_ = core.NumRuns(nil)
+}

@@ -1,0 +1,272 @@
+// Package results implements pos' central result collection (requirement
+// R5). Every experiment gets a timestamped directory tree in the paper's
+// layout — <root>/<user>/<experiment>/<timestamp>/ — holding per-run result
+// files, per-run loop-parameter metadata, the executed scripts and variable
+// files, and experiment-wide artifacts. The enforced structure is what makes
+// the evaluation and publication phases mechanical.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is the root of the results tree, the emulated
+// /srv/testbed/results.
+type Store struct {
+	root string
+}
+
+// NewStore opens (creating if needed) a results tree rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Experiment is one experiment's result directory.
+type Experiment struct {
+	mu   sync.Mutex
+	dir  string
+	user string
+	name string
+	id   string
+}
+
+// CreateExperiment allocates a fresh timestamped experiment directory. The
+// timestamp format matches the paper's artifacts
+// (e.g. 2020-10-12_11-20-32_230471).
+func (s *Store) CreateExperiment(user, name string, at time.Time) (*Experiment, error) {
+	if user == "" || name == "" {
+		return nil, fmt.Errorf("results: user and experiment name required")
+	}
+	id := at.Format("2006-01-02_15-04-05") + fmt.Sprintf("_%06d", at.Nanosecond()/1000)
+	dir := filepath.Join(s.root, user, name, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return &Experiment{dir: dir, user: user, name: name, id: id}, nil
+}
+
+// OpenExperiment opens an existing experiment directory for evaluation.
+func (s *Store) OpenExperiment(user, name, id string) (*Experiment, error) {
+	dir := filepath.Join(s.root, user, name, id)
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("results: experiment %s/%s/%s not found", user, name, id)
+	}
+	return &Experiment{dir: dir, user: user, name: name, id: id}, nil
+}
+
+// ListExperiments returns the IDs recorded for user/name, sorted ascending
+// (timestamps sort chronologically).
+func (s *Store) ListExperiments(user, name string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, user, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Prune deletes all but the newest keep executions of user/name, returning
+// the removed ids. Retention by count matches how shared testbeds manage
+// their result volumes; the newest executions (lexically greatest ids —
+// timestamps sort chronologically) survive.
+func (s *Store) Prune(user, name string, keep int) ([]string, error) {
+	if keep < 0 {
+		return nil, fmt.Errorf("results: keep must be >= 0")
+	}
+	ids, err := s.ListExperiments(user, name)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) <= keep {
+		return nil, nil
+	}
+	victims := ids[:len(ids)-keep]
+	for _, id := range victims {
+		dir := filepath.Join(s.root, user, name, id)
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, fmt.Errorf("results: pruning %s: %w", id, err)
+		}
+	}
+	return append([]string(nil), victims...), nil
+}
+
+// Dir returns the experiment's directory.
+func (e *Experiment) Dir() string { return e.dir }
+
+// ID returns the experiment's timestamp identifier.
+func (e *Experiment) ID() string { return e.id }
+
+// RunMeta is the metadata pos records for every measurement run: which loop
+// parameter combination the run executed.
+type RunMeta struct {
+	Run        int               `json:"run"`
+	LoopVars   map[string]string `json:"loop_vars"`
+	StartedAt  time.Time         `json:"started_at"`
+	FinishedAt time.Time         `json:"finished_at"`
+	// Failed marks runs whose measurement script exited non-zero.
+	Failed bool `json:"failed,omitempty"`
+	// Error carries the failure reason for failed runs.
+	Error string `json:"error,omitempty"`
+}
+
+func runDirName(run int) string { return fmt.Sprintf("run_%04d", run) }
+
+// WriteRunMeta stores the metadata file of one run.
+func (e *Experiment) WriteRunMeta(meta RunMeta) error {
+	dir := filepath.Join(e.dir, runDirName(meta.Run))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, "metadata.json"), append(data, '\n'))
+}
+
+// ReadRunMeta loads one run's metadata.
+func (e *Experiment) ReadRunMeta(run int) (RunMeta, error) {
+	data, err := os.ReadFile(filepath.Join(e.dir, runDirName(run), "metadata.json"))
+	if err != nil {
+		return RunMeta{}, fmt.Errorf("results: %w", err)
+	}
+	var meta RunMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return RunMeta{}, fmt.Errorf("results: run %d metadata: %w", run, err)
+	}
+	return meta, nil
+}
+
+// AddRunArtifact stores one artifact produced during a run by a node, e.g.
+// the captured MoonGen log.
+func (e *Experiment) AddRunArtifact(run int, nodeName, artifact string, data []byte) error {
+	if strings.ContainsAny(artifact, "/\\") || strings.ContainsAny(nodeName, "/\\") {
+		return fmt.Errorf("results: artifact and node names must be flat (%q, %q)", nodeName, artifact)
+	}
+	dir := filepath.Join(e.dir, runDirName(run), nodeName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, artifact), data)
+}
+
+// ReadRunArtifact loads one artifact back.
+func (e *Experiment) ReadRunArtifact(run int, nodeName, artifact string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(e.dir, runDirName(run), nodeName, artifact))
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return data, nil
+}
+
+// AddExperimentArtifact stores an experiment-wide artifact (the experiment
+// script, variable files, topology dump, hardware info, generated plots).
+func (e *Experiment) AddExperimentArtifact(artifact string, data []byte) error {
+	if strings.Contains(artifact, "..") {
+		return fmt.Errorf("results: artifact path %q escapes the experiment", artifact)
+	}
+	path := filepath.Join(e.dir, artifact)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return writeFileAtomic(path, data)
+}
+
+// ReadExperimentArtifact loads an experiment-wide artifact.
+func (e *Experiment) ReadExperimentArtifact(artifact string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(e.dir, artifact))
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return data, nil
+}
+
+// Runs lists the run indices present, sorted.
+func (e *Experiment) Runs() ([]int, error) {
+	entries, err := os.ReadDir(e.dir)
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	var runs []int
+	for _, ent := range entries {
+		var n int
+		if ent.IsDir() {
+			if _, err := fmt.Sscanf(ent.Name(), "run_%04d", &n); err == nil {
+				runs = append(runs, n)
+			}
+		}
+	}
+	sort.Ints(runs)
+	return runs, nil
+}
+
+// RunArtifacts lists "<node>/<artifact>" paths for one run, sorted.
+func (e *Experiment) RunArtifacts(run int) ([]string, error) {
+	base := filepath.Join(e.dir, runDirName(run))
+	var out []string
+	err := filepath.Walk(base, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || info.Name() == "metadata.json" {
+			return nil
+		}
+		rel, err := filepath.Rel(base, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// writeFileAtomic writes via a temp file + rename so readers never observe a
+// torn result file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("results: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package results
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var when = time.Date(2020, 10, 12, 11, 20, 32, 230471000, time.UTC)
+
+func newExp(t *testing.T) (*Store, *Experiment) {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.CreateExperiment("user", "default", when)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, e
+}
+
+func TestExperimentIDMatchesPaperLayout(t *testing.T) {
+	_, e := newExp(t)
+	if e.ID() != "2020-10-12_11-20-32_230471" {
+		t.Errorf("ID = %s", e.ID())
+	}
+	if !strings.Contains(e.Dir(), "user/default/2020-10-12_11-20-32_230471") {
+		t.Errorf("Dir = %s", e.Dir())
+	}
+}
+
+func TestRunMetaRoundTrip(t *testing.T) {
+	_, e := newExp(t)
+	meta := RunMeta{
+		Run:        3,
+		LoopVars:   map[string]string{"pkt_sz": "64", "pkt_rate": "10000"},
+		StartedAt:  when,
+		FinishedAt: when.Add(time.Minute),
+	}
+	if err := e.WriteRunMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ReadRunMeta(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LoopVars["pkt_sz"] != "64" || got.Run != 3 || got.Failed {
+		t.Errorf("meta = %+v", got)
+	}
+}
+
+func TestFailedRunMeta(t *testing.T) {
+	_, e := newExp(t)
+	if err := e.WriteRunMeta(RunMeta{Run: 0, Failed: true, Error: "exit 1"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ReadRunMeta(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Failed || got.Error != "exit 1" {
+		t.Errorf("meta = %+v", got)
+	}
+}
+
+func TestRunArtifacts(t *testing.T) {
+	_, e := newExp(t)
+	if err := e.AddRunArtifact(1, "loadgen", "moongen.log", []byte("log")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRunArtifact(1, "dut", "setup.out", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteRunMeta(RunMeta{Run: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.ReadRunArtifact(1, "loadgen", "moongen.log")
+	if err != nil || string(data) != "log" {
+		t.Errorf("artifact = %q, %v", data, err)
+	}
+	list, err := e.RunArtifacts(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// metadata.json excluded, entries sorted.
+	if len(list) != 2 || list[0] != "dut/setup.out" || list[1] != "loadgen/moongen.log" {
+		t.Errorf("artifacts = %v", list)
+	}
+}
+
+func TestArtifactNameValidation(t *testing.T) {
+	_, e := newExp(t)
+	if err := e.AddRunArtifact(0, "bad/node", "a", nil); err == nil {
+		t.Error("accepted slash in node name")
+	}
+	if err := e.AddRunArtifact(0, "n", "../../escape", nil); err == nil {
+		t.Error("accepted path traversal in artifact")
+	}
+	if err := e.AddExperimentArtifact("../escape", nil); err == nil {
+		t.Error("accepted traversal in experiment artifact")
+	}
+}
+
+func TestExperimentArtifacts(t *testing.T) {
+	_, e := newExp(t)
+	if err := e.AddExperimentArtifact("experiment/measurement.sh", []byte("echo hi")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.ReadExperimentArtifact("experiment/measurement.sh")
+	if err != nil || string(data) != "echo hi" {
+		t.Errorf("artifact = %q, %v", data, err)
+	}
+}
+
+func TestRunsEnumeration(t *testing.T) {
+	_, e := newExp(t)
+	for _, r := range []int{5, 0, 2} {
+		if err := e.WriteRunMeta(RunMeta{Run: r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := e.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 || runs[0] != 0 || runs[1] != 2 || runs[2] != 5 {
+		t.Errorf("runs = %v", runs)
+	}
+}
+
+func TestListAndOpenExperiments(t *testing.T) {
+	s, e := newExp(t)
+	later, err := s.CreateExperiment("user", "default", when.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.ListExperiments("user", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != e.ID() || ids[1] != later.ID() {
+		t.Errorf("ids = %v", ids)
+	}
+	reopened, err := s.OpenExperiment("user", "default", e.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Dir() != e.Dir() {
+		t.Errorf("reopened dir = %s", reopened.Dir())
+	}
+	if _, err := s.OpenExperiment("user", "default", "nope"); err == nil {
+		t.Error("opened missing experiment")
+	}
+	if ids, err := s.ListExperiments("ghost", "x"); err != nil || ids != nil {
+		t.Errorf("missing user: %v, %v", ids, err)
+	}
+}
+
+func TestCreateExperimentValidation(t *testing.T) {
+	s, _ := newExp(t)
+	if _, err := s.CreateExperiment("", "x", when); err == nil {
+		t.Error("accepted empty user")
+	}
+	if _, err := s.CreateExperiment("u", "", when); err == nil {
+		t.Error("accepted empty name")
+	}
+}
+
+func TestAtomicOverwrite(t *testing.T) {
+	_, e := newExp(t)
+	if err := e.AddRunArtifact(0, "n", "a.log", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRunArtifact(0, "n", "a.log", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.ReadRunArtifact(0, "n", "a.log")
+	if err != nil || string(data) != "v2" {
+		t.Errorf("artifact = %q, %v", data, err)
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	s, _ := newExp(t)
+	// Two more executions after the fixture's one.
+	e2, err := s.CreateExperiment("user", "default", when.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := s.CreateExperiment("user", "default", when.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.Prune("user", "default", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "2020-10-12_11-20-32_230471" {
+		t.Errorf("removed = %v", removed)
+	}
+	ids, _ := s.ListExperiments("user", "default")
+	if len(ids) != 2 || ids[0] != e2.ID() || ids[1] != e3.ID() {
+		t.Errorf("ids = %v", ids)
+	}
+	// Pruning again is a no-op.
+	removed, err = s.Prune("user", "default", 2)
+	if err != nil || removed != nil {
+		t.Errorf("second prune = %v, %v", removed, err)
+	}
+	// keep=0 removes everything.
+	if _, err := s.Prune("user", "default", 0); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = s.ListExperiments("user", "default")
+	if len(ids) != 0 {
+		t.Errorf("ids after full prune = %v", ids)
+	}
+	if _, err := s.Prune("user", "default", -1); err == nil {
+		t.Error("negative keep accepted")
+	}
+}

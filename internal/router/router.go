@@ -1,0 +1,214 @@
+// Package router emulates the paper's device under test: a Linux software
+// router forwarding packets between its two NIC ports. The forwarding
+// fast path validates and rewrites real IPv4 headers (TTL decrement,
+// incremental checksum update) while throughput is governed by a
+// perfmodel.Model — bare metal or virtualized — using the same fluid
+// busy-until discipline as the links, so CPU saturation produces drops and
+// queueing delay exactly where the paper's Fig. 3 shows them.
+package router
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pos/internal/netem"
+	"pos/internal/packet"
+	"pos/internal/perfmodel"
+	"pos/internal/sim"
+)
+
+// Stats counts the router's forwarding activity.
+type Stats struct {
+	Forwarded  int64 // packets sent out the egress port
+	Dropped    int64 // packets lost to CPU overload (queue overflow)
+	TTLExpired int64 // packets discarded for TTL <= 1
+	BadPacket  int64 // undecodable or non-IPv4 packets
+	NotRouting int64 // packets discarded while ip_forward was off
+}
+
+// Config parameterizes a Router.
+type Config struct {
+	// Name identifies the router in logs and metadata.
+	Name string
+	// Model is the forwarding capacity model. Required.
+	Model perfmodel.Model
+	// QueueDelayLimit bounds the software ingress queue, expressed as
+	// time at the current service rate; 0 defaults to 50 ms (roughly
+	// 1000 descriptors at VM rates, generous at bare-metal rates).
+	QueueDelayLimit sim.Duration
+	// HardwareTimestamps marks the router's NICs as capable of hardware
+	// timestamping (true for the bare-metal 82599 model).
+	HardwareTimestamps bool
+}
+
+// DefaultQueueDelayLimit bounds the router's software queue backlog.
+const DefaultQueueDelayLimit = 50 * sim.Millisecond
+
+// Router is a two-port IPv4 forwarder.
+type Router struct {
+	cfg    Config
+	engine *sim.Engine
+	ports  [2]*netem.Port
+	stats  Stats
+	// busyUntil is the CPU's virtual completion time.
+	busyUntil sim.Time
+	// lastCapacity caches the capacity used for utilization reporting.
+	lastCapacity float64
+	// rewriteIn/rewriteOut memoize the last forwarding rewrite: the load
+	// generator reuses one template frame per run, so almost every batch
+	// carries the same representative bytes. The memo must not be reused
+	// as scratch because delivered batches alias rewriteOut until their
+	// scheduled events fire.
+	rewriteIn  []byte
+	rewriteOut []byte
+	// forwarding mirrors net.ipv4.ip_forward: when false, arriving
+	// packets are discarded — the state of a freshly booted Linux host
+	// before the setup script enables routing.
+	forwarding bool
+}
+
+// New constructs a router with ports named <name>.eth0 and <name>.eth1.
+func New(e *sim.Engine, cfg Config) (*Router, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("router %q: nil capacity model", cfg.Name)
+	}
+	if cfg.QueueDelayLimit == 0 {
+		cfg.QueueDelayLimit = DefaultQueueDelayLimit
+	}
+	r := &Router{cfg: cfg, engine: e, forwarding: true}
+	for i := range r.ports {
+		p := netem.NewPort(fmt.Sprintf("%s.eth%d", cfg.Name, i), r)
+		p.HardwareTimestamps = cfg.HardwareTimestamps
+		r.ports[i] = p
+	}
+	return r, nil
+}
+
+// Port returns the i-th NIC port (0 or 1).
+func (r *Router) Port(i int) *netem.Port { return r.ports[i] }
+
+// Stats returns a snapshot of the forwarding counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// ResetStats zeroes counters and the CPU backlog — the equivalent of a fresh
+// measurement run after a reboot.
+func (r *Router) ResetStats() {
+	r.stats = Stats{}
+	r.busyUntil = 0
+}
+
+// Utilization reports the CPU backlog as a fraction of the queue limit.
+func (r *Router) Utilization(now sim.Time) float64 {
+	if r.busyUntil <= now {
+		return 0
+	}
+	return float64(r.busyUntil.Sub(now)) / float64(r.cfg.QueueDelayLimit)
+}
+
+// SetForwarding toggles the IPv4 forwarding path — the emulated
+// net.ipv4.ip_forward sysctl the DuT setup script flips.
+func (r *Router) SetForwarding(on bool) { r.forwarding = on }
+
+// HandleBatch implements netem.Device: forward from one port to the other.
+func (r *Router) HandleBatch(now sim.Time, in Batch, rx *netem.Port) {
+	if !r.forwarding {
+		r.stats.NotRouting += in.Count
+		return
+	}
+	out := r.egress(rx)
+	if out == nil {
+		r.stats.BadPacket += in.Count
+		return
+	}
+	fwd, ok := r.rewrite(in)
+	if !ok {
+		return
+	}
+	// CPU admission: the model's capacity for this interval sets the
+	// per-packet service time; packets beyond the queue limit are lost,
+	// as a saturated softirq path drops at the NIC ring.
+	capacity := r.cfg.Model.CapacityPPS(now, in.FrameSize)
+	r.lastCapacity = capacity
+	if capacity <= 0 {
+		r.stats.Dropped += fwd.Count
+		return
+	}
+	perPacket := sim.Duration(float64(sim.Second) / capacity)
+	if perPacket <= 0 {
+		perPacket = 1
+	}
+	busy := r.busyUntil
+	if busy < now {
+		busy = now
+	}
+	backlog := busy.Sub(now)
+	room := r.cfg.QueueDelayLimit - backlog
+	accepted := fwd.Count
+	if room <= 0 {
+		accepted = 0
+	} else if need := sim.Duration(fwd.Count) * perPacket; need > room {
+		accepted = int64(room / perPacket)
+	}
+	r.stats.Dropped += fwd.Count - accepted
+	if accepted == 0 {
+		return
+	}
+	svcTime := sim.Duration(accepted) * perPacket
+	r.busyUntil = busy.Add(svcTime)
+	done := fwd
+	done.Count = accepted
+	done.Delay += backlog + svcTime/2 + r.cfg.Model.SampleLatency(r.Utilization(now))
+	r.stats.Forwarded += accepted
+	r.engine.At(r.busyUntil, func(t sim.Time) {
+		out.Send(t, done)
+	})
+}
+
+// Batch aliases netem.Batch for readability in this package's signatures.
+type Batch = netem.Batch
+
+// egress picks the opposite port.
+func (r *Router) egress(rx *netem.Port) *netem.Port {
+	switch rx {
+	case r.ports[0]:
+		return r.ports[1]
+	case r.ports[1]:
+		return r.ports[0]
+	default:
+		return nil
+	}
+}
+
+// rewrite performs the IPv4 forwarding transformation on the representative
+// frame: validate, decrement TTL, and update the checksum incrementally
+// (RFC 1624). It returns ok=false when the whole batch is discarded.
+func (r *Router) rewrite(in Batch) (Batch, bool) {
+	var p packet.Packet
+	if err := p.DecodeInto(in.Data); err != nil || !p.Has(packet.LayerTypeIPv4) {
+		r.stats.BadPacket += in.Count
+		return in, false
+	}
+	if p.IP.TTL <= 1 {
+		r.stats.TTLExpired += in.Count
+		return in, false
+	}
+	out := in
+	if r.rewriteIn != nil && &r.rewriteIn[0] == &in.Data[0] && len(r.rewriteIn) == len(in.Data) {
+		out.Data = r.rewriteOut
+		return out, true
+	}
+	rewritten := make([]byte, len(in.Data))
+	copy(rewritten, in.Data)
+	hdr := rewritten[packet.EthernetHeaderLen:]
+	hdr[8]-- // TTL
+	// Incremental checksum (RFC 1141): decrementing the TTL byte (high
+	// byte of word 4) increases the stored checksum by 0x0100, with
+	// end-around carry.
+	cs := binary.BigEndian.Uint16(hdr[10:12])
+	sum := uint32(cs) + 0x0100
+	sum = (sum & 0xffff) + (sum >> 16)
+	binary.BigEndian.PutUint16(hdr[10:12], uint16(sum))
+	r.rewriteIn, r.rewriteOut = in.Data, rewritten
+	out.Data = rewritten
+	return out, true
+}

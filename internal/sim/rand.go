@@ -1,0 +1,61 @@
+package sim
+
+import "math"
+
+// Rand is a small deterministic pseudo-random source (SplitMix64) used by
+// performance models for run-to-run jitter. It is intentionally independent
+// of math/rand so that simulated noise is stable across Go releases: a given
+// seed must produce the same experiment results forever, or the published
+// artifacts would stop being reproducible.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators with the same
+// seed produce identical sequences.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and standard
+// deviation 1, using the Box-Muller transform.
+func (r *Rand) NormFloat64() float64 {
+	// Reject u1 == 0 to keep the log finite.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}

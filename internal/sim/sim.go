@@ -1,0 +1,217 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All data-plane components of the emulated testbed (load generators, links,
+// routers) are driven by a single virtual clock. Events are executed in
+// strict timestamp order; ties are broken by insertion order so that runs are
+// fully reproducible. Virtual time is measured in nanoseconds and is entirely
+// decoupled from wall-clock time: a three-hour measurement campaign from the
+// paper's appendix completes in milliseconds of real time.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is layout-compatible
+// with time.Duration so the two convert freely.
+type Duration = time.Duration
+
+// Common virtual-time constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Handler is a callback executed when an event fires. It runs on the
+// engine's single logical thread; handlers never execute concurrently.
+type Handler func(now Time)
+
+// event is a scheduled handler.
+type event struct {
+	at      Time
+	seq     uint64 // tie-break: FIFO among equal timestamps
+	handler Handler
+	index   int // heap index, -1 when removed
+	stopped bool
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+	steps   uint64
+}
+
+// NewEngine returns an engine with the clock at time zero and an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len reports the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Steps reports the total number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// At schedules h to run at absolute virtual time t. Scheduling in the past
+// (t < Now) is a programming error and panics, because it would silently
+// break causality and with it reproducibility.
+func (e *Engine) At(t Time, h Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if h == nil {
+		panic("sim: nil handler")
+	}
+	ev := &event{at: t, seq: e.seq, handler: h}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules h to run d after the current time.
+func (e *Engine) After(d Duration, h Handler) EventID {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now.Add(d), h)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.stopped || ev.index < 0 {
+		return false
+	}
+	ev.stopped = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// ErrStopped is returned by Run when the engine was halted by Stop.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Stop halts the engine at the end of the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty.
+// It returns ErrStopped if halted via Stop.
+func (e *Engine) Run() error { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with timestamps <= deadline. The clock is left at
+// min(deadline, time of last event) — advancing to the deadline even when
+// the queue empties early, so that sequential phases compose predictably.
+func (e *Engine) RunUntil(deadline Time) error {
+	if e.running {
+		return errors.New("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopped = false
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > deadline {
+			e.now = deadline
+			return nil
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.steps++
+		next.handler(e.now)
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	if deadline != MaxTime && deadline > e.now {
+		e.now = deadline
+	}
+	return nil
+}
+
+// Step executes exactly one pending event and reports whether one existed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*event)
+	e.now = next.at
+	e.steps++
+	next.handler(e.now)
+	return true
+}
+
+// Reset discards all pending events and rewinds the clock to zero.
+func (e *Engine) Reset() {
+	e.queue = nil
+	e.now = 0
+	e.seq = 0
+	e.steps = 0
+	e.stopped = false
+}

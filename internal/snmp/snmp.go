@@ -1,0 +1,336 @@
+// Package snmp implements a compact SNMP-style management protocol over UDP
+// for devices that are not Linux servers — switches, hardware packet
+// generators, power distribution units. The paper names SNMP (besides HTTP)
+// as a configuration/initialization API through which such devices join the
+// testbed as experiment hosts (R1, heterogeneity).
+//
+// The protocol keeps SNMP's model — community-authenticated GET/SET/WALK
+// over an OID tree, datagram transport with client-side retries — with JSON
+// encoding instead of ASN.1 BER, which is incidental to the methodology.
+package snmp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Ops supported by the agent.
+const (
+	OpGet  = "get"
+	OpSet  = "set"
+	OpWalk = "walk"
+)
+
+// Request is one management datagram.
+type Request struct {
+	// ID matches responses to requests across retries.
+	ID uint64 `json:"id"`
+	// Community authenticates the request (SNMPv2c style).
+	Community string `json:"community"`
+	Op        string `json:"op"`
+	OID       string `json:"oid"`
+	// Value applies to set.
+	Value string `json:"value,omitempty"`
+}
+
+// Binding is one OID/value pair.
+type Binding struct {
+	OID   string `json:"oid"`
+	Value string `json:"value"`
+}
+
+// Response answers a Request.
+type Response struct {
+	ID       uint64    `json:"id"`
+	OK       bool      `json:"ok"`
+	Error    string    `json:"error,omitempty"`
+	Bindings []Binding `json:"bindings,omitempty"`
+}
+
+// Errors surfaced by agents and the client.
+var (
+	ErrNoSuchOID    = errors.New("snmp: no such OID")
+	ErrReadOnly     = errors.New("snmp: OID is read-only")
+	ErrBadCommunity = errors.New("snmp: bad community")
+	ErrTimeout      = errors.New("snmp: request timed out")
+	ErrBadValue     = errors.New("snmp: bad value")
+)
+
+// Handler implements one managed OID.
+type Handler struct {
+	// Get returns the current value.
+	Get func() (string, error)
+	// Set applies a new value; nil marks the OID read-only.
+	Set func(string) error
+}
+
+// Agent is an SNMP-style management endpoint for one device.
+type Agent struct {
+	community string
+	mu        sync.Mutex
+	tree      map[string]Handler
+	conn      net.PacketConn
+	closed    chan struct{}
+}
+
+// NewAgent creates an agent guarding its tree with the given community
+// string.
+func NewAgent(community string) *Agent {
+	return &Agent{
+		community: community,
+		tree:      make(map[string]Handler),
+		closed:    make(chan struct{}),
+	}
+}
+
+// Register adds a managed OID. Registering an existing OID replaces it.
+func (a *Agent) Register(oid string, h Handler) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tree[oid] = h
+}
+
+// RegisterValue adds a plain read-write variable OID and returns a getter
+// for the device side.
+func (a *Agent) RegisterValue(oid, initial string) func() string {
+	var mu sync.Mutex
+	val := initial
+	a.Register(oid, Handler{
+		Get: func() (string, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return val, nil
+		},
+		Set: func(v string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			val = v
+			return nil
+		},
+	})
+	return func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return val
+	}
+}
+
+// Serve starts the agent on a loopback UDP port.
+func (a *Agent) Serve() error {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("snmp: %w", err)
+	}
+	a.conn = conn
+	go a.loop()
+	return nil
+}
+
+// Addr returns the agent's UDP address (valid after Serve).
+func (a *Agent) Addr() string { return a.conn.LocalAddr().String() }
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	select {
+	case <-a.closed:
+		return nil
+	default:
+		close(a.closed)
+	}
+	return a.conn.Close()
+}
+
+func (a *Agent) loop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := a.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+				continue
+			}
+		}
+		var req Request
+		if err := json.Unmarshal(buf[:n], &req); err != nil {
+			continue // not our protocol; drop like any UDP service
+		}
+		resp := a.handle(req)
+		data, err := json.Marshal(resp)
+		if err != nil {
+			continue
+		}
+		a.conn.WriteTo(data, addr)
+	}
+}
+
+func (a *Agent) handle(req Request) Response {
+	resp := Response{ID: req.ID}
+	if req.Community != a.community {
+		resp.Error = ErrBadCommunity.Error()
+		return resp
+	}
+	switch req.Op {
+	case OpGet:
+		a.mu.Lock()
+		h, ok := a.tree[req.OID]
+		a.mu.Unlock()
+		if !ok {
+			resp.Error = fmt.Sprintf("%v: %s", ErrNoSuchOID, req.OID)
+			return resp
+		}
+		v, err := h.Get()
+		if err != nil {
+			resp.Error = err.Error()
+			return resp
+		}
+		resp.OK = true
+		resp.Bindings = []Binding{{OID: req.OID, Value: v}}
+	case OpSet:
+		a.mu.Lock()
+		h, ok := a.tree[req.OID]
+		a.mu.Unlock()
+		if !ok {
+			resp.Error = fmt.Sprintf("%v: %s", ErrNoSuchOID, req.OID)
+			return resp
+		}
+		if h.Set == nil {
+			resp.Error = fmt.Sprintf("%v: %s", ErrReadOnly, req.OID)
+			return resp
+		}
+		if err := h.Set(req.Value); err != nil {
+			resp.Error = err.Error()
+			return resp
+		}
+		resp.OK = true
+		resp.Bindings = []Binding{{OID: req.OID, Value: req.Value}}
+	case OpWalk:
+		a.mu.Lock()
+		var oids []string
+		for oid := range a.tree {
+			if req.OID == "" || oid == req.OID || strings.HasPrefix(oid, req.OID+".") {
+				oids = append(oids, oid)
+			}
+		}
+		handlers := make([]Handler, len(oids))
+		for i, oid := range oids {
+			handlers[i] = a.tree[oid]
+		}
+		a.mu.Unlock()
+		sort.Strings(oids)
+		// Re-fetch handlers in sorted order.
+		for i, oid := range oids {
+			a.mu.Lock()
+			handlers[i] = a.tree[oid]
+			a.mu.Unlock()
+		}
+		for i, oid := range oids {
+			v, err := handlers[i].Get()
+			if err != nil {
+				continue
+			}
+			resp.Bindings = append(resp.Bindings, Binding{OID: oid, Value: v})
+		}
+		resp.OK = true
+	default:
+		resp.Error = fmt.Sprintf("snmp: unknown op %q", req.Op)
+	}
+	return resp
+}
+
+// Client drives an agent over UDP with timeouts and retries.
+type Client struct {
+	addr      string
+	community string
+	// Timeout per attempt; Retries additional attempts. Defaults:
+	// 250 ms, 3 retries.
+	Timeout time.Duration
+	Retries int
+
+	mu     sync.Mutex
+	nextID uint64
+}
+
+// NewClient returns a client for the agent at addr.
+func NewClient(addr, community string) *Client {
+	return &Client{addr: addr, community: community, Timeout: 250 * time.Millisecond, Retries: 3}
+}
+
+func (c *Client) call(req Request) (Response, error) {
+	c.mu.Lock()
+	c.nextID++
+	req.ID = c.nextID
+	c.mu.Unlock()
+	req.Community = c.community
+
+	data, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("snmp: %w", err)
+	}
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		conn, err := net.Dial("udp", c.addr)
+		if err != nil {
+			return Response{}, fmt.Errorf("snmp: %w", err)
+		}
+		conn.SetDeadline(time.Now().Add(c.Timeout))
+		if _, err := conn.Write(data); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				lastErr = ErrTimeout
+				break
+			}
+			var resp Response
+			if err := json.Unmarshal(buf[:n], &resp); err != nil || resp.ID != req.ID {
+				continue // stale or foreign datagram; keep reading
+			}
+			conn.Close()
+			if !resp.OK {
+				return resp, fmt.Errorf("snmp: %s %s: %s", req.Op, req.OID, resp.Error)
+			}
+			return resp, nil
+		}
+		conn.Close()
+	}
+	return Response{}, lastErr
+}
+
+// Get reads one OID.
+func (c *Client) Get(oid string) (string, error) {
+	resp, err := c.call(Request{Op: OpGet, OID: oid})
+	if err != nil {
+		return "", err
+	}
+	if len(resp.Bindings) != 1 {
+		return "", fmt.Errorf("snmp: get %s: %d bindings", oid, len(resp.Bindings))
+	}
+	return resp.Bindings[0].Value, nil
+}
+
+// Set writes one OID.
+func (c *Client) Set(oid, value string) error {
+	_, err := c.call(Request{Op: OpSet, OID: oid, Value: value})
+	return err
+}
+
+// Walk lists the subtree under prefix (every OID when prefix is empty).
+func (c *Client) Walk(prefix string) ([]Binding, error) {
+	resp, err := c.call(Request{Op: OpWalk, OID: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Bindings, nil
+}

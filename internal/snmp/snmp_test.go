@@ -1,0 +1,314 @@
+package snmp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"pos/internal/netem"
+	"pos/internal/packet"
+	"pos/internal/sim"
+)
+
+func startAgent(t *testing.T, community string) (*Agent, *Client) {
+	t.Helper()
+	a := NewAgent(community)
+	if err := a.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a, NewClient(a.Addr(), community)
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	a, c := startAgent(t, "private")
+	read := a.RegisterValue("1.2.3", "initial")
+	v, err := c.Get("1.2.3")
+	if err != nil || v != "initial" {
+		t.Fatalf("get = %q, %v", v, err)
+	}
+	if err := c.Set("1.2.3", "changed"); err != nil {
+		t.Fatal(err)
+	}
+	if read() != "changed" {
+		t.Errorf("device-side value = %q", read())
+	}
+	v, err = c.Get("1.2.3")
+	if err != nil || v != "changed" {
+		t.Errorf("get after set = %q, %v", v, err)
+	}
+}
+
+func TestBadCommunityRejected(t *testing.T) {
+	a, _ := startAgent(t, "private")
+	a.RegisterValue("1.2.3", "x")
+	evil := NewClient(a.Addr(), "public")
+	evil.Timeout = 100 * time.Millisecond
+	if _, err := evil.Get("1.2.3"); err == nil || !strings.Contains(err.Error(), "community") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNoSuchOID(t *testing.T) {
+	_, c := startAgent(t, "private")
+	if _, err := c.Get("9.9.9"); err == nil {
+		t.Error("get of missing OID succeeded")
+	}
+	if err := c.Set("9.9.9", "x"); err == nil {
+		t.Error("set of missing OID succeeded")
+	}
+}
+
+func TestReadOnlyOID(t *testing.T) {
+	a, c := startAgent(t, "private")
+	a.Register("1.1", Handler{Get: func() (string, error) { return "ro", nil }})
+	if err := c.Set("1.1", "x"); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWalkSubtree(t *testing.T) {
+	a, c := startAgent(t, "private")
+	a.RegisterValue("1.2.1", "a")
+	a.RegisterValue("1.2.2", "b")
+	a.RegisterValue("1.3.1", "c")
+	a.RegisterValue("1.20.1", "d") // prefix "1.2" must not match "1.20"
+	got, err := c.Walk("1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].OID != "1.2.1" || got[1].OID != "1.2.2" {
+		t.Errorf("walk = %+v", got)
+	}
+	all, err := c.Walk("")
+	if err != nil || len(all) != 4 {
+		t.Errorf("walk all = %d bindings, %v", len(all), err)
+	}
+}
+
+func TestClientTimeoutOnDeadAgent(t *testing.T) {
+	a, c := startAgent(t, "private")
+	a.RegisterValue("1.1", "x")
+	a.Close()
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = 1
+	start := time.Now()
+	_, err := c.Get("1.1")
+	if err == nil {
+		t.Fatal("get from closed agent succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("timeout too slow")
+	}
+}
+
+func TestAgentIgnoresGarbageDatagrams(t *testing.T) {
+	a, c := startAgent(t, "private")
+	a.RegisterValue("1.1", "ok")
+	// Fire garbage at the agent, then a valid request must still work.
+	conn, err := netDial(a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("not json at all"))
+	conn.Close()
+	v, err := c.Get("1.1")
+	if err != nil || v != "ok" {
+		t.Errorf("get after garbage = %q, %v", v, err)
+	}
+}
+
+func TestSwitchAgentEndToEnd(t *testing.T) {
+	e := sim.NewEngine()
+	sw := netem.NewSwitch(e, "sw", 2, 0)
+	src := netem.NewSink("src")
+	dst := netem.NewSink("dst")
+	netem.Wire(e, src.Port, sw.Port(0), netem.LinkConfig{})
+	netem.Wire(e, dst.Port, sw.Port(1), netem.LinkConfig{})
+
+	agent := NewSwitchAgent(sw, "private")
+	if err := agent.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	c := NewClient(agent.Addr(), "private")
+
+	// Identity.
+	descr, err := c.Get(OIDSysDescr)
+	if err != nil || !strings.Contains(descr, "2 ports") {
+		t.Errorf("sysDescr = %q, %v", descr, err)
+	}
+
+	frame, err := packet.UDPTemplate{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		FrameSize: 64,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(count int64) {
+		src.Port.Send(e.Now(), netem.Batch{Data: frame, FrameSize: 64, Count: count})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(10)
+	if dst.Packets != 10 {
+		t.Fatalf("delivered %d", dst.Packets)
+	}
+	// Counters over SNMP.
+	v, err := c.Get(ifOID(OIDIfInPktsPrefix, 1))
+	if err != nil || v != "10" {
+		t.Errorf("ifInPkts.1 = %q, %v", v, err)
+	}
+	fdb, err := c.Get(OIDFdbCount)
+	if err != nil || fdb != "1" {
+		t.Errorf("fdb count = %q, %v", fdb, err)
+	}
+
+	// Disable the ingress port: traffic stops.
+	if err := c.Set(ifOID(OIDIfAdminStatusPrefix, 1), StatusDown); err != nil {
+		t.Fatal(err)
+	}
+	send(5)
+	if dst.Packets != 10 {
+		t.Errorf("traffic crossed a disabled port: %d", dst.Packets)
+	}
+	// Re-enable: traffic flows again.
+	if err := c.Set(ifOID(OIDIfAdminStatusPrefix, 1), StatusUp); err != nil {
+		t.Fatal(err)
+	}
+	send(5)
+	if dst.Packets != 15 {
+		t.Errorf("delivered %d after re-enable, want 15", dst.Packets)
+	}
+
+	// Bad admin value rejected.
+	if err := c.Set(ifOID(OIDIfAdminStatusPrefix, 1), "sideways"); err == nil {
+		t.Error("bad admin status accepted")
+	}
+
+	// FDB flush.
+	if err := c.Set(OIDFdbFlush, "1"); err != nil {
+		t.Fatal(err)
+	}
+	if fdb, _ := c.Get(OIDFdbCount); fdb != "0" {
+		t.Errorf("fdb after flush = %q", fdb)
+	}
+	if err := c.Set(OIDFdbFlush, "7"); err == nil {
+		t.Error("bad flush value accepted")
+	}
+}
+
+func TestDeviceHostExec(t *testing.T) {
+	e := sim.NewEngine()
+	sw := netem.NewSwitch(e, "sw1", 2, 0)
+	agent := NewSwitchAgent(sw, "private")
+	if err := agent.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	host := &DeviceHost{
+		NodeName: "sw1",
+		Client:   NewClient(agent.Addr(), "private"),
+		ResetOIDs: []Binding{
+			{OID: ifOID(OIDIfAdminStatusPrefix, 1), Value: StatusUp},
+			{OID: ifOID(OIDIfAdminStatusPrefix, 2), Value: StatusUp},
+			{OID: OIDFdbFlush, Value: "1"},
+		},
+	}
+	if host.Name() != "sw1" {
+		t.Errorf("Name = %s", host.Name())
+	}
+	if err := host.SetBoot("firmware-1.2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.DeployTools(); err != nil {
+		t.Fatal(err)
+	}
+	// A device "setup script": disable port 2, driven by a variable.
+	out, err := host.Exec(context.Background(), `
+# disable the port under test
+echo configuring $NODE
+snmpset 1.3.6.1.2.1.2.2.1.7.$port down
+snmpget 1.3.6.1.2.1.2.2.1.7.$port
+`, map[string]string{"NODE": "sw1", "port": "2"})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "configuring sw1") || !strings.Contains(out, "= down") {
+		t.Errorf("output = %q", out)
+	}
+	if sw.PortEnabled(1) {
+		t.Error("port 2 still enabled")
+	}
+	// Reboot = reset sequence restores the clean state.
+	if err := host.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.PortEnabled(1) {
+		t.Error("reset did not re-enable port 2")
+	}
+	// walk through the host interface.
+	out, err = host.Exec(context.Background(), "snmpwalk 1.3.6.1.2.1.2.2.1.7", nil)
+	if err != nil || !strings.Contains(out, "1.3.6.1.2.1.2.2.1.7.1 = up") {
+		t.Errorf("walk output = %q, %v", out, err)
+	}
+}
+
+func TestDeviceHostExecErrors(t *testing.T) {
+	e := sim.NewEngine()
+	sw := netem.NewSwitch(e, "sw", 2, 0)
+	agent := NewSwitchAgent(sw, "private")
+	if err := agent.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	host := &DeviceHost{NodeName: "sw", Client: NewClient(agent.Addr(), "private")}
+	for _, script := range []string{
+		"rm -rf /",      // not a management command
+		"snmpget",       // missing OID
+		"snmpset 1.1",   // missing value
+		"snmpget 9.9.9", // no such OID
+	} {
+		if _, err := host.Exec(context.Background(), script, nil); err == nil {
+			t.Errorf("script %q succeeded", script)
+		}
+	}
+	// Cancelled context stops execution.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := host.Exec(ctx, "echo hi", nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExpandVars(t *testing.T) {
+	env := map[string]string{"port": "2", "x_y": "z"}
+	cases := map[string]string{
+		"a.$port.b":      "a.2.b",
+		"${port}":        "2",
+		"$x_y":           "z",
+		"$missing":       "",
+		"plain":          "plain",
+		"$":              "$",
+		"${unterminated": "${unterminated",
+	}
+	for in, want := range cases {
+		if got := expandVars(in, env); got != want {
+			t.Errorf("expand(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// netDial is a tiny helper to write raw datagrams at an agent.
+func netDial(addr string) (interface {
+	Write([]byte) (int, error)
+	Close() error
+}, error) {
+	return net.Dial("udp", addr)
+}

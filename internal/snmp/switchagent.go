@@ -1,0 +1,88 @@
+package snmp
+
+import (
+	"fmt"
+	"strconv"
+
+	"pos/internal/netem"
+)
+
+// Standard-ish OIDs exposed by the switch agent (IF-MIB/BRIDGE-MIB shaped).
+const (
+	OIDSysDescr = "1.3.6.1.2.1.1.1.0"
+	OIDSysName  = "1.3.6.1.2.1.1.5.0"
+	// Per-interface OIDs take the 1-based port number as a suffix.
+	OIDIfAdminStatusPrefix = "1.3.6.1.2.1.2.2.1.7"
+	OIDIfInOctetsPrefix    = "1.3.6.1.2.1.2.2.1.10"
+	OIDIfInPktsPrefix      = "1.3.6.1.2.1.2.2.1.11"
+	OIDIfOutOctetsPrefix   = "1.3.6.1.2.1.2.2.1.16"
+	OIDIfOutPktsPrefix     = "1.3.6.1.2.1.2.2.1.17"
+	// Bridge MIB: learned addresses and flush control.
+	OIDFdbCount = "1.3.6.1.2.1.17.4.1.0"
+	OIDFdbFlush = "1.3.6.1.2.1.17.4.2.0"
+	// Admin status values.
+	StatusUp   = "up"
+	StatusDown = "down"
+)
+
+// ifOID builds a per-interface OID for the 1-based port number.
+func ifOID(prefix string, port int) string { return fmt.Sprintf("%s.%d", prefix, port) }
+
+// NewSwitchAgent wires a managed switch's state into an SNMP agent — the
+// testbed's example of a non-Linux experiment device configured through its
+// native management protocol (R1). Serve must be called by the caller.
+func NewSwitchAgent(sw *netem.Switch, community string) *Agent {
+	a := NewAgent(community)
+	a.Register(OIDSysDescr, Handler{
+		Get: func() (string, error) {
+			return fmt.Sprintf("pos emulated L2 switch %s, %d ports", sw.Name, sw.NumPorts()), nil
+		},
+	})
+	a.RegisterValue(OIDSysName, sw.Name)
+	a.Register(OIDFdbCount, Handler{
+		Get: func() (string, error) { return strconv.Itoa(sw.FDBSize()), nil },
+	})
+	a.Register(OIDFdbFlush, Handler{
+		Get: func() (string, error) { return "0", nil },
+		Set: func(v string) error {
+			if v != "1" {
+				return fmt.Errorf("%w: write 1 to flush", ErrBadValue)
+			}
+			sw.FlushFDB()
+			return nil
+		},
+	})
+	for i := 0; i < sw.NumPorts(); i++ {
+		i := i
+		num := i + 1 // SNMP interfaces are 1-based
+		a.Register(ifOID(OIDIfAdminStatusPrefix, num), Handler{
+			Get: func() (string, error) {
+				if sw.PortEnabled(i) {
+					return StatusUp, nil
+				}
+				return StatusDown, nil
+			},
+			Set: func(v string) error {
+				switch v {
+				case StatusUp:
+					sw.SetPortEnabled(i, true)
+				case StatusDown:
+					sw.SetPortEnabled(i, false)
+				default:
+					return fmt.Errorf("%w: %q (want up|down)", ErrBadValue, v)
+				}
+				return nil
+			},
+		})
+		counter := func(read func(netem.Counters) int64) Handler {
+			return Handler{Get: func() (string, error) {
+				return strconv.FormatInt(read(sw.Port(i).Stats()), 10), nil
+			}}
+		}
+		a.Register(ifOID(OIDIfInOctetsPrefix, num), counter(func(c netem.Counters) int64 { return c.RxBytes }))
+		a.Register(ifOID(OIDIfInPktsPrefix, num), counter(func(c netem.Counters) int64 { return c.RxPackets }))
+		a.Register(ifOID(OIDIfOutOctetsPrefix, num), counter(func(c netem.Counters) int64 { return c.TxBytes }))
+		a.Register(ifOID(OIDIfOutPktsPrefix, num), counter(func(c netem.Counters) int64 { return c.TxPackets }))
+	}
+	return a
+}

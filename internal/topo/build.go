@@ -1,0 +1,243 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"pos/internal/loadgen"
+	"pos/internal/netem"
+	"pos/internal/perfmodel"
+	"pos/internal/router"
+	"pos/internal/sim"
+)
+
+// Network is an instantiated topology.
+type Network struct {
+	Engine     *sim.Engine
+	Generators map[string]*loadgen.Generator
+	Routers    map[string]*router.Router
+	Switches   map[string]*netem.Switch
+	Sinks      map[string]*netem.Sink
+}
+
+// Generator returns a named generator, or an error.
+func (n *Network) Generator(name string) (*loadgen.Generator, error) {
+	g, ok := n.Generators[name]
+	if !ok {
+		return nil, fmt.Errorf("topo: no generator %q", name)
+	}
+	return g, nil
+}
+
+// Router returns a named router, or an error.
+func (n *Network) Router(name string) (*router.Router, error) {
+	r, ok := n.Routers[name]
+	if !ok {
+		return nil, fmt.Errorf("topo: no router %q", name)
+	}
+	return r, nil
+}
+
+// Build instantiates the topology on a fresh discrete-event engine.
+//
+// Device parameters:
+//   - generator: hw=true|false (hardware timestamps), profile=moongen|osnt|iperf
+//   - router: model=baremetal|vm, seed=N, hw=true|false, forwarding=true|false
+//   - switch: ports=N, delay=DUR (e.g. 300ns)
+//   - sink: none
+//
+// Link parameters: rate=BITS (10G, 1e9, 25000000000), prop=DUR, queue=DUR,
+// jitter=DUR (delay variation), loss=RATIO, seed=N.
+func (s *Spec) Build() (*Network, error) {
+	n := &Network{
+		Engine:     sim.NewEngine(),
+		Generators: map[string]*loadgen.Generator{},
+		Routers:    map[string]*router.Router{},
+		Switches:   map[string]*netem.Switch{},
+		Sinks:      map[string]*netem.Sink{},
+	}
+	for _, d := range s.Devices {
+		switch d.Kind {
+		case KindGenerator:
+			hw := boolParam(d.Params, "hw", true)
+			if profile, ok := d.Params["profile"]; ok {
+				p, err := profileByName(profile)
+				if err != nil {
+					return nil, perr(d.Line, "%v", err)
+				}
+				n.Generators[d.Name] = loadgen.NewWithProfile(n.Engine, d.Name, p)
+			} else {
+				n.Generators[d.Name] = loadgen.New(n.Engine, d.Name, hw)
+			}
+		case KindRouter:
+			model, err := modelByName(d.Params["model"], uint64(intParam(d.Params, "seed", 1)))
+			if err != nil {
+				return nil, perr(d.Line, "%v", err)
+			}
+			rt, err := router.New(n.Engine, router.Config{
+				Name:               d.Name,
+				Model:              model,
+				HardwareTimestamps: boolParam(d.Params, "hw", true),
+			})
+			if err != nil {
+				return nil, perr(d.Line, "%v", err)
+			}
+			rt.SetForwarding(boolParam(d.Params, "forwarding", true))
+			n.Routers[d.Name] = rt
+		case KindSwitch:
+			delay, err := durParam(d.Params, "delay", netem.CutThroughSwitchDelay)
+			if err != nil {
+				return nil, perr(d.Line, "%v", err)
+			}
+			n.Switches[d.Name] = netem.NewSwitch(n.Engine, d.Name, intParam(d.Params, "ports", 2), delay)
+		case KindSink:
+			n.Sinks[d.Name] = netem.NewSink(d.Name)
+		}
+	}
+	for _, l := range s.Links {
+		cfg, err := linkConfig(l)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := n.port(s, l.A, l.Line)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := n.port(s, l.B, l.Line)
+		if err != nil {
+			return nil, err
+		}
+		netem.Wire(n.Engine, pa, pb, cfg)
+	}
+	return n, nil
+}
+
+func (n *Network) port(s *Spec, e Endpoint, line int) (*netem.Port, error) {
+	if g, ok := n.Generators[e.Device]; ok {
+		if e.Port == "tx" {
+			return g.TxPort(), nil
+		}
+		return g.RxPort(), nil
+	}
+	if r, ok := n.Routers[e.Device]; ok {
+		idx, _ := strconv.Atoi(e.Port)
+		return r.Port(idx), nil
+	}
+	if sw, ok := n.Switches[e.Device]; ok {
+		idx, _ := strconv.Atoi(e.Port)
+		return sw.Port(idx), nil
+	}
+	if sk, ok := n.Sinks[e.Device]; ok {
+		return sk.Port, nil
+	}
+	return nil, perr(line, "unknown device %q", e.Device)
+}
+
+func linkConfig(l LinkSpec) (netem.LinkConfig, error) {
+	cfg := netem.LinkConfig{}
+	if v, ok := l.Params["rate"]; ok {
+		r, err := parseRate(v)
+		if err != nil {
+			return cfg, perr(l.Line, "%v", err)
+		}
+		cfg.RateBitsPerSec = r
+	}
+	var err error
+	if cfg.PropagationDelay, err = durParam(l.Params, "prop", 0); err != nil {
+		return cfg, perr(l.Line, "%v", err)
+	}
+	if cfg.QueueDelayLimit, err = durParam(l.Params, "queue", 0); err != nil {
+		return cfg, perr(l.Line, "%v", err)
+	}
+	if cfg.DelayJitterStd, err = durParam(l.Params, "jitter", 0); err != nil {
+		return cfg, perr(l.Line, "%v", err)
+	}
+	if v, ok := l.Params["loss"]; ok {
+		loss, err := strconv.ParseFloat(v, 64)
+		if err != nil || loss < 0 || loss >= 1 {
+			return cfg, perr(l.Line, "bad loss ratio %q", v)
+		}
+		cfg.LossRatio = loss
+	}
+	cfg.Seed = uint64(intParam(l.Params, "seed", 0))
+	return cfg, nil
+}
+
+// parseRate accepts raw bit rates ("1e9", "10000000000") and suffixed forms
+// ("10G", "25g", "100M", "1T").
+func parseRate(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(strings.ToUpper(s), "K"):
+		mult, s = 1e3, s[:len(s)-1]
+	case strings.HasSuffix(strings.ToUpper(s), "M"):
+		mult, s = 1e6, s[:len(s)-1]
+	case strings.HasSuffix(strings.ToUpper(s), "G"):
+		mult, s = 1e9, s[:len(s)-1]
+	case strings.HasSuffix(strings.ToUpper(s), "T"):
+		mult, s = 1e12, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	return v * mult, nil
+}
+
+func profileByName(name string) (loadgen.Profile, error) {
+	switch name {
+	case "moongen":
+		return loadgen.MoonGenProfile(), nil
+	case "osnt":
+		return loadgen.OSNTProfile(), nil
+	case "iperf":
+		return loadgen.IPerfProfile(), nil
+	default:
+		return loadgen.Profile{}, fmt.Errorf("unknown generator profile %q", name)
+	}
+}
+
+func modelByName(name string, seed uint64) (perfmodel.Model, error) {
+	switch name {
+	case "", "baremetal":
+		return perfmodel.NewBareMetal(), nil
+	case "vm":
+		return perfmodel.NewVirtual(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown router model %q", name)
+	}
+}
+
+func boolParam(params map[string]string, key string, def bool) bool {
+	v, ok := params[key]
+	if !ok {
+		return def
+	}
+	return v == "true" || v == "1" || v == "yes"
+}
+
+func intParam(params map[string]string, key string, def int) int {
+	v, ok := params[key]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func durParam(params map[string]string, key string, def sim.Duration) (sim.Duration, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("bad duration %s=%q", key, v)
+	}
+	return d, nil
+}

@@ -1,0 +1,256 @@
+// Package topo provides a declarative topology description for virtual
+// testbeds. The paper's hardware testbed cannot re-create physical wiring
+// automatically (Sec. 7) — but its virtual clone can, and does: a vpos
+// instance's topology is just software. This package makes that topology an
+// artifact: a small, line-oriented text format describing devices and
+// direct links, a parser, a builder that instantiates the emulated network,
+// and a linter enforcing the pos wiring discipline (R2: direct, non-switched
+// connections — switch hops are flagged).
+//
+//	# linux-router case study, pos flavor
+//	generator lg hw=true
+//	router dut model=baremetal
+//	link lg.tx dut.0 rate=10G
+//	link dut.1 lg.rx rate=10G
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DeviceKind enumerates the device types of the format.
+type DeviceKind string
+
+// Supported device kinds.
+const (
+	KindGenerator DeviceKind = "generator"
+	KindRouter    DeviceKind = "router"
+	KindSwitch    DeviceKind = "switch"
+	KindSink      DeviceKind = "sink"
+)
+
+// DeviceSpec is one declared device.
+type DeviceSpec struct {
+	Kind   DeviceKind
+	Name   string
+	Params map[string]string
+	// Line locates the declaration for diagnostics.
+	Line int
+}
+
+// Endpoint is one side of a link: device name plus port label.
+type Endpoint struct {
+	Device string
+	Port   string
+}
+
+// String renders "device.port".
+func (e Endpoint) String() string { return e.Device + "." + e.Port }
+
+// LinkSpec is one declared wire.
+type LinkSpec struct {
+	A, B   Endpoint
+	Params map[string]string
+	Line   int
+}
+
+// Spec is a parsed topology.
+type Spec struct {
+	Devices []DeviceSpec
+	Links   []LinkSpec
+}
+
+// ParseError reports a syntax or semantic problem with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("topo: line %d: %s", e.Line, e.Msg) }
+
+func perr(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a topology description.
+func Parse(data []byte) (*Spec, error) {
+	spec := &Spec{}
+	names := map[string]bool{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch DeviceKind(fields[0]) {
+		case KindGenerator, KindRouter, KindSwitch, KindSink:
+			if len(fields) < 2 {
+				return nil, perr(lineNo, "%s needs a name", fields[0])
+			}
+			name := fields[1]
+			if strings.ContainsAny(name, ".=") {
+				return nil, perr(lineNo, "device name %q may not contain '.' or '='", name)
+			}
+			if names[name] {
+				return nil, perr(lineNo, "duplicate device %q", name)
+			}
+			names[name] = true
+			params, err := parseParams(fields[2:], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			spec.Devices = append(spec.Devices, DeviceSpec{
+				Kind: DeviceKind(fields[0]), Name: name, Params: params, Line: lineNo,
+			})
+		default:
+			if fields[0] != "link" {
+				return nil, perr(lineNo, "unknown directive %q", fields[0])
+			}
+			if len(fields) < 3 {
+				return nil, perr(lineNo, "link needs two endpoints")
+			}
+			a, err := parseEndpoint(fields[1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			b, err := parseEndpoint(fields[2], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			params, err := parseParams(fields[3:], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			spec.Links = append(spec.Links, LinkSpec{A: a, B: b, Params: params, Line: lineNo})
+		}
+	}
+	return spec, spec.validate()
+}
+
+func parseEndpoint(s string, line int) (Endpoint, error) {
+	dev, port, ok := strings.Cut(s, ".")
+	if !ok || dev == "" || port == "" {
+		return Endpoint{}, perr(line, "endpoint %q must be device.port", s)
+	}
+	return Endpoint{Device: dev, Port: port}, nil
+}
+
+func parseParams(fields []string, line int) (map[string]string, error) {
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]string, len(fields))
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k == "" {
+			return nil, perr(line, "parameter %q must be key=value", f)
+		}
+		if _, dup := out[k]; dup {
+			return nil, perr(line, "duplicate parameter %q", k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// validate checks referential integrity and port usage.
+func (s *Spec) validate() error {
+	devs := make(map[string]DeviceSpec, len(s.Devices))
+	for _, d := range s.Devices {
+		devs[d.Name] = d
+	}
+	used := map[string]int{}
+	for _, l := range s.Links {
+		for _, e := range []Endpoint{l.A, l.B} {
+			d, ok := devs[e.Device]
+			if !ok {
+				return perr(l.Line, "link references unknown device %q", e.Device)
+			}
+			if err := checkPort(d, e.Port, l.Line); err != nil {
+				return err
+			}
+			key := e.String()
+			if prev, dup := used[key]; dup {
+				return perr(l.Line, "port %s already wired at line %d", key, prev)
+			}
+			used[key] = l.Line
+		}
+		if l.A == l.B {
+			return perr(l.Line, "link connects %s to itself", l.A)
+		}
+	}
+	return nil
+}
+
+func checkPort(d DeviceSpec, port string, line int) error {
+	switch d.Kind {
+	case KindGenerator:
+		if port != "tx" && port != "rx" {
+			return perr(line, "generator %s has ports tx and rx, not %q", d.Name, port)
+		}
+	case KindRouter:
+		if port != "0" && port != "1" {
+			return perr(line, "router %s has ports 0 and 1, not %q", d.Name, port)
+		}
+	case KindSink:
+		if port != "0" {
+			return perr(line, "sink %s has port 0, not %q", d.Name, port)
+		}
+	case KindSwitch:
+		n := intParam(d.Params, "ports", 2)
+		idx, err := strconv.Atoi(port)
+		if err != nil || idx < 0 || idx >= n {
+			return perr(line, "switch %s has ports 0..%d, not %q", d.Name, n-1, port)
+		}
+	}
+	return nil
+}
+
+// DirectlyWired reports whether the topology contains no switches — the pos
+// wiring discipline (R2). The returned names list offending switch devices.
+func (s *Spec) DirectlyWired() (bool, []string) {
+	var switches []string
+	for _, d := range s.Devices {
+		if d.Kind == KindSwitch {
+			switches = append(switches, d.Name)
+		}
+	}
+	sort.Strings(switches)
+	return len(switches) == 0, switches
+}
+
+// Render writes the canonical form of the spec.
+func (s *Spec) Render() []byte {
+	var b strings.Builder
+	for _, d := range s.Devices {
+		fmt.Fprintf(&b, "%s %s%s\n", d.Kind, d.Name, renderParams(d.Params))
+	}
+	for _, l := range s.Links {
+		fmt.Fprintf(&b, "link %s %s%s\n", l.A, l.B, renderParams(l.Params))
+	}
+	return []byte(b.String())
+}
+
+func renderParams(params map[string]string) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, params[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Package trace records the timeline of an experiment execution as a
+// structured artifact. The pos methodology archives what was *measured*;
+// this recorder additionally archives what the controller *did* and when —
+// boots, setup scripts, every measurement run with its parameters and
+// duration — so a published experiment carries its own execution log
+// (experiment.log / experiment-trace.json) next to its results.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pos/internal/core"
+	"pos/internal/results"
+)
+
+// Event is one timestamped workflow event.
+type Event struct {
+	At    time.Time `json:"at"`
+	Phase string    `json:"phase"`
+	Run   int       `json:"run,omitempty"`
+	Total int       `json:"total,omitempty"`
+	Host  string    `json:"host,omitempty"`
+	Msg   string    `json:"msg,omitempty"`
+}
+
+// Recorder collects workflow events; plug its Observe method into
+// core.Runner.Progress.
+type Recorder struct {
+	// Clock supplies timestamps; nil defaults to time.Now.
+	Clock func() time.Time
+	// Forward, when non-nil, receives every event after recording —
+	// chaining an existing Progress callback (e.g. a progress bar).
+	Forward func(core.ProgressEvent)
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) now() time.Time {
+	if r.Clock != nil {
+		return r.Clock()
+	}
+	return time.Now()
+}
+
+// Observe implements the core.Runner.Progress signature.
+func (r *Recorder) Observe(ev core.ProgressEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		At:    r.now(),
+		Phase: ev.Phase,
+		Run:   ev.Run,
+		Total: ev.TotalRuns,
+		Host:  ev.Host,
+		Msg:   ev.Message,
+	})
+	fwd := r.Forward
+	r.mu.Unlock()
+	if fwd != nil {
+		fwd(ev)
+	}
+}
+
+// Events returns a snapshot of the recorded timeline.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// RenderJSON emits the timeline as JSON lines, one event per line.
+func (r *Recorder) RenderJSON() ([]byte, error) {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String()), nil
+}
+
+// RenderText emits a human-readable execution log with per-event offsets
+// from the first event.
+func (r *Recorder) RenderText() []byte {
+	events := r.Events()
+	var b strings.Builder
+	if len(events) == 0 {
+		b.WriteString("(no events recorded)\n")
+		return []byte(b.String())
+	}
+	epoch := events[0].At
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%12s  %-12s", ev.At.Sub(epoch).Round(time.Microsecond), ev.Phase)
+		if ev.Phase == core.PhaseMeasurement {
+			fmt.Fprintf(&b, " run %d/%d", ev.Run+1, ev.Total)
+		}
+		if ev.Host != "" {
+			fmt.Fprintf(&b, " [%s]", ev.Host)
+		}
+		if ev.Msg != "" {
+			fmt.Fprintf(&b, "  %s", ev.Msg)
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Archive writes both renderings into the experiment's artifacts.
+func (r *Recorder) Archive(exp *results.Experiment) error {
+	jsonl, err := r.RenderJSON()
+	if err != nil {
+		return err
+	}
+	if err := exp.AddExperimentArtifact("experiment-trace.json", jsonl); err != nil {
+		return err
+	}
+	return exp.AddExperimentArtifact("experiment.log", r.RenderText())
+}
+
+// ParseJSON reads a JSON-lines trace back.
+func ParseJSON(data []byte) ([]Event, error) {
+	var out []Event
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"pos/internal/casestudy"
+	"pos/internal/core"
+	"pos/internal/results"
+)
+
+func TestObserveAndRender(t *testing.T) {
+	r := NewRecorder()
+	base := time.Date(2021, 12, 7, 9, 0, 0, 0, time.UTC)
+	tick := 0
+	r.Clock = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	}
+	r.Observe(core.ProgressEvent{Phase: core.PhaseSetup, Message: "booting hosts"})
+	r.Observe(core.ProgressEvent{Phase: core.PhaseSetup, Host: "vriga", Message: "running setup script"})
+	r.Observe(core.ProgressEvent{Phase: core.PhaseMeasurement, Run: 0, TotalRuns: 2, Message: "pkt_sz=64"})
+	r.Observe(core.ProgressEvent{Phase: core.PhaseMeasurement, Run: 1, TotalRuns: 2, Message: "pkt_sz=1500"})
+	if r.Len() != 4 {
+		t.Fatalf("events = %d", r.Len())
+	}
+	text := string(r.RenderText())
+	for _, want := range []string{"booting hosts", "[vriga]", "run 1/2", "run 2/2", "pkt_sz=1500", "1s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+	jsonl, err := r.RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseJSON(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 || events[2].Run != 0 || events[2].Total != 2 {
+		t.Errorf("parsed = %+v", events)
+	}
+	if !events[0].At.Equal(base.Add(time.Second)) {
+		t.Errorf("first timestamp = %v", events[0].At)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder()
+	if got := string(r.RenderText()); !strings.Contains(got, "no events") {
+		t.Errorf("text = %q", got)
+	}
+	jsonl, err := r.RenderJSON()
+	if err != nil || len(jsonl) != 0 {
+		t.Errorf("json = %q, %v", jsonl, err)
+	}
+	events, err := ParseJSON(nil)
+	if err != nil || events != nil {
+		t.Errorf("parse empty = %v, %v", events, err)
+	}
+}
+
+func TestForwardChains(t *testing.T) {
+	r := NewRecorder()
+	var forwarded []string
+	r.Forward = func(ev core.ProgressEvent) { forwarded = append(forwarded, ev.Message) }
+	r.Observe(core.ProgressEvent{Phase: "setup", Message: "a"})
+	r.Observe(core.ProgressEvent{Phase: "setup", Message: "b"})
+	if len(forwarded) != 2 || forwarded[1] != "b" {
+		t.Errorf("forwarded = %v", forwarded)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	if _, err := ParseJSON([]byte("{broken\n")); err == nil {
+		t.Error("accepted broken trace")
+	}
+}
+
+func TestArchiveIntoExperiment(t *testing.T) {
+	// Full integration: record a real workflow and archive the trace.
+	topo, err := casestudy.New(casestudy.BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	runner := topo.Testbed.Runner()
+	runner.Progress = rec.Observe
+	sweep := casestudy.SweepConfig{Sizes: []int{64}, RatesPPS: []int{10_000, 20_000}, RuntimeSec: 1}
+	sum, err := runner.Run(context.Background(), topo.Experiment(sweep), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := store.ListExperiments("user", "linux-router-pos")
+	exp, err := store.OpenExperiment("user", "linux-router-pos", ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Archive(exp); err != nil {
+		t.Fatal(err)
+	}
+	logText, err := exp.ReadExperimentArtifact("experiment.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logText), "run 2/2") {
+		t.Errorf("log = %q", logText)
+	}
+	jsonl, err := exp.ReadExperimentArtifact("experiment-trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseJSON(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var measured int
+	for _, ev := range events {
+		if ev.Phase == core.PhaseMeasurement {
+			measured++
+		}
+	}
+	if measured != sum.TotalRuns {
+		t.Errorf("measurement events = %d, want %d", measured, sum.TotalRuns)
+	}
+}

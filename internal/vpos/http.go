@@ -1,0 +1,233 @@
+package vpos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"pos/internal/casestudy"
+)
+
+// InstanceView is the JSON representation of an instance.
+type InstanceView struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+	Nodes   []string  `json:"nodes"`
+	Status  Status    `json:"status"`
+	LastRun *RunInfo  `json:"last_run,omitempty"`
+}
+
+func view(i *Instance) InstanceView {
+	return InstanceView{
+		ID:      i.ID,
+		Created: i.Created,
+		Nodes:   i.Nodes,
+		Status:  i.Status(),
+		LastRun: i.LastRun(),
+	}
+}
+
+// Server exposes the manager over HTTP:
+//
+//	POST   /instances                  create an instance
+//	GET    /instances                  list instances
+//	GET    /instances/{id}             one instance
+//	DELETE /instances/{id}             destroy an instance
+//	POST   /instances/{id}/run         run the case study (body: sweep config)
+type Server struct {
+	mgr  *Manager
+	http *http.Server
+	ln   net.Listener
+}
+
+// runRequest is the body of a run call.
+type runRequest struct {
+	Sizes      []int   `json:"sizes,omitempty"`
+	RatesPPS   []int   `json:"rates_pps,omitempty"`
+	RuntimeSec float64 `json:"runtime_sec,omitempty"`
+}
+
+// Serve starts the service on a loopback port.
+func Serve(mgr *Manager) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("vpos: %w", err)
+	}
+	s := &Server{mgr: mgr, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /instances", s.create)
+	mux.HandleFunc("GET /instances", s.list)
+	mux.HandleFunc("GET /instances/{id}", s.get)
+	mux.HandleFunc("DELETE /instances/{id}", s.destroy)
+	mux.HandleFunc("POST /instances/{id}/run", s.run)
+	s.http = &http.Server{Handler: mux}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the service's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the service down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) create(w http.ResponseWriter, r *http.Request) {
+	inst, err := s.mgr.Create()
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, view(inst))
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	instances := s.mgr.List()
+	out := make([]InstanceView, 0, len(instances))
+	for _, i := range instances {
+		out = append(out, view(i))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	inst, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, view(inst))
+}
+
+func (s *Server) destroy(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Destroy(r.PathValue("id")); err != nil {
+		s.writeErr(w, http.StatusConflict, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) run(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			s.writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	cfg := RunConfig{Sweep: casestudy.SweepConfig{
+		Sizes:      req.Sizes,
+		RatesPPS:   req.RatesPPS,
+		RuntimeSec: req.RuntimeSec,
+	}}
+	info, err := s.mgr.Run(r.Context(), r.PathValue("id"), cfg)
+	if err != nil {
+		if info != nil {
+			s.writeJSON(w, http.StatusConflict, info)
+			return
+		}
+		s.writeErr(w, http.StatusConflict, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// Client drives the service.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the service at addr.
+func NewClient(addr string) *Client {
+	return &Client{base: "http://" + addr, hc: &http.Client{Timeout: 5 * time.Minute}}
+}
+
+func (c *Client) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("vpos: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("vpos: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("vpos: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var eb map[string]string
+		if json.Unmarshal(data, &eb) == nil && eb["error"] != "" {
+			return fmt.Errorf("vpos: %s %s: %s", method, path, eb["error"])
+		}
+		return fmt.Errorf("vpos: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("vpos: %w", err)
+	}
+	return nil
+}
+
+// Create boots a new instance.
+func (c *Client) Create() (InstanceView, error) {
+	var out InstanceView
+	err := c.do(http.MethodPost, "/instances", nil, &out)
+	return out, err
+}
+
+// List returns all instances.
+func (c *Client) List() ([]InstanceView, error) {
+	var out []InstanceView
+	err := c.do(http.MethodGet, "/instances", nil, &out)
+	return out, err
+}
+
+// Get fetches one instance.
+func (c *Client) Get(id string) (InstanceView, error) {
+	var out InstanceView
+	err := c.do(http.MethodGet, "/instances/"+id, nil, &out)
+	return out, err
+}
+
+// Destroy tears an instance down.
+func (c *Client) Destroy(id string) error {
+	return c.do(http.MethodDelete, "/instances/"+id, nil, nil)
+}
+
+// Run executes the case study in an instance with the given sweep (zero
+// values select the paper sweep).
+func (c *Client) Run(id string, sizes, ratesPPS []int, runtimeSec float64) (RunInfo, error) {
+	body, err := json.Marshal(runRequest{Sizes: sizes, RatesPPS: ratesPPS, RuntimeSec: runtimeSec})
+	if err != nil {
+		return RunInfo{}, fmt.Errorf("vpos: %w", err)
+	}
+	var out RunInfo
+	err = c.do(http.MethodPost, "/instances/"+id+"/run", bytes.NewReader(body), &out)
+	return out, err
+}

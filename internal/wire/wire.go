@@ -1,0 +1,136 @@
+// Package wire implements the newline-delimited JSON framing shared by the
+// testbed's control protocols (the IPMI-like initialization interface in
+// internal/mgmt and the SSH-like configuration interface in internal/shell).
+// One JSON object per line, request/response in lockstep on a single TCP
+// connection.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxMessageBytes bounds a single framed message (16 MiB) so a corrupt peer
+// cannot make the reader buffer unboundedly.
+const MaxMessageBytes = 16 << 20
+
+// ErrMessageTooLarge is returned for frames exceeding MaxMessageBytes.
+var ErrMessageTooLarge = errors.New("wire: message exceeds size limit")
+
+// Conn wraps a stream with JSON-line framing. It is safe for one reader and
+// one writer goroutine; Call serializes full round trips.
+type Conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+	wmu sync.Mutex
+	rmu sync.Mutex
+	// callMu serializes request/response exchanges.
+	callMu sync.Mutex
+}
+
+// NewConn wraps an established network connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{raw: c, r: bufio.NewReaderSize(c, 64*1024)}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetDeadline bounds both directions.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// Send marshals v and writes one frame.
+func (c *Conn) Send(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(data) > MaxMessageBytes {
+		return ErrMessageTooLarge
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	data = append(data, '\n')
+	_, err = c.raw.Write(data)
+	return err
+}
+
+// Recv reads one frame into v.
+func (c *Conn) Recv(v any) error {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	line, err := readLine(c.r)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(line, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Call performs one request/response round trip.
+func (c *Conn) Call(req, resp any) error {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+	if err := c.Send(req); err != nil {
+		return err
+	}
+	return c.Recv(resp)
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > MaxMessageBytes {
+			return nil, ErrMessageTooLarge
+		}
+		if err == nil {
+			return buf[:len(buf)-1], nil
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == io.EOF && len(buf) > 0 {
+			return buf, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+}
+
+// Handler processes one decoded request and returns the response object.
+type Handler func(req json.RawMessage) (resp any)
+
+// Serve accepts connections on l and runs each through loop until the
+// listener closes. It returns when Accept fails (listener closed).
+func Serve(l net.Listener, h Handler) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, h)
+	}
+}
+
+func serveConn(nc net.Conn, h Handler) {
+	c := NewConn(nc)
+	defer c.Close()
+	for {
+		var raw json.RawMessage
+		if err := c.Recv(&raw); err != nil {
+			return
+		}
+		if err := c.Send(h(raw)); err != nil {
+			return
+		}
+	}
+}

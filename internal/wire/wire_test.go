@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type echoMsg struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go Serve(ln, func(raw json.RawMessage) any {
+		var m echoMsg
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return echoMsg{N: -1}
+		}
+		m.N++
+		return m
+	})
+	return ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return NewConn(nc)
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	c := dial(t, startEcho(t))
+	var resp echoMsg
+	if err := c.Call(echoMsg{N: 41, S: "hello"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 42 || resp.S != "hello" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestMultipleCallsOneConnection(t *testing.T) {
+	c := dial(t, startEcho(t))
+	for i := 0; i < 50; i++ {
+		var resp echoMsg
+		if err := c.Call(echoMsg{N: i}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.N != i+1 {
+			t.Fatalf("call %d: resp.N = %d", i, resp.N)
+		}
+	}
+}
+
+func TestConcurrentCallers(t *testing.T) {
+	c := dial(t, startEcho(t))
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp echoMsg
+			if err := c.Call(echoMsg{N: i}, &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp.N != i+1 {
+				errs <- &json.UnsupportedValueError{}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent call: %v", err)
+	}
+}
+
+func TestLargeMessage(t *testing.T) {
+	c := dial(t, startEcho(t))
+	big := strings.Repeat("x", 1<<20)
+	var resp echoMsg
+	if err := c.Call(echoMsg{S: big}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.S != big {
+		t.Error("large payload corrupted")
+	}
+}
+
+func TestOversizedMessageRejected(t *testing.T) {
+	c := dial(t, startEcho(t))
+	big := strings.Repeat("x", MaxMessageBytes+1)
+	if err := c.Send(echoMsg{S: big}); err != ErrMessageTooLarge {
+		t.Errorf("err = %v, want ErrMessageTooLarge", err)
+	}
+}
+
+func TestRecvBadJSON(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn := NewConn(a)
+	go b.Write([]byte("this is not json\n"))
+	var v echoMsg
+	if err := conn.Recv(&v); err == nil {
+		t.Error("Recv accepted invalid JSON")
+	}
+}
+
+func TestRecvClosedConnection(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(a)
+	b.Close()
+	var v echoMsg
+	if err := conn.Recv(&v); err == nil {
+		t.Error("Recv succeeded on closed connection")
+	}
+}
+
+func TestServeStopsOnListenerClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Serve(ln, func(json.RawMessage) any { return nil }) }()
+	ln.Close()
+	if err := <-done; err == nil {
+		t.Error("Serve returned nil after listener close")
+	}
+}

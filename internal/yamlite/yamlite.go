@@ -1,0 +1,316 @@
+// Package yamlite parses the YAML subset that pos variable files use —
+// the paper's loop-variables.yml and friends: top-level mappings whose
+// values are scalars, flow lists ([a, b, c]), or block lists of scalars.
+// It is intentionally not a general YAML parser; experiment parameter files
+// never need anchors, nesting beyond one level, or multi-line strings, and
+// a small exact parser beats a permissive one for reproducibility (a file
+// that parses differently on two machines is a repeatability bug).
+//
+//	pkt_sz: [64, 1500]
+//	pkt_rate:
+//	  - 10000
+//	  - 20000
+//	runtime: 2
+//	comment: "strings may be quoted"
+package yamlite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a parsed YAML value: either a scalar or a list of scalars.
+type Value struct {
+	// Scalar holds the value when List is nil.
+	Scalar string
+	// List holds the values of a flow or block sequence.
+	List []string
+	// IsList distinguishes an empty list from an empty scalar.
+	IsList bool
+}
+
+// Doc is a parsed document: an ordered mapping.
+type Doc struct {
+	keys   []string
+	values map[string]Value
+}
+
+// Keys returns the mapping keys in file order.
+func (d *Doc) Keys() []string { return append([]string(nil), d.keys...) }
+
+// Get returns the value for key.
+func (d *Doc) Get(key string) (Value, bool) {
+	v, ok := d.values[key]
+	return v, ok
+}
+
+// Scalar returns the scalar value for key, or an error when the key is
+// missing or holds a list.
+func (d *Doc) Scalar(key string) (string, error) {
+	v, ok := d.values[key]
+	if !ok {
+		return "", fmt.Errorf("yamlite: key %q not present", key)
+	}
+	if v.IsList {
+		return "", fmt.Errorf("yamlite: key %q holds a list, want scalar", key)
+	}
+	return v.Scalar, nil
+}
+
+// List returns the values of key as a list; a scalar is returned as a
+// single-element list, matching pos semantics where every loop parameter
+// "can represent either a single value or a list of values".
+func (d *Doc) List(key string) ([]string, error) {
+	v, ok := d.values[key]
+	if !ok {
+		return nil, fmt.Errorf("yamlite: key %q not present", key)
+	}
+	if v.IsList {
+		return append([]string(nil), v.List...), nil
+	}
+	return []string{v.Scalar}, nil
+}
+
+// StringMap flattens the document into a map of scalars; list values are
+// rejected.
+func (d *Doc) StringMap() (map[string]string, error) {
+	out := make(map[string]string, len(d.keys))
+	for _, k := range d.keys {
+		v := d.values[k]
+		if v.IsList {
+			return nil, fmt.Errorf("yamlite: key %q holds a list in a scalar-only file", k)
+		}
+		out[k] = v.Scalar
+	}
+	return out, nil
+}
+
+// ParseError reports the offending line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("yamlite: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a document.
+func Parse(data []byte) (*Doc, error) {
+	doc := &Doc{values: make(map[string]Value)}
+	lines := strings.Split(string(data), "\n")
+	var pendingKey string
+	var pendingLine int
+	var pendingList []string
+	inBlockList := false
+
+	flush := func() error {
+		if !inBlockList {
+			return nil
+		}
+		if len(pendingList) == 0 {
+			return errf(pendingLine, "key %q has no list items", pendingKey)
+		}
+		doc.values[pendingKey] = Value{List: pendingList, IsList: true}
+		pendingList = nil
+		inBlockList = false
+		return nil
+	}
+
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := stripComment(raw)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || trimmed == "---" {
+			continue
+		}
+		indented := line != strings.TrimLeft(line, " \t")
+		if strings.HasPrefix(trimmed, "- ") || trimmed == "-" {
+			if !inBlockList {
+				return nil, errf(lineNo, "list item without a key")
+			}
+			if !indented {
+				return nil, errf(lineNo, "block list items must be indented")
+			}
+			item := strings.TrimSpace(strings.TrimPrefix(trimmed, "-"))
+			scalar, err := parseScalar(item, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			pendingList = append(pendingList, scalar)
+			continue
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		if indented {
+			return nil, errf(lineNo, "unexpected indentation (nested mappings are not supported)")
+		}
+		key, rest, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return nil, errf(lineNo, "expected 'key: value'")
+		}
+		key = strings.TrimSpace(key)
+		if key == "" {
+			return nil, errf(lineNo, "empty key")
+		}
+		if _, dup := doc.values[key]; dup {
+			return nil, errf(lineNo, "duplicate key %q", key)
+		}
+		rest = strings.TrimSpace(rest)
+		switch {
+		case rest == "":
+			// Block list follows.
+			pendingKey, pendingLine = key, lineNo
+			inBlockList = true
+			doc.keys = append(doc.keys, key)
+			doc.values[key] = Value{IsList: true} // placeholder, flushed later
+		case strings.HasPrefix(rest, "["):
+			list, err := parseFlowList(rest, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			doc.keys = append(doc.keys, key)
+			doc.values[key] = Value{List: list, IsList: true}
+		default:
+			scalar, err := parseScalar(rest, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			doc.keys = append(doc.keys, key)
+			doc.values[key] = Value{Scalar: scalar}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// stripComment removes a trailing comment, respecting quotes.
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble {
+				// YAML requires a preceding space (or line start).
+				if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+					return line[:i]
+				}
+			}
+		}
+	}
+	return line
+}
+
+// parseScalar unquotes a scalar token.
+func parseScalar(s string, lineNo int) (string, error) {
+	if s == "" {
+		return "", nil
+	}
+	if s[0] == '"' || s[0] == '\'' {
+		q := s[0]
+		if len(s) < 2 || s[len(s)-1] != q {
+			return "", errf(lineNo, "unterminated quoted scalar %q", s)
+		}
+		return s[1 : len(s)-1], nil
+	}
+	return s, nil
+}
+
+// parseFlowList parses "[a, b, c]".
+func parseFlowList(s string, lineNo int) ([]string, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, errf(lineNo, "unterminated flow list %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return []string{}, nil
+	}
+	parts := splitFlow(inner)
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		scalar, err := parseScalar(strings.TrimSpace(p), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scalar)
+	}
+	return out, nil
+}
+
+// splitFlow splits on commas outside quotes.
+func splitFlow(s string) []string {
+	var parts []string
+	start := 0
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ',':
+			if !inSingle && !inDouble {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// Marshal renders a mapping of scalars/lists back to the subset syntax,
+// keys in the given order (or sorted when order is nil is the caller's
+// concern — Marshal preserves the order handed to it).
+func Marshal(keys []string, values map[string]Value) []byte {
+	var b strings.Builder
+	for _, k := range keys {
+		v := values[k]
+		if v.IsList {
+			fmt.Fprintf(&b, "%s: [%s]\n", k, strings.Join(quoteAll(v.List), ", "))
+		} else {
+			fmt.Fprintf(&b, "%s: %s\n", k, quote(v.Scalar))
+		}
+	}
+	return []byte(b.String())
+}
+
+func quoteAll(xs []string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = quote(x)
+	}
+	return out
+}
+
+// quote quotes a scalar only when the plain form would be ambiguous.
+// Scalars containing both quote characters cannot be represented in the
+// subset and are rendered single-quoted best-effort; experiment parameters
+// (numbers, interface names, rates) never hit this.
+func quote(s string) string {
+	if s == "" || strings.ContainsAny(s, ":#,[]'\" \t") {
+		if strings.Contains(s, `"`) {
+			return "'" + s + "'"
+		}
+		return `"` + s + `"`
+	}
+	return s
+}

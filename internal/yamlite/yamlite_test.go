@@ -1,0 +1,297 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const paperLoopVars = `# loop variables of the Appendix A experiment
+pkt_sz: [64, 1500]
+pkt_rate:
+  - 10000
+  - 20000
+  - 30000
+runtime: 2
+note: "packet sizes include the 4 B FCS"
+`
+
+func TestParsePaperFile(t *testing.T) {
+	doc, err := Parse([]byte(paperLoopVars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := doc.Keys()
+	want := []string{"pkt_sz", "pkt_rate", "runtime", "note"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("key %d = %s, want %s", i, keys[i], want[i])
+		}
+	}
+	sizes, err := doc.List("pkt_sz")
+	if err != nil || len(sizes) != 2 || sizes[0] != "64" || sizes[1] != "1500" {
+		t.Errorf("pkt_sz = %v, %v", sizes, err)
+	}
+	rates, err := doc.List("pkt_rate")
+	if err != nil || len(rates) != 3 || rates[2] != "30000" {
+		t.Errorf("pkt_rate = %v, %v", rates, err)
+	}
+	runtime, err := doc.Scalar("runtime")
+	if err != nil || runtime != "2" {
+		t.Errorf("runtime = %q, %v", runtime, err)
+	}
+	note, err := doc.Scalar("note")
+	if err != nil || note != "packet sizes include the 4 B FCS" {
+		t.Errorf("note = %q, %v", note, err)
+	}
+}
+
+func TestScalarPromotedToList(t *testing.T) {
+	doc, err := Parse([]byte("pkt_sz: 64\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "each parameter can represent either a single value or a list".
+	l, err := doc.List("pkt_sz")
+	if err != nil || len(l) != 1 || l[0] != "64" {
+		t.Errorf("list = %v, %v", l, err)
+	}
+}
+
+func TestScalarOfListFails(t *testing.T) {
+	doc, err := Parse([]byte("a: [1, 2]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Scalar("a"); err == nil {
+		t.Error("Scalar on a list succeeded")
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	doc, err := Parse([]byte("a: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Scalar("b"); err == nil {
+		t.Error("missing key Scalar succeeded")
+	}
+	if _, err := doc.List("b"); err == nil {
+		t.Error("missing key List succeeded")
+	}
+	if _, ok := doc.Get("b"); ok {
+		t.Error("missing key Get succeeded")
+	}
+}
+
+func TestStringMap(t *testing.T) {
+	doc, err := Parse([]byte("a: 1\nb: two\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := doc.StringMap()
+	if err != nil || m["a"] != "1" || m["b"] != "two" {
+		t.Errorf("map = %v, %v", m, err)
+	}
+	doc2, _ := Parse([]byte("a: [1]\n"))
+	if _, err := doc2.StringMap(); err == nil {
+		t.Error("StringMap accepted list value")
+	}
+}
+
+func TestQuotingAndComments(t *testing.T) {
+	input := `a: "value # with hash"
+b: 'single # quoted'
+c: plain # trailing comment
+d: "colon: inside"
+e: [ "x, y", 'z' ]
+`
+	doc, err := Parse([]byte(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"a": "value # with hash",
+		"b": "single # quoted",
+		"c": "plain",
+		"d": "colon: inside",
+	}
+	for k, want := range cases {
+		if got, _ := doc.Scalar(k); got != want {
+			t.Errorf("%s = %q, want %q", k, got, want)
+		}
+	}
+	e, _ := doc.List("e")
+	if len(e) != 2 || e[0] != "x, y" || e[1] != "z" {
+		t.Errorf("e = %v", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no colon":                    "justtext\n",
+		"empty key":                   ": value\n",
+		"duplicate key":               "a: 1\na: 2\n",
+		"item without key":            "- 1\n",
+		"unindented item":             "a:\n- 1\n",
+		"unterminated flow list":      "a: [1, 2\n",
+		"unterminated quote":          "a: \"oops\n",
+		"unterminated quote in list":  "a: ['oops]\n",
+		"block list without items":    "a:\n",
+		"nested mapping":              "a: 1\n  b: 2\n",
+		"block list then nested junk": "a:\n  - 1\nb: 2\n  c: 3\n",
+	}
+	for name, input := range cases {
+		if _, err := Parse([]byte(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("%s: error type %T", name, err)
+		}
+	}
+}
+
+func TestParseErrorReportsLine(t *testing.T) {
+	_, err := Parse([]byte("a: 1\nb: 2\nbroken\n"))
+	pe, ok := err.(*ParseError)
+	if !ok || pe.Line != 3 {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("message = %q", pe.Error())
+	}
+}
+
+func TestEmptyAndSeparators(t *testing.T) {
+	doc, err := Parse([]byte("---\n\n# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Keys()) != 0 {
+		t.Errorf("keys = %v", doc.Keys())
+	}
+}
+
+func TestEmptyFlowList(t *testing.T) {
+	doc, err := Parse([]byte("a: []\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := doc.List("a")
+	if err != nil || len(l) != 0 {
+		t.Errorf("list = %v, %v", l, err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	keys := []string{"pkt_sz", "pkt_rate", "runtime", "iface"}
+	values := map[string]Value{
+		"pkt_sz":   {List: []string{"64", "1500"}, IsList: true},
+		"pkt_rate": {List: []string{"10000"}, IsList: true},
+		"runtime":  {Scalar: "2"},
+		"iface":    {Scalar: "eno1 np0"},
+	}
+	data := Marshal(keys, values)
+	doc, err := Parse(data)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	gotKeys := doc.Keys()
+	for i := range keys {
+		if gotKeys[i] != keys[i] {
+			t.Errorf("key order: %v", gotKeys)
+		}
+	}
+	if l, _ := doc.List("pkt_sz"); len(l) != 2 || l[1] != "1500" {
+		t.Errorf("pkt_sz = %v", l)
+	}
+	if s, _ := doc.Scalar("iface"); s != "eno1 np0" {
+		t.Errorf("iface = %q", s)
+	}
+}
+
+// Property: Marshal -> Parse is the identity for documents over a sane
+// scalar alphabet.
+func TestRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r >= ' ' && r != '"' && r != '\'' && r != '\\' && r < 127 {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	prop := func(scalars []string, listMask []bool) bool {
+		keys := make([]string, 0, len(scalars))
+		values := make(map[string]Value)
+		for i, s := range scalars {
+			k := "k" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+			if _, dup := values[k]; dup {
+				continue
+			}
+			keys = append(keys, k)
+			s = sanitize(s)
+			if i < len(listMask) && listMask[i] {
+				values[k] = Value{List: []string{s, sanitize(s + "x")}, IsList: true}
+			} else {
+				values[k] = Value{Scalar: s}
+			}
+		}
+		doc, err := Parse(Marshal(keys, values))
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			want := values[k]
+			got, ok := doc.Get(k)
+			if !ok || got.IsList != want.IsList {
+				return false
+			}
+			if want.IsList {
+				if len(got.List) != len(want.List) {
+					return false
+				}
+				for i := range want.List {
+					if strings.TrimSpace(want.List[i]) != got.List[i] {
+						// Parse trims surrounding space inside
+						// flow items; treat as equal modulo
+						// that canonicalization.
+						if want.List[i] != got.List[i] {
+							return false
+						}
+					}
+				}
+			} else if strings.TrimSpace(want.Scalar) != got.Scalar && want.Scalar != got.Scalar {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Parse terminates cleanly on arbitrary input — either a document
+// or a *ParseError, never a panic.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	prop := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		doc, err := Parse([]byte(input))
+		if err != nil {
+			_, isParseErr := err.(*ParseError)
+			return isParseErr
+		}
+		return doc != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,422 @@
+package pos
+
+import (
+	"context"
+	"io"
+
+	"pos/internal/api"
+	"pos/internal/calendar"
+	"pos/internal/casestudy"
+	"pos/internal/compare"
+	"pos/internal/core"
+	"pos/internal/eval"
+	"pos/internal/expfile"
+	"pos/internal/hosttools"
+	"pos/internal/image"
+	"pos/internal/loadgen"
+	"pos/internal/moonparse"
+	"pos/internal/ndr"
+	"pos/internal/netem"
+	"pos/internal/node"
+	"pos/internal/packet"
+	"pos/internal/pcap"
+	"pos/internal/perfmodel"
+	"pos/internal/plot"
+	"pos/internal/publish"
+	"pos/internal/repeat"
+	"pos/internal/results"
+	"pos/internal/router"
+	"pos/internal/sim"
+	"pos/internal/testbed"
+	"pos/internal/topo"
+	"pos/internal/trace"
+	"pos/internal/vpos"
+)
+
+// Methodology types (internal/core): the experiment model and workflow
+// engine — the paper's primary contribution.
+type (
+	// Experiment is a complete pos experiment: scripts plus variables.
+	Experiment = core.Experiment
+	// HostSpec binds one experiment role to a node, image, and scripts.
+	HostSpec = core.HostSpec
+	// Vars is a set of experiment variables.
+	Vars = core.Vars
+	// LoopVar is one swept parameter.
+	LoopVar = core.LoopVar
+	// Combination is one concrete loop-variable assignment.
+	Combination = core.Combination
+	// Runner executes experiments over a set of hosts.
+	Runner = core.Runner
+	// Host is the runner's control handle for one node.
+	Host = core.Host
+	// Summary reports a workflow execution.
+	Summary = core.Summary
+	// RunRecord summarizes one measurement run.
+	RunRecord = core.RunRecord
+	// ProgressEvent is emitted as the workflow advances.
+	ProgressEvent = core.ProgressEvent
+)
+
+// CrossProduct expands loop variables into every combination, in
+// deterministic order — one measurement run per combination.
+func CrossProduct(vars []LoopVar) ([]Combination, error) { return core.CrossProduct(vars) }
+
+// NumRuns reports the cross-product size without materializing it.
+func NumRuns(vars []LoopVar) int { return core.NumRuns(vars) }
+
+// MergeVars overlays variable sets with pos precedence (later wins).
+func MergeVars(layers ...Vars) Vars { return core.Merge(layers...) }
+
+// Testbed types (internal/testbed and substrates).
+type (
+	// Testbed is the controller: images, calendar, nodes, host tools.
+	Testbed = testbed.Testbed
+	// Handle bundles one node with its control-plane endpoints.
+	Handle = testbed.Handle
+	// BootHook runs on a node after every boot.
+	BootHook = testbed.BootHook
+	// Node is one emulated experiment host.
+	Node = node.Node
+	// NodeCommand is an executable deployable onto a node — how
+	// experiments attach domain tools (generators, routers, workloads).
+	NodeCommand = node.Command
+	// NodeWriter is the output sink passed to NodeCommands.
+	NodeWriter = node.ErrWriter
+	// Image is a versioned live-boot image.
+	Image = image.Image
+	// Allocation is a confirmed calendar reservation.
+	Allocation = calendar.Allocation
+	// Calendar is the multi-user allocation calendar.
+	Calendar = calendar.Calendar
+	// HostService is the controller-side variable/barrier/upload endpoint.
+	HostService = hosttools.Service
+)
+
+// NewTestbed returns an empty testbed controller.
+func NewTestbed() *Testbed { return testbed.New() }
+
+// DebianBusterImage is the pinned live image of the paper's case study.
+func DebianBusterImage() Image { return image.DefaultDebianBuster() }
+
+// Results types (internal/results).
+type (
+	// ResultsStore is the root of the results tree.
+	ResultsStore = results.Store
+	// ExperimentResults is one experiment's result directory.
+	ExperimentResults = results.Experiment
+	// RunMeta is the per-run loop-parameter metadata.
+	RunMeta = results.RunMeta
+)
+
+// NewResultsStore opens (creating if needed) a results tree at dir.
+func NewResultsStore(dir string) (*ResultsStore, error) { return results.NewStore(dir) }
+
+// Case-study types (internal/casestudy): the paper's Sec. 5 experiment.
+type (
+	// CaseStudy is the running two-node LoadGen/DuT rig.
+	CaseStudy = casestudy.Topology
+	// Flavor selects the platform: BareMetal (pos) or Virtual (vpos).
+	Flavor = casestudy.Flavor
+	// SweepConfig parameterizes the rate/size sweep.
+	SweepConfig = casestudy.SweepConfig
+	// RunPoint is one sweep point (one cell of Fig. 3).
+	RunPoint = casestudy.RunPoint
+	// CaseStudyOption tweaks the topology.
+	CaseStudyOption = casestudy.Option
+)
+
+// The two platforms of Fig. 3.
+const (
+	// BareMetal is the hardware testbed (pos).
+	BareMetal = casestudy.BareMetal
+	// Virtual is the virtual clone (vpos).
+	Virtual = casestudy.Virtual
+)
+
+// NewCaseStudy builds the paper's two-node topology on the given platform.
+func NewCaseStudy(flavor Flavor, opts ...CaseStudyOption) (*CaseStudy, error) {
+	return casestudy.New(flavor, opts...)
+}
+
+// WithSeed pins the vpos jitter seed.
+func WithSeed(seed uint64) CaseStudyOption { return casestudy.WithSeed(seed) }
+
+// WithSwitch inserts L2 cross-connects instead of direct wiring (ablation).
+func WithSwitch(delay sim.Duration) CaseStudyOption { return casestudy.WithSwitch(delay) }
+
+// WithGenerator selects the load-generator fidelity profile.
+func WithGenerator(p GeneratorProfile) CaseStudyOption { return casestudy.WithGenerator(p) }
+
+// GeneratorProfile models a traffic-generator implementation's fidelity.
+type GeneratorProfile = loadgen.Profile
+
+// MoonGenProfile is the paper's default generator (DPDK + NIC hardware
+// timestamps).
+func MoonGenProfile() GeneratorProfile { return loadgen.MoonGenProfile() }
+
+// OSNTProfile is the NetFPGA hardware generator (cycle-exact, hardware
+// timestamps).
+func OSNTProfile() GeneratorProfile { return loadgen.OSNTProfile() }
+
+// IPerfProfile is a sockets-based software generator (bursty, software
+// timestamps only).
+func IPerfProfile() GeneratorProfile { return loadgen.IPerfProfile() }
+
+// NDR search (internal/ndr): RFC 2544-style throughput search.
+type (
+	// NDRConfig bounds a non-drop-rate search.
+	NDRConfig = ndr.Config
+	// NDRResult is the outcome of a search.
+	NDRResult = ndr.Result
+	// NDRTrial is one measurement of a search.
+	NDRTrial = ndr.Trial
+	// NDRMeasurer performs one trial at a rate.
+	NDRMeasurer = ndr.Measurer
+)
+
+// SearchNDR binary-searches the highest drop-free offered rate.
+func SearchNDR(cfg NDRConfig, m NDRMeasurer) (NDRResult, error) { return ndr.Search(cfg, m) }
+
+// Experiment directories (internal/expfile): the published artifact layout.
+
+// LoadExperimentDir reads an experiment directory, optionally remapping
+// roles to physical nodes.
+func LoadExperimentDir(dir string, bindings map[string]string) (*Experiment, error) {
+	return expfile.Load(dir, bindings)
+}
+
+// SaveExperimentDir writes an experiment as a publishable directory.
+func SaveExperimentDir(exp *Experiment, dir string) error { return expfile.Save(exp, dir) }
+
+// Repeatability verification (internal/repeat).
+type (
+	// RepeatConfig drives a repeatability check.
+	RepeatConfig = repeat.Config
+	// RepeatReport quantifies deviation across repeated executions.
+	RepeatReport = repeat.Report
+)
+
+// VerifyRepeatability executes an experiment several times and quantifies
+// the deviation between executions — the ACM "repeatable" property as a
+// measured artifact.
+func VerifyRepeatability(ctx context.Context, runner *Runner, exp *Experiment, store *ResultsStore, cfg RepeatConfig) (*RepeatReport, error) {
+	return repeat.Verify(ctx, runner, exp, store, cfg)
+}
+
+// Controller HTTP API (internal/api): the "pos API" experiment tooling uses.
+type (
+	// APIServer serves the controller API for one testbed.
+	APIServer = api.Server
+	// APIClient is the typed client for the controller API.
+	APIClient = api.Client
+)
+
+// ServeAPI starts the controller HTTP API on a loopback port.
+func ServeAPI(tb *Testbed) (*APIServer, error) { return api.Serve(tb) }
+
+// NewAPIClient returns a client for a controller API at addr.
+func NewAPIClient(addr string) *APIClient { return api.NewClient(addr) }
+
+// PaperSweep is the Appendix A parameter space: 2 sizes x 30 rates.
+func PaperSweep() SweepConfig { return casestudy.PaperSweep() }
+
+// ExtendedSweep widens the rate axis to expose both Fig. 3a plateaus.
+func ExtendedSweep() SweepConfig { return casestudy.ExtendedSweep() }
+
+// Evaluation types (internal/eval, internal/moonparse, internal/plot).
+type (
+	// RunData is one run joined with its metadata and parsed report.
+	RunData = eval.RunData
+	// Series is a named (x, y) sequence.
+	Series = eval.Series
+	// Point is one sample of a series.
+	Point = eval.Point
+	// MoonGenReport is a parsed MoonGen statistics log.
+	MoonGenReport = moonparse.Report
+	// Figure is a renderable chart (SVG/TeX/CSV).
+	Figure = plot.Figure
+)
+
+// LoadRuns reads every run of an experiment, parsing the node's MoonGen log.
+func LoadRuns(exp *ExperimentResults, nodeName, artifact string) ([]RunData, error) {
+	return eval.LoadRuns(exp, nodeName, artifact)
+}
+
+// ThroughputSeries aggregates runs into per-group throughput series.
+func ThroughputSeries(runs []RunData, groupBy, xVar string, xScale float64) ([]Series, error) {
+	return eval.ThroughputSeries(runs, groupBy, xVar, xScale)
+}
+
+// AggregateSeries merges repeated measurements into mean ± stddev series;
+// the resulting error bars render in every figure format.
+func AggregateSeries(repetitions [][]Series) ([]Series, error) {
+	return eval.AggregateSeries(repetitions)
+}
+
+// ParseMoonGen parses a MoonGen statistics log.
+func ParseMoonGen(r io.Reader) (*MoonGenReport, error) { return moonparse.Parse(r) }
+
+// LoadLatency reads latency-CSV artifacts from every run, keyed by loop
+// combination.
+func LoadLatency(exp *ExperimentResults, nodeName, artifact string) (map[string][]float64, error) {
+	return eval.LoadLatency(exp, nodeName, artifact)
+}
+
+// StabilityFigure plots per-second received-rate samples over time — the
+// Fig. 3b instability, visualized.
+func StabilityFigure(title string, perSecond map[string][]float64) *Figure {
+	return plot.Stability(title, perSecond)
+}
+
+// ThroughputFigure builds the Fig. 3-style line plot.
+func ThroughputFigure(title string, series []Series) *Figure { return plot.Throughput(title, series) }
+
+// LatencyCDFFigure builds a latency CDF from nanosecond samples.
+func LatencyCDFFigure(title string, samplesNs map[string][]float64) *Figure {
+	return plot.LatencyCDF(title, samplesNs)
+}
+
+// LatencyHDRFigure builds an HDR percentile plot.
+func LatencyHDRFigure(title string, samplesNs map[string][]float64) *Figure {
+	return plot.LatencyHDR(title, samplesNs)
+}
+
+// LatencyViolinFigure compares latency distributions as violins.
+func LatencyViolinFigure(title string, samplesNs map[string][]float64) *Figure {
+	return plot.LatencyViolin(title, samplesNs)
+}
+
+// LatencyHistogramFigure builds a latency histogram.
+func LatencyHistogramFigure(title string, samplesNs []float64, bins int) *Figure {
+	return plot.LatencyHistogram(title, samplesNs, bins)
+}
+
+// ExportFigure renders a figure to "<base>.{svg,tex,csv}" content pairs.
+func ExportFigure(base string, f *Figure) map[string][]byte { return plot.ExportNamed(base, f) }
+
+// Publication (internal/publish).
+type (
+	// PublishManifest describes a released bundle.
+	PublishManifest = publish.Manifest
+)
+
+// Release publishes an experiment: generates its website and writes the
+// artifact archive to destPath.
+func Release(exp *ExperimentResults, user, name, destPath string) (PublishManifest, error) {
+	return publish.Release(exp, user, name, destPath)
+}
+
+// WriteComparisonTable regenerates Table 1 of the paper.
+func WriteComparisonTable(w io.Writer) error { return compare.Write(w) }
+
+// Traffic capture types (internal/pcap, internal/packet): libpcap files and
+// byte-accurate UDP/IPv4/Ethernet frame construction for replay workloads.
+type (
+	// PcapPacket is one captured record.
+	PcapPacket = pcap.Packet
+	// PcapWriter writes libpcap capture files.
+	PcapWriter = pcap.Writer
+	// PcapReader reads libpcap capture files.
+	PcapReader = pcap.Reader
+	// UDPTemplate describes a synthetic UDP frame.
+	UDPTemplate = packet.UDPTemplate
+	// MAC is a 48-bit Ethernet address.
+	MAC = packet.MAC
+	// IPv4Addr is a 32-bit IPv4 address.
+	IPv4Addr = packet.IPv4Addr
+)
+
+// NewPcapWriter returns a nanosecond-resolution pcap writer.
+func NewPcapWriter(w io.Writer, snapLen uint32) *PcapWriter { return pcap.NewWriter(w, snapLen) }
+
+// NewPcapReader opens a pcap stream.
+func NewPcapReader(r io.Reader) (*PcapReader, error) { return pcap.NewReader(r) }
+
+// LineRatePPS returns the packet-rate ceiling of a link for a frame size.
+func LineRatePPS(linkBitsPerSec float64, frameLen int) float64 {
+	return packet.LineRatePPS(linkBitsPerSec, frameLen)
+}
+
+// Virtual-testbed service (internal/vpos): disposable vpos instances over
+// HTTP — the paper's virtualtestbed.net.in.tum.de.
+type (
+	// VposManager owns the service's instances.
+	VposManager = vpos.Manager
+	// VposServer is the HTTP endpoint.
+	VposServer = vpos.Server
+	// VposClient drives a remote service.
+	VposClient = vpos.Client
+	// VposInstance is the client view of an instance.
+	VposInstance = vpos.InstanceView
+	// VposRunInfo summarizes an instance's last experiment execution.
+	VposRunInfo = vpos.RunInfo
+)
+
+// NewVposManager creates a virtual-testbed manager rooted at dir.
+func NewVposManager(dir string) (*VposManager, error) { return vpos.NewManager(dir) }
+
+// ServeVpos exposes a manager over HTTP on a loopback port.
+func ServeVpos(m *VposManager) (*VposServer, error) { return vpos.Serve(m) }
+
+// NewVposClient returns a client for the service at addr.
+func NewVposClient(addr string) *VposClient { return vpos.NewClient(addr) }
+
+// Declarative topologies (internal/topo): virtual-testbed wiring as an
+// artifact.
+type (
+	// TopologySpec is a parsed topology description.
+	TopologySpec = topo.Spec
+	// TopologyNetwork is an instantiated topology.
+	TopologyNetwork = topo.Network
+)
+
+// ParseTopology reads a topology description (devices + direct links).
+func ParseTopology(data []byte) (*TopologySpec, error) { return topo.Parse(data) }
+
+// Experiment tracing (internal/trace).
+type (
+	// TraceRecorder records workflow events as a publishable artifact.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one timestamped workflow event.
+	TraceEvent = trace.Event
+)
+
+// NewTraceRecorder returns an empty execution-trace recorder; plug its
+// Observe method into Runner.Progress and Archive it into the results.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// CheckArtifact verifies an experiment's result tree is complete enough to
+// publish (the mechanical part of artifact evaluation).
+func CheckArtifact(exp *ExperimentResults) (publish.CheckReport, error) { return publish.Check(exp) }
+
+// ArtifactCheckReport is the outcome of CheckArtifact.
+type ArtifactCheckReport = publish.CheckReport
+
+// Data-plane types, exposed for users building their own topologies.
+type (
+	// Engine is the deterministic discrete-event clock.
+	Engine = sim.Engine
+	// LoadGenerator is the MoonGen-style traffic source.
+	LoadGenerator = loadgen.Generator
+	// LinuxRouter is the emulated software-router DuT.
+	LinuxRouter = router.Router
+	// LinkConfig describes a physical wire.
+	LinkConfig = netem.LinkConfig
+	// PerfModel yields a DuT forwarding capacity.
+	PerfModel = perfmodel.Model
+)
+
+// NewEngine returns a discrete-event engine at virtual time zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewLoadGenerator returns a dual-port traffic source on the engine.
+func NewLoadGenerator(e *Engine, name string, hardwareTimestamps bool) *LoadGenerator {
+	return loadgen.New(e, name, hardwareTimestamps)
+}
+
+// BareMetalModel is the calibrated pos DuT model (~1.75 Mpps).
+func BareMetalModel() PerfModel { return perfmodel.NewBareMetal() }
+
+// VirtualModel is the calibrated vpos DuT model (~0.04 Mpps drop-free).
+func VirtualModel(seed uint64) PerfModel { return perfmodel.NewVirtual(seed) }
