@@ -1,0 +1,22 @@
+# Tier-1 verification (the seed contract): build + full test suite.
+.PHONY: verify
+verify:
+	go build ./...
+	go test ./...
+
+# Concurrency tier: static checks plus the full suite under the race
+# detector. The scheduler tests deliberately hold >=2 runs in flight, so
+# this exercises the campaign/scope synchronization paths for real.
+.PHONY: race
+race:
+	go vet ./...
+	go test -race ./...
+
+# Performance tier: the speedup benchmarks added with the campaign
+# scheduler (sequential vs. 2-replica sweep, regexp vs. scanner parsing).
+.PHONY: bench
+bench:
+	go test -run NONE -bench 'BenchmarkParallelSweep|BenchmarkMoonparse' -benchtime 3x .
+
+.PHONY: all
+all: verify race

@@ -9,21 +9,27 @@ package pos_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"pos"
 
 	"pos/internal/casestudy"
 	"pos/internal/compare"
 	"pos/internal/core"
+	"pos/internal/hosttools"
 	"pos/internal/loadgen"
+	"pos/internal/moonparse"
 	"pos/internal/netem"
 	"pos/internal/packet"
 	"pos/internal/perfmodel"
 	"pos/internal/results"
 	"pos/internal/router"
+	"pos/internal/sched"
 	"pos/internal/sim"
 )
 
@@ -453,6 +459,179 @@ func BenchmarkAblationImperfectCabling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// waitHost is a core.Host whose measurement phase blocks for a fixed wall
+// time — the shape of a real testbed run, where the controller mostly waits
+// on remote hosts. Campaign scheduling wins exactly here: the waits of
+// different runs overlap across replicas.
+type waitHost struct {
+	name  string
+	delay time.Duration
+}
+
+func (h *waitHost) Name() string                                  { return h.name }
+func (h *waitHost) SetBoot(string, map[string]string) error       { return nil }
+func (h *waitHost) Reboot() error                                 { return nil }
+func (h *waitHost) DeployTools() error                            { return nil }
+func (h *waitHost) Exec(ctx context.Context, script string, _ map[string]string) (string, error) {
+	if strings.Contains(script, "measure") {
+		select {
+		case <-time.After(h.delay):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	return "ok", nil
+}
+
+func benchSweep(node string) *core.Experiment {
+	rates := make([]string, 8)
+	for i := range rates {
+		rates[i] = fmt.Sprint((i + 1) * 10_000)
+	}
+	return &core.Experiment{
+		Name:     "parallel-bench",
+		User:     "user",
+		LoopVars: []core.LoopVar{{Name: "pkt_rate", Values: rates}},
+		Hosts: []core.HostSpec{{
+			Role: "loadgen", Node: node, Image: "debian-buster",
+			Setup: "setup", Measurement: "measure",
+		}},
+		Duration: time.Hour,
+	}
+}
+
+func benchReplica(name, node string, delay time.Duration) sched.Replica {
+	h := &waitHost{name: node, delay: delay}
+	return sched.Replica{
+		Name:       name,
+		Runner:     &core.Runner{Hosts: map[string]core.Host{node: h}, Service: hosttools.NewService(nil)},
+		Experiment: benchSweep(node),
+	}
+}
+
+// BenchmarkParallelSweep compares the sequential runner against a 2-replica
+// campaign on the same 8-run sweep with wall-clock-bound measurements (100 ms
+// each, the controller's view of a real run). The Speedup sub-benchmark
+// reports the wall-clock ratio as a custom metric — the sweep halves on two
+// replicas (≈2×, the ideal for two-way sharding).
+func BenchmarkParallelSweep(b *testing.B) {
+	const delay = 100 * time.Millisecond
+	runSequential := func(b *testing.B) time.Duration {
+		rep := benchReplica("solo", "n0", delay)
+		store, err := results.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		sum, err := rep.Runner.Run(context.Background(), rep.Experiment, store)
+		if err != nil || sum.FailedRuns != 0 {
+			b.Fatalf("sum=%+v err=%v", sum, err)
+		}
+		return time.Since(start)
+	}
+	runParallel := func(b *testing.B) time.Duration {
+		c := &sched.Campaign{Replicas: []sched.Replica{
+			benchReplica("alpha", "n0", delay),
+			benchReplica("beta", "n1", delay),
+		}}
+		store, err := results.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		sum, err := c.Run(context.Background(), store)
+		if err != nil || sum.FailedRuns != 0 {
+			b.Fatalf("sum=%+v err=%v", sum, err)
+		}
+		return time.Since(start)
+	}
+	b.Run("Sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSequential(b)
+		}
+	})
+	b.Run("TwoReplicas", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runParallel(b)
+		}
+	})
+	b.Run("Speedup", func(b *testing.B) {
+		var seq, par time.Duration
+		for i := 0; i < b.N; i++ {
+			seq += runSequential(b)
+			par += runParallel(b)
+		}
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_x")
+		b.ReportMetric(0, "ns/op")
+	})
+}
+
+// syntheticMoonGenLog renders a realistic large run log: per-second samples
+// for both devices, interleaved noise, then totals and the latency summary.
+func syntheticMoonGenLog(seconds int) string {
+	var sb strings.Builder
+	for i := 0; i < seconds; i++ {
+		fmt.Fprintf(&sb, "[Device: id=0] TX: %d.%04d Mpps, %d.%02d Mbit/s (%d.%02d Mbit/s with framing)\n",
+			1, i%10000, 512+i%100, i%100, 672+i%100, i%100)
+		fmt.Fprintf(&sb, "[Device: id=1] RX: %d.%04d Mpps, %d.%02d Mbit/s (%d.%02d Mbit/s with framing)\n",
+			1, (i+7)%10000, 511+i%100, i%100, 671+i%100, i%100)
+		if i%5 == 0 {
+			fmt.Fprintf(&sb, "app log: worker %d heartbeat ok\n", i)
+		}
+	}
+	sb.WriteString("[Device: id=0] TX: 1.0000 Mpps (StdDev 0.0002), total 60000000 packets, 3840000000 bytes\n")
+	sb.WriteString("[Device: id=1] RX: 0.9995 Mpps (StdDev 0.0005), total 59970000 packets, 3838080000 bytes\n")
+	sb.WriteString("[Latency] avg: 12345 ns, min: 9000 ns, max: 40000 ns, samples: 100000\n")
+	return sb.String()
+}
+
+// BenchmarkMoonparse compares the regexp reference parser against the
+// hand-rolled prefix scanner on a 60-second run log; the Speedup
+// sub-benchmark reports the ratio as a custom metric.
+func BenchmarkMoonparse(b *testing.B) {
+	log := syntheticMoonGenLog(60)
+	b.Run("Regexp", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(log)))
+		for i := 0; i < b.N; i++ {
+			if _, err := moonparse.ParseRegexp(strings.NewReader(log)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Scanner", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(log)))
+		for i := 0; i < b.N; i++ {
+			if _, err := moonparse.ParseString(log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Speedup", func(b *testing.B) {
+		const rounds = 50
+		var tRe, tSc time.Duration
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				if _, err := moonparse.ParseRegexp(strings.NewReader(log)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tRe += time.Since(start)
+			start = time.Now()
+			for r := 0; r < rounds; r++ {
+				if _, err := moonparse.ParseString(log); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tSc += time.Since(start)
+		}
+		b.ReportMetric(tRe.Seconds()/tSc.Seconds(), "speedup_x")
+		b.ReportMetric(0, "ns/op")
+	})
 }
 
 // BenchmarkPublicAPIRun exercises the façade the way a downstream user does.

@@ -140,6 +140,7 @@ func cmdRun(args []string) error {
 	runtime := fs.Float64("runtime", 1, "per-run measurement window in virtual seconds")
 	dir := fs.String("results", "", "results root (default: temp dir)")
 	seed := fs.Uint64("seed", 1, "vpos jitter seed")
+	parallel := fs.Int("parallel", 1, "replica testbeds to shard the sweep across")
 	fs.Parse(args)
 
 	var fl pos.Flavor
@@ -150,6 +151,9 @@ func cmdRun(args []string) error {
 		fl = pos.Virtual
 	default:
 		return fmt.Errorf("run: unknown flavor %q", *flavor)
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("run: -parallel must be >= 1, got %d", *parallel)
 	}
 	cfg := pos.SweepConfig{RuntimeSec: *runtime}
 	var err error
@@ -169,6 +173,33 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	if *parallel > 1 {
+		// Campaign mode: shard the sweep across independent replica
+		// testbeds (same images, same variables — the condition for the
+		// shards to be one reproducible experiment).
+		topos, err := pos.NewCaseStudyReplicas(fl, *parallel, pos.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		for _, t := range topos {
+			defer t.Close()
+		}
+		c := &pos.Campaign{
+			Replicas: pos.CaseStudyReplicas(topos, cfg),
+			Progress: func(ev pos.ProgressEvent) {
+				fmt.Printf("run %d/%d on %s: %s\n", ev.Run+1, ev.TotalRuns, ev.Host, ev.Message)
+			},
+		}
+		sum, err := c.Run(context.Background(), store)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d runs complete (%d failed) across %d replicas\nresults: %s\n",
+			sum.TotalRuns, sum.FailedRuns, *parallel, sum.ResultsDir)
+		return nil
+	}
+
 	topo, err := pos.NewCaseStudy(fl, pos.WithSeed(*seed))
 	if err != nil {
 		return err

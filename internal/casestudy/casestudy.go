@@ -95,10 +95,39 @@ func WithGenerator(p loadgen.Profile) Option {
 // node names follow the paper's virtual testbed: vriga (LoadGen) and vtartu
 // (DuT).
 func New(flavor Flavor, opts ...Option) (*Topology, error) {
+	return newTopology(flavor, 0, opts...)
+}
+
+// NewReplicas builds n independent copies of the topology — the replica
+// testbeds of a parallel campaign, like spawning n vpos instances of the
+// same virtual testbed. Every replica runs its own engine, testbed, and
+// control plane; the VM jitter seed is offset per replica so the replicas
+// are deterministic yet independent. On error, already-built replicas are
+// closed.
+func NewReplicas(flavor Flavor, n int, opts ...Option) ([]*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("casestudy: need at least one replica, got %d", n)
+	}
+	topos := make([]*Topology, n)
+	for i := range topos {
+		t, err := newTopology(flavor, uint64(i), opts...)
+		if err != nil {
+			for _, built := range topos[:i] {
+				built.Close()
+			}
+			return nil, err
+		}
+		topos[i] = t
+	}
+	return topos, nil
+}
+
+func newTopology(flavor Flavor, seedOffset uint64, opts ...Option) (*Topology, error) {
 	o := options{seed: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
+	o.seed += seedOffset
 
 	tb := testbed.New()
 	if err := tb.Images.Add(image.DefaultDebianBuster()); err != nil {

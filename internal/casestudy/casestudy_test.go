@@ -14,6 +14,7 @@ import (
 	"pos/internal/moonparse"
 	"pos/internal/packet"
 	"pos/internal/results"
+	"pos/internal/sched"
 	"pos/internal/sim"
 )
 
@@ -83,6 +84,115 @@ func TestFullWorkflowBareMetal(t *testing.T) {
 		}
 		if !strings.Contains(string(stats), "forwarded=") {
 			t.Errorf("run %d: stats = %q", run, stats)
+		}
+	}
+}
+
+// TestTwoReplicaCampaign shards the vpos sweep across two independent
+// virtual testbeds — the parallel-campaign demonstration: every run lands
+// in one shared results experiment with the same numbering, parseable logs,
+// and byte-identical metadata the sequential sweep produces.
+func TestTwoReplicaCampaign(t *testing.T) {
+	clock := func() time.Time { return time.Date(2021, 12, 7, 10, 0, 0, 0, time.UTC) }
+	cfg := SweepConfig{
+		Sizes:      []int{64, 1500},
+		RatesPPS:   []int{10_000, 20_000, 30_000},
+		RuntimeSec: 1,
+	}
+
+	topos, err := NewReplicas(Virtual, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range topos {
+		defer topo.Close()
+	}
+	reps := Replicas(topos, cfg)
+	for i := range reps {
+		reps[i].Runner.Clock = clock
+	}
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := (&sched.Campaign{Replicas: reps}).Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalRuns != 6 || sum.FailedRuns != 0 || len(sum.Records) != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	// Sequential reference on a third identical testbed.
+	seqTopo, err := New(Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seqTopo.Close()
+	seqRunner := seqTopo.Testbed.Runner()
+	seqRunner.Clock = clock
+	seqStore, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seqRunner.Run(context.Background(), seqTopo.Experiment(cfg), seqStore); err != nil {
+		t.Fatal(err)
+	}
+
+	ids, _ := store.ListExperiments("user", "linux-router-vpos")
+	e, err := store.OpenExperiment("user", "linux-router-vpos", ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqIDs, _ := seqStore.ListExperiments("user", "linux-router-vpos")
+	seqExp, err := seqStore.OpenExperiment("user", "linux-router-vpos", seqIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	combos, _ := core.CrossProduct(seqTopo.Experiment(cfg).LoopVars)
+	for run := 0; run < 6; run++ {
+		// Deterministic numbering: run i carries cross-product combo i no
+		// matter which replica executed it.
+		meta, err := e.ReadRunMeta(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range combos[run] {
+			if meta.LoopVars[k] != v {
+				t.Errorf("run %d: %s = %s, want %s", run, k, meta.LoopVars[k], v)
+			}
+		}
+		// Every run produced a parseable MoonGen log.
+		logData, err := e.ReadRunArtifact(run, "vriga", "moongen.log")
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if _, err := moonparse.Parse(bytes.NewReader(logData)); err != nil {
+			t.Errorf("run %d: parse: %v", run, err)
+		}
+		// Per-run metadata byte-identical to the sequential sweep.
+		want, err := seqExp.ReadRunArtifact(run, "", "metadata.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.ReadRunArtifact(run, "", "metadata.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("run %d metadata diverges:\nsequential: %s\ncampaign:   %s", run, want, got)
+		}
+	}
+	// Both replicas booted and produced setup artifacts under their own
+	// namespace; the campaign manifest records the sharding.
+	for _, a := range []string{
+		"setup/replica0/vriga.out",
+		"setup/replica1/vtartu.out",
+		"experiment/campaign.json",
+	} {
+		if _, err := e.ReadExperimentArtifact(a); err != nil {
+			t.Errorf("missing artifact %s: %v", a, err)
 		}
 	}
 }

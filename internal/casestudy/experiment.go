@@ -7,6 +7,7 @@ import (
 	"pos/internal/core"
 	"pos/internal/loadgen"
 	"pos/internal/pcap"
+	"pos/internal/sched"
 	"pos/internal/sim"
 )
 
@@ -121,6 +122,22 @@ func (t *Topology) Experiment(cfg SweepConfig) *core.Experiment {
 		},
 		Duration: 3 * time.Hour,
 	}
+}
+
+// Replicas renders one sweep as campaign replicas over the given topologies
+// (built with NewReplicas): each replica is that topology's runner plus the
+// identical experiment definition bound to its nodes. Feed the result to a
+// sched.Campaign to shard the sweep.
+func Replicas(topos []*Topology, cfg SweepConfig) []sched.Replica {
+	reps := make([]sched.Replica, len(topos))
+	for i, t := range topos {
+		reps[i] = sched.Replica{
+			Name:       fmt.Sprintf("replica%d", i),
+			Runner:     t.Testbed.Runner(),
+			Experiment: t.Experiment(cfg),
+		}
+	}
+	return reps
 }
 
 // DirectRun performs one measurement run against the data plane without the

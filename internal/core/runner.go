@@ -70,12 +70,16 @@ type Summary struct {
 }
 
 // Runner executes experiments against a set of hosts following the pos
-// workflow. One Runner serves one experiment execution at a time.
+// workflow. One Runner serves one experiment execution at a time; several
+// Runners over disjoint host-sets (replica testbeds) may execute runs of the
+// same campaign concurrently — see internal/sched.
 type Runner struct {
 	// Hosts maps physical node names to their control handles.
 	Hosts map[string]Host
 	// Service is the controller-side variable/barrier/upload endpoint
-	// shared with the hosts' deployed tools.
+	// shared with the hosts' deployed tools. Runners of replica testbeds
+	// may share one Service: per-run state lives in hosttools Scopes
+	// bound to each replica's nodes, never in service-wide state.
 	Service *hosttools.Service
 	// Calendar, when non-nil, enforces allocation before any node is
 	// touched.
@@ -124,12 +128,129 @@ func (r *Runner) progress(ev ProgressEvent) {
 // recorded results (eval and plot packages); by the time Run returns, the
 // results directory is complete and self-describing.
 func (r *Runner) Run(ctx context.Context, e *Experiment, store *results.Store) (*Summary, error) {
+	started := r.now()
+	sess, err := r.Prepare(ctx, e, store)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	combos, err := CrossProduct(e.LoopVars)
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{
+		Experiment: e.Name,
+		ResultsDir: sess.Results().Dir(),
+		TotalRuns:  len(combos),
+		Started:    started,
+	}
+	for runIdx, combo := range combos {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		rec, _ := sess.RunOne(ctx, runIdx, len(combos), combo)
+		sum.Records = append(sum.Records, rec)
+		if rec.Failed {
+			sum.FailedRuns++
+			if !r.ContinueOnRunFailure {
+				sum.Finished = r.now()
+				return sum, fmt.Errorf("core: run %d (%s) failed: %s", runIdx, combo.Key(), rec.Error)
+			}
+		}
+	}
+	sum.Finished = r.now()
+	return sum, nil
+}
+
+// Session is a prepared experiment execution: nodes allocated and booted,
+// tools deployed, setup scripts finished. Measurement runs are dispatched
+// onto it one at a time via RunOne; the campaign scheduler holds one Session
+// per replica testbed and feeds them concurrently.
+type Session struct {
+	r       *Runner
+	e       *Experiment
+	exp     *results.Experiment
+	hosts   []Host
+	nodes   []string
+	replica string
+	scope   *hosttools.Scope
+	release func()
+	once    sync.Once
+}
+
+// Prepare performs the setup phase of the workflow against a fresh results
+// experiment: allocation, variable loading, boot, tool deployment, and the
+// setup scripts. The caller must Close the session to release the calendar
+// allocation.
+func (r *Runner) Prepare(ctx context.Context, e *Experiment, store *results.Store) (*Session, error) {
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
 	if r.Service == nil {
 		return nil, errors.New("core: runner needs a hosttools service")
 	}
+	release, err := r.allocate(e)
+	if err != nil {
+		return nil, err
+	}
+	exp, err := store.CreateExperiment(e.User, e.Name, r.now())
+	if err != nil {
+		release()
+		return nil, err
+	}
+	if err := ArchiveDefinition(e, exp); err != nil {
+		release()
+		return nil, err
+	}
+	sess, err := r.prepare(ctx, e, exp, "", release, true)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// PrepareShared is Prepare against an existing results experiment shared by
+// several replica testbeds of one campaign. The experiment definition is not
+// re-archived (the campaign archives it once); setup outputs are namespaced
+// under the replica name so identically named nodes of different replicas
+// cannot clobber each other.
+func (r *Runner) PrepareShared(ctx context.Context, e *Experiment, exp *results.Experiment, replica string) (*Session, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Service == nil {
+		return nil, errors.New("core: runner needs a hosttools service")
+	}
+	release, err := r.allocate(e)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := r.prepare(ctx, e, exp, replica, release, false)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// allocate reserves the experiment's nodes on the calendar, returning the
+// release function (a no-op without a calendar). A multi-user testbed must
+// refuse the experiment before touching anyone else's nodes.
+func (r *Runner) allocate(e *Experiment) (func(), error) {
+	if r.Calendar == nil {
+		return func() {}, nil
+	}
+	start := r.now()
+	alloc, err := r.Calendar.Allocate(e.User, e.NodeNames(), start, start.Add(e.ReservationDuration()))
+	if err != nil {
+		return nil, fmt.Errorf("core: allocation: %w", err)
+	}
+	return func() { r.Calendar.Release(e.User, alloc.ID) }, nil
+}
+
+func (r *Runner) prepare(ctx context.Context, e *Experiment, exp *results.Experiment, replica string, release func(), clearGlobal bool) (*Session, error) {
 	hosts := make([]Host, len(e.Hosts))
 	for i, spec := range e.Hosts {
 		h, ok := r.Hosts[spec.Node]
@@ -138,31 +259,34 @@ func (r *Runner) Run(ctx context.Context, e *Experiment, store *results.Store) (
 		}
 		hosts[i] = h
 	}
-
-	// --- Setup phase -------------------------------------------------
-	// Allocate the devices on the calendar first: a multi-user testbed
-	// must refuse the experiment before touching anyone else's nodes.
-	if r.Calendar != nil {
-		start := r.now()
-		alloc, err := r.Calendar.Allocate(e.User, e.NodeNames(), start, start.Add(e.ReservationDuration()))
-		if err != nil {
-			return nil, fmt.Errorf("core: allocation: %w", err)
-		}
-		defer r.Calendar.Release(e.User, alloc.ID)
+	sess := &Session{
+		r:       r,
+		e:       e,
+		exp:     exp,
+		hosts:   hosts,
+		nodes:   e.NodeNames(),
+		replica: replica,
+		release: release,
 	}
 
-	started := r.now()
-	exp, err := store.CreateExperiment(e.User, e.Name, started)
-	if err != nil {
-		return nil, err
+	// The session scope holds the nodes between measurement runs: setup
+	// barriers stay private to this replica, and uploads outside a run
+	// (stragglers included) are refused instead of landing in some other
+	// run's directory.
+	scopeID := "session"
+	if replica != "" {
+		scopeID = "session:" + replica
 	}
-	if err := r.archiveDefinition(e, exp); err != nil {
-		return nil, err
-	}
+	sess.scope = r.Service.NewScope(scopeID, nil)
+	sess.scope.Bind(sess.nodes...)
 
 	// Load variables: global and loop scopes on the service, local per
-	// host; boot configuration per host.
-	r.Service.ClearScope(hosttools.ScopeGlobal)
+	// host; boot configuration per host. Replicas sharing a Service only
+	// overwrite the global scope (campaigns require identical global
+	// vars), never clear it while a sibling replica may be reading.
+	if clearGlobal {
+		r.Service.ClearScope(hosttools.ScopeGlobal)
+	}
 	for k, v := range e.GlobalVars {
 		r.Service.SetVar(hosttools.ScopeGlobal, k, v)
 	}
@@ -172,18 +296,20 @@ func (r *Runner) Run(ctx context.Context, e *Experiment, store *results.Store) (
 			r.Service.SetVar(spec.Node, k, v)
 		}
 		if err := hosts[i].SetBoot(spec.Image, spec.BootParams); err != nil {
+			sess.scope.Close()
 			return nil, fmt.Errorf("core: %s: %w", spec.Node, err)
 		}
 	}
 
 	// Boot all hosts in parallel, then deploy the utility tools.
-	r.progress(ProgressEvent{Phase: PhaseSetup, Message: "booting hosts"})
+	r.progress(ProgressEvent{Phase: PhaseSetup, Host: replica, Message: "booting hosts"})
 	if err := r.forEachHost(hosts, func(h Host) error {
 		if err := h.Reboot(); err != nil {
 			return err
 		}
 		return h.DeployTools()
 	}); err != nil {
+		sess.scope.Close()
 		return nil, fmt.Errorf("core: boot: %w", err)
 	}
 
@@ -198,63 +324,62 @@ func (r *Runner) Run(ctx context.Context, e *Experiment, store *results.Store) (
 		setupOutputs[i] = out
 		return err
 	}); err != nil {
-		r.archiveSetupOutputs(e, exp, setupOutputs)
+		sess.archiveSetupOutputs(setupOutputs)
+		sess.scope.Close()
 		return nil, fmt.Errorf("core: setup phase: %w", err)
 	}
-	if err := r.archiveSetupOutputs(e, exp, setupOutputs); err != nil {
+	if err := sess.archiveSetupOutputs(setupOutputs); err != nil {
+		sess.scope.Close()
 		return nil, err
 	}
-
-	// --- Measurement phase -------------------------------------------
-	combos, err := CrossProduct(e.LoopVars)
-	if err != nil {
-		return nil, err
-	}
-	sum := &Summary{
-		Experiment: e.Name,
-		ResultsDir: exp.Dir(),
-		TotalRuns:  len(combos),
-		Started:    started,
-	}
-	for runIdx, combo := range combos {
-		if err := ctx.Err(); err != nil {
-			return sum, err
-		}
-		rec, _ := r.oneRun(ctx, e, exp, hosts, runIdx, len(combos), combo)
-		sum.Records = append(sum.Records, rec)
-		if rec.Failed {
-			sum.FailedRuns++
-			if !r.ContinueOnRunFailure {
-				sum.Finished = r.now()
-				return sum, fmt.Errorf("core: run %d (%s) failed: %s", runIdx, combo.Key(), rec.Error)
-			}
-		}
-	}
-	sum.Finished = r.now()
-	return sum, nil
+	return sess, nil
 }
 
-// oneRun executes a single measurement run across all hosts.
-func (r *Runner) oneRun(ctx context.Context, e *Experiment, exp *results.Experiment, hosts []Host, runIdx, total int, combo Combination) (RunRecord, error) {
-	r.progress(ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total, Message: combo.Key()})
+// Results exposes the results experiment the session records into.
+func (s *Session) Results() *results.Experiment { return s.exp }
+
+// Replica returns the session's replica name ("" outside campaigns).
+func (s *Session) Replica() string { return s.replica }
+
+// Close releases the calendar allocation and detaches the session's nodes.
+// It is idempotent.
+func (s *Session) Close() {
+	s.once.Do(func() {
+		s.scope.Close()
+		s.release()
+	})
+}
+
+// RunOne executes a single measurement run across the session's hosts. All
+// per-run state — loop variables, upload routing, barrier namespace — lives
+// in a run-scoped hosttools handle, so sessions over disjoint host-sets can
+// have runs in flight concurrently without sharing any mutable state.
+func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combination) (RunRecord, error) {
+	r := s.r
+	r.progress(ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total, Host: s.replica, Message: combo.Key()})
 	rec := RunRecord{Run: runIdx, Combo: combo}
 	runStart := r.now()
 
-	// Loop variables for this run, visible to all hosts.
-	r.Service.ClearScope(hosttools.ScopeLoop)
-	for k, v := range combo {
-		r.Service.SetVar(hosttools.ScopeLoop, k, v)
-	}
-	// Route uploads from the host tools into this run's directory.
-	r.Service.SetUploader(hosttools.UploaderFunc(func(nodeName, artifact string, data []byte) error {
-		return exp.AddRunArtifact(runIdx, nodeName, artifact, data)
+	// The per-run handle: loop variables and upload routing for exactly
+	// this run. The deferred rebind runs before the deferred Close, so a
+	// host upload arriving after the run (a straggler past the timeout)
+	// hits the session scope and is refused — it can never land in a
+	// successor run's directory.
+	scope := r.Service.NewScope(fmt.Sprintf("run%d", runIdx), hosttools.UploaderFunc(func(nodeName, artifact string, data []byte) error {
+		return s.exp.AddRunArtifact(runIdx, nodeName, artifact, data)
 	}))
+	for k, v := range combo {
+		scope.SetVar(k, v)
+	}
+	defer scope.Close()
+	defer s.scope.Bind(s.nodes...)
+	scope.Bind(s.nodes...)
 
 	if r.RebootBetweenRuns {
-		if err := r.rebootAndResetup(ctx, e, hosts); err != nil {
+		if err := r.rebootAndResetup(ctx, s.e, s.hosts); err != nil {
 			rec.Failed, rec.Error = true, err.Error()
 			rec.Duration = r.now().Sub(runStart)
-			r.writeMeta(exp, runIdx, combo, runStart, rec)
+			s.writeMeta(runIdx, combo, runStart, rec)
 			return rec, err
 		}
 	}
@@ -265,10 +390,10 @@ func (r *Runner) oneRun(ctx context.Context, e *Experiment, exp *results.Experim
 		defer cancel()
 	}
 	var mu sync.Mutex
-	outputs := make([]string, len(hosts))
-	runErr := r.forEachHostIndexed(hosts, func(i int, h Host) error {
-		spec := e.Hosts[i]
-		env := r.runEnv(e, spec, combo)
+	outputs := make([]string, len(s.hosts))
+	runErr := r.forEachHostIndexed(s.hosts, func(i int, h Host) error {
+		spec := s.e.Hosts[i]
+		env := r.runEnv(s.e, spec, combo)
 		env["RUN"] = fmt.Sprintf("%d", runIdx)
 		out, err := h.Exec(ctx, spec.Measurement, env)
 		mu.Lock()
@@ -276,8 +401,8 @@ func (r *Runner) oneRun(ctx context.Context, e *Experiment, exp *results.Experim
 		mu.Unlock()
 		return err
 	})
-	for i, spec := range e.Hosts {
-		if err := exp.AddRunArtifact(runIdx, spec.Node, "measurement.out", []byte(outputs[i])); err != nil {
+	for i, spec := range s.e.Hosts {
+		if err := s.exp.AddRunArtifact(runIdx, spec.Node, "measurement.out", []byte(outputs[i])); err != nil {
 			return rec, err
 		}
 	}
@@ -285,18 +410,18 @@ func (r *Runner) oneRun(ctx context.Context, e *Experiment, exp *results.Experim
 		rec.Failed, rec.Error = true, runErr.Error()
 	}
 	rec.Duration = r.now().Sub(runStart)
-	if err := r.writeMeta(exp, runIdx, combo, runStart, rec); err != nil {
+	if err := s.writeMeta(runIdx, combo, runStart, rec); err != nil {
 		return rec, err
 	}
 	return rec, runErr
 }
 
-func (r *Runner) writeMeta(exp *results.Experiment, runIdx int, combo Combination, start time.Time, rec RunRecord) error {
-	return exp.WriteRunMeta(results.RunMeta{
+func (s *Session) writeMeta(runIdx int, combo Combination, start time.Time, rec RunRecord) error {
+	return s.exp.WriteRunMeta(results.RunMeta{
 		Run:        runIdx,
 		LoopVars:   combo,
 		StartedAt:  start,
-		FinishedAt: r.now(),
+		FinishedAt: s.r.now(),
 		Failed:     rec.Failed,
 		Error:      rec.Error,
 	})
@@ -326,9 +451,10 @@ func (r *Runner) runEnv(e *Experiment, spec HostSpec, combo Combination) map[str
 	return env
 }
 
-// archiveDefinition stores the experiment's scripts and variable files —
-// the artifacts others need to reproduce it.
-func (r *Runner) archiveDefinition(e *Experiment, exp *results.Experiment) error {
+// ArchiveDefinition stores the experiment's scripts and variable files —
+// the artifacts others need to reproduce it. The sequential runner archives
+// on Prepare; a campaign archives the logical definition exactly once.
+func ArchiveDefinition(e *Experiment, exp *results.Experiment) error {
 	global, err := json.MarshalIndent(e.GlobalVars, "", "  ")
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
@@ -371,9 +497,13 @@ func (r *Runner) archiveDefinition(e *Experiment, exp *results.Experiment) error
 	return exp.AddExperimentArtifact("experiment/topology.json", append(b, '\n'))
 }
 
-func (r *Runner) archiveSetupOutputs(e *Experiment, exp *results.Experiment, outputs []string) error {
-	for i, spec := range e.Hosts {
-		if err := exp.AddExperimentArtifact("setup/"+spec.Node+".out", []byte(outputs[i])); err != nil {
+func (s *Session) archiveSetupOutputs(outputs []string) error {
+	prefix := "setup/"
+	if s.replica != "" {
+		prefix = "setup/" + s.replica + "/"
+	}
+	for i, spec := range s.e.Hosts {
+		if err := s.exp.AddExperimentArtifact(prefix+spec.Node+".out", []byte(outputs[i])); err != nil {
 			return err
 		}
 	}

@@ -473,7 +473,9 @@ func TestLoopVarsVisibleThroughService(t *testing.T) {
 	var seen []string
 	lg.onExec = func(script string, env map[string]string) {
 		if strings.Contains(script, "measure") {
-			if v, ok := r.Service.GetVar(hosttools.ScopeLoop, "pkt_rate"); ok {
+			// The loop scope is per-run state now: it resolves through
+			// the node's run binding, the way the host tools read it.
+			if v, ok := r.Service.LookupVar("vriga", hosttools.ScopeLoop, "pkt_rate"); ok {
 				seen = append(seen, v)
 			}
 		}
@@ -486,6 +488,65 @@ func TestLoopVarsVisibleThroughService(t *testing.T) {
 	}
 	if seen[0] != "10000" || seen[1] != "20000" {
 		t.Errorf("loop values = %v", seen)
+	}
+}
+
+// TestStragglerUploadRefusedAfterRun is the regression test for the upload
+// race: a host whose measurement script is abandoned by the run timeout may
+// still try to upload afterwards. Uploads route through the per-run scope, so
+// once the run is over the straggler is refused — it can never land in the
+// wrong run's directory (the old service-global uploader captured the
+// current run index and did exactly that).
+func TestStragglerUploadRefusedAfterRun(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	r.RunTimeout = 30 * time.Millisecond
+	store := storeAt(t)
+	e := caseStudyExperiment()
+	e.LoopVars = []LoopVar{{Name: "x", Values: []string{"1", "2"}}}
+
+	// vriga's first measurement wedges until the run timeout abandons it.
+	var calls int
+	var mu sync.Mutex
+	lg.onExecCtx = func(ctx context.Context, script string) error {
+		if !strings.Contains(script, "measure") {
+			return nil
+		}
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}
+
+	sess, err := r.Prepare(context.Background(), e, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	combos, _ := CrossProduct(e.LoopVars)
+
+	rec, _ := sess.RunOne(context.Background(), 0, 2, combos[0])
+	if !rec.Failed {
+		t.Fatal("timed-out run not recorded as failed")
+	}
+	// The straggling upload fires after the run was closed out.
+	if err := r.Service.Upload("vriga", "moongen.log", []byte("stale")); err == nil {
+		t.Fatal("straggler upload accepted after run end")
+	}
+	if rec, err := sess.RunOne(context.Background(), 1, 2, combos[1]); err != nil || rec.Failed {
+		t.Fatalf("run 1 = %+v, %v", rec, err)
+	}
+	exp := sess.Results()
+	for run := 0; run < 2; run++ {
+		if _, err := exp.ReadRunArtifact(run, "vriga", "moongen.log"); err == nil {
+			t.Errorf("stale upload landed in run %d", run)
+		}
 	}
 }
 

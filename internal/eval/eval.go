@@ -10,9 +10,11 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"pos/internal/moonparse"
 	"pos/internal/results"
@@ -43,16 +45,25 @@ func (r RunData) LoopFloat(name string) (float64, error) {
 // LoadRuns reads every run of an experiment, parsing the named MoonGen
 // artifact from the given node when present. Failed runs are included with
 // Failed=true so evaluations can decide how to treat them.
+//
+// Runs are loaded and parsed by a worker pool bounded by GOMAXPROCS — the
+// evaluation phase of a large sweep is dominated by parsing per-run logs,
+// which are independent. The result is deterministic: runs stay in run
+// order and the error (if any) is the one the sequential loop would have
+// returned first.
 func LoadRuns(exp *results.Experiment, nodeName, artifact string) ([]RunData, error) {
 	runs, err := exp.Runs()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]RunData, 0, len(runs))
-	for _, run := range runs {
+	out := make([]RunData, len(runs))
+	errs := make([]error, len(runs))
+	forEachRun(len(runs), func(i int) {
+		run := runs[i]
 		meta, err := exp.ReadRunMeta(run)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		rd := RunData{Run: run, LoopVars: meta.LoopVars, Failed: meta.Failed}
 		if data, err := exp.ReadRunArtifact(run, nodeName, artifact); err == nil {
@@ -61,9 +72,45 @@ func LoadRuns(exp *results.Experiment, nodeName, artifact string) ([]RunData, er
 				rd.Report = rep
 			}
 		}
-		out = append(out, rd)
+		out[i] = rd
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
+}
+
+// forEachRun runs fn(i) for i in [0, n) on a worker pool bounded by
+// GOMAXPROCS.
+func forEachRun(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // Point is one (x, y) sample of a series. YErr, when non-zero, is the
@@ -130,28 +177,46 @@ func ParseLatencyCSV(data []byte) ([]float64, error) {
 
 // LoadLatency reads a latency-CSV artifact from every run of an experiment,
 // keyed by the run's loop combination. Runs without the artifact are
-// skipped (e.g. the whole experiment on vpos).
+// skipped (e.g. the whole experiment on vpos). Parsing happens on the same
+// bounded worker pool as LoadRuns; samples are merged in run order, so the
+// result is identical to a sequential load.
 func LoadLatency(exp *results.Experiment, nodeName, artifact string) (map[string][]float64, error) {
 	runs, err := exp.Runs()
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]float64)
-	for _, run := range runs {
+	type parsed struct {
+		key     string
+		samples []float64
+		err     error
+	}
+	perRun := make([]parsed, len(runs))
+	forEachRun(len(runs), func(i int) {
+		run := runs[i]
 		meta, err := exp.ReadRunMeta(run)
 		if err != nil {
-			return nil, err
+			perRun[i].err = err
+			return
 		}
 		data, err := exp.ReadRunArtifact(run, nodeName, artifact)
 		if err != nil {
-			continue
+			return // no artifact on this run: skipped
 		}
 		samples, err := ParseLatencyCSV(data)
 		if err != nil {
-			return nil, fmt.Errorf("eval: run %d: %w", run, err)
+			perRun[i].err = fmt.Errorf("eval: run %d: %w", run, err)
+			return
 		}
-		key := comboKey(meta.LoopVars)
-		out[key] = append(out[key], samples...)
+		perRun[i] = parsed{key: comboKey(meta.LoopVars), samples: samples}
+	})
+	out := make(map[string][]float64)
+	for _, p := range perRun {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.samples != nil {
+			out[p.key] = append(out[p.key], p.samples...)
+		}
 	}
 	return out, nil
 }

@@ -52,6 +52,7 @@ type Service struct {
 	vars     map[string]map[string]string
 	barriers map[string]*barrier
 	uploader Uploader
+	binding  map[string]*Scope
 	// BarrierTimeout overrides DefaultBarrierTimeout when positive.
 	BarrierTimeout time.Duration
 }
@@ -63,14 +64,110 @@ func NewService(uploader Uploader) *Service {
 		vars:     make(map[string]map[string]string),
 		barriers: make(map[string]*barrier),
 		uploader: uploader,
+		binding:  make(map[string]*Scope),
 	}
 }
 
-// SetUploader replaces the upload sink (e.g. per measurement run).
+// SetUploader replaces the service-level upload sink. Nodes bound to a Scope
+// bypass it; it only catches uploads from unbound nodes (including stragglers
+// whose run scope has already closed).
 func (s *Service) SetUploader(u Uploader) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.uploader = u
+}
+
+// Scope is a per-run (or per-session) view of the service: its own loop
+// variables, its own upload sink, and a private barrier namespace. Nodes are
+// bound to at most one scope at a time; while bound, their loop-variable
+// reads/writes, uploads, and barriers resolve against the scope instead of
+// the service-wide state. Two scopes over disjoint node sets make two
+// measurement runs safe to execute concurrently — the per-run handle the
+// campaign scheduler dispatches onto replica testbeds.
+type Scope struct {
+	svc      *Service
+	id       string
+	loop     map[string]string
+	uploader Uploader
+}
+
+// NewScope creates a scope. id namespaces the scope's barriers and appears
+// in error messages; uploader may be nil, in which case uploads from bound
+// nodes fail descriptively.
+func (s *Service) NewScope(id string, uploader Uploader) *Scope {
+	return &Scope{svc: s, id: id, loop: make(map[string]string), uploader: uploader}
+}
+
+// SetVar stores a loop variable visible only to nodes bound to this scope.
+func (sc *Scope) SetVar(key, value string) {
+	sc.svc.mu.Lock()
+	defer sc.svc.mu.Unlock()
+	sc.loop[key] = value
+}
+
+// LoopVars snapshots the scope's loop variables.
+func (sc *Scope) LoopVars() map[string]string {
+	sc.svc.mu.Lock()
+	defer sc.svc.mu.Unlock()
+	out := make(map[string]string, len(sc.loop))
+	for k, v := range sc.loop {
+		out[k] = v
+	}
+	return out
+}
+
+// Bind attaches nodes to the scope, displacing any previous binding.
+func (sc *Scope) Bind(nodes ...string) {
+	sc.svc.mu.Lock()
+	defer sc.svc.mu.Unlock()
+	for _, n := range nodes {
+		sc.svc.binding[n] = sc
+	}
+}
+
+// Close detaches every node still bound to this scope. A node rebound to a
+// newer scope is left alone, so a late Close cannot steal a successor's
+// binding.
+func (sc *Scope) Close() {
+	sc.svc.mu.Lock()
+	defer sc.svc.mu.Unlock()
+	for n, bound := range sc.svc.binding {
+		if bound == sc {
+			delete(sc.svc.binding, n)
+		}
+	}
+}
+
+// scopeOf returns the scope a node is bound to, or nil.
+func (s *Service) scopeOf(node string) *Scope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.binding[node]
+}
+
+// LookupVar reads a variable the way a command running on nodeName would:
+// the loop scope resolves against the node's bound Scope when one exists.
+func (s *Service) LookupVar(nodeName, scope, key string) (string, bool) {
+	if scope == ScopeLoop {
+		if sc := s.scopeOf(nodeName); sc != nil {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			v, ok := sc.loop[key]
+			return v, ok
+		}
+	}
+	return s.GetVar(scope, key)
+}
+
+// storeVar writes a variable the way a command running on nodeName would.
+func (s *Service) storeVar(nodeName, scope, key, value string) {
+	if scope == ScopeLoop {
+		if sc := s.scopeOf(nodeName); sc != nil {
+			sc.SetVar(key, value)
+			return
+		}
+	}
+	s.SetVar(scope, key, value)
 }
 
 // SetVar stores a variable in a scope ("global", "loop", or a node name).
@@ -146,6 +243,17 @@ func (b *barrier) wait(ctx context.Context) error {
 	}
 }
 
+// BarrierAs is Barrier from a node's point of view: a node bound to a Scope
+// synchronizes within the scope's private namespace, so two concurrent runs
+// using the same barrier names (e.g. "run_done") cannot cross-release each
+// other.
+func (s *Service) BarrierAs(ctx context.Context, nodeName, name string, parties int) error {
+	if sc := s.scopeOf(nodeName); sc != nil {
+		name = sc.id + "\x00" + name
+	}
+	return s.Barrier(ctx, name, parties)
+}
+
 // Barrier blocks until parties callers (including this one) have reached the
 // named barrier, or until the timeout elapses. All callers must agree on the
 // party count; a mismatch is reported as an error.
@@ -172,12 +280,25 @@ func (s *Service) Barrier(ctx context.Context, name string, parties int) error {
 	return b.wait(ctx)
 }
 
-// Upload forwards a result artifact to the configured uploader.
+// Upload forwards a result artifact to the uploading node's scope when it is
+// bound to one, else to the service-level uploader. Routing by the node's
+// current binding is what keeps a straggling upload out of a *different*
+// run's directory: once its run scope closes, the straggler is refused (or
+// caught by the service-level sink) instead of landing wherever the most
+// recently installed uploader points.
 func (s *Service) Upload(nodeName, artifact string, data []byte) error {
 	s.mu.Lock()
 	u := s.uploader
+	scopeID := ""
+	if sc := s.binding[nodeName]; sc != nil {
+		u = sc.uploader
+		scopeID = sc.id
+	}
 	s.mu.Unlock()
 	if u == nil {
+		if scopeID != "" {
+			return fmt.Errorf("hosttools: scope %s accepts no uploads (artifact %s from %s)", scopeID, artifact, nodeName)
+		}
 		return fmt.Errorf("hosttools: no uploader configured (artifact %s from %s)", artifact, nodeName)
 	}
 	return u.Upload(nodeName, artifact, data)
@@ -193,7 +314,7 @@ func Install(n *node.Node, svc *Service) error {
 				return fmt.Errorf("usage: pos_set_var <scope> <key> <value>")
 			}
 			scope := resolveScope(args[0], host.Name)
-			svc.SetVar(scope, args[1], args[2])
+			svc.storeVar(host.Name, scope, args[1], args[2])
 			return nil
 		},
 		// pos_get_var <scope> <key> — prints the value
@@ -202,7 +323,7 @@ func Install(n *node.Node, svc *Service) error {
 				return fmt.Errorf("usage: pos_get_var <scope> <key>")
 			}
 			scope := resolveScope(args[0], host.Name)
-			v, ok := svc.GetVar(scope, args[1])
+			v, ok := svc.LookupVar(host.Name, scope, args[1])
 			if !ok {
 				return fmt.Errorf("variable %s/%s not set", scope, args[1])
 			}
@@ -218,7 +339,7 @@ func Install(n *node.Node, svc *Service) error {
 			if err != nil {
 				return fmt.Errorf("pos_sync: bad party count %q", args[1])
 			}
-			if err := svc.Barrier(ctx, args[0], parties); err != nil {
+			if err := svc.BarrierAs(ctx, host.Name, args[0], parties); err != nil {
 				return err
 			}
 			fmt.Fprintf(writer{stdout}, "synced %s\n", args[0])

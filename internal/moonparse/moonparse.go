@@ -63,14 +63,223 @@ type Report struct {
 // certainly not a MoonGen log.
 var ErrNoTotals = errors.New("moonparse: no total lines found")
 
+// Parse reads a MoonGen log from r.
+//
+// The per-line hot path is a hand-rolled prefix scanner: evaluating a big
+// sweep parses thousands of log lines per run, and the regexp engine
+// (ParseRegexp, kept as the reference implementation) dominated that cost.
+// The scanner accepts exactly the lines the regexps accept — the
+// differential test and fuzzer in moonparse_test.go hold the two
+// implementations equal.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		scanLine(rep, strings.TrimSpace(sc.Text()))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("moonparse: line %d: %w", lineNo, err)
+	}
+	if len(rep.Totals) == 0 {
+		return nil, ErrNoTotals
+	}
+	return rep, nil
+}
+
+// ParseString is Parse over an in-memory log.
+func ParseString(s string) (*Report, error) { return Parse(strings.NewReader(s)) }
+
+// scanLine dispatches one trimmed line. Totals and samples share the head
+// "[Device: id=N] DIR: X Mpps"; what follows — " (StdDev" vs ", " — is
+// disjoint, so the regexp path's total-before-sample precedence is
+// preserved structurally.
+func scanLine(rep *Report, line string) {
+	if dev, dir, mpps, rest, ok := scanDeviceHead(line); ok {
+		if tail, ok := cutPrefix(rest, " (StdDev "); ok {
+			std, tail, ok := scanNumber(tail)
+			if !ok {
+				return
+			}
+			tail, ok = cutPrefix(tail, "), total ")
+			if !ok {
+				return
+			}
+			pkts, tail, ok := scanDigits(tail)
+			if !ok {
+				return
+			}
+			tail, ok = cutPrefix(tail, " packets, ")
+			if !ok {
+				return
+			}
+			bytes, tail, ok := scanDigits(tail)
+			if !ok {
+				return
+			}
+			if _, ok = cutPrefix(tail, " bytes"); !ok {
+				return
+			}
+			rep.Totals = append(rep.Totals, Total{
+				Device:    dev,
+				Direction: dir,
+				Mpps:      atof(mpps),
+				StdDev:    atof(std),
+				Packets:   atoi64(pkts),
+				Bytes:     atoi64(bytes),
+			})
+			return
+		}
+		if tail, ok := cutPrefix(rest, ", "); ok {
+			mbps, tail, ok := scanNumber(tail)
+			if !ok {
+				return
+			}
+			tail, ok = cutPrefix(tail, " Mbit/s (")
+			if !ok {
+				return
+			}
+			framed, tail, ok := scanNumber(tail)
+			if !ok {
+				return
+			}
+			if _, ok = cutPrefix(tail, " Mbit/s with framing)"); !ok {
+				return
+			}
+			rep.Samples = append(rep.Samples, Sample{
+				Device:     dev,
+				Direction:  dir,
+				Mpps:       atof(mpps),
+				Mbps:       atof(mbps),
+				MbpsFramed: atof(framed),
+			})
+		}
+		return
+	}
+	if tail, ok := cutPrefix(line, "[Latency] avg: "); ok {
+		avg, tail, ok := scanNumber(tail)
+		if !ok {
+			return
+		}
+		tail, ok = cutPrefix(tail, " ns, min: ")
+		if !ok {
+			return
+		}
+		min, tail, ok := scanNumber(tail)
+		if !ok {
+			return
+		}
+		tail, ok = cutPrefix(tail, " ns, max: ")
+		if !ok {
+			return
+		}
+		max, tail, ok := scanNumber(tail)
+		if !ok {
+			return
+		}
+		tail, ok = cutPrefix(tail, " ns, samples: ")
+		if !ok {
+			return
+		}
+		n, _, ok := scanDigits(tail)
+		if !ok {
+			return
+		}
+		rep.Latency = &Latency{
+			AvgNs:   atof(avg),
+			MinNs:   atof(min),
+			MaxNs:   atof(max),
+			Samples: atoi64(n),
+		}
+	}
+}
+
+// scanDeviceHead parses "[Device: id=N] DIR: X Mpps", the head shared by
+// total and sample lines, returning the unconsumed tail.
+func scanDeviceHead(line string) (dev int, dir Direction, mpps, rest string, ok bool) {
+	s, ok := cutPrefix(line, "[Device: id=")
+	if !ok {
+		return 0, "", "", "", false
+	}
+	d, s, ok := scanDigits(s)
+	if !ok {
+		return 0, "", "", "", false
+	}
+	s, ok = cutPrefix(s, "] ")
+	if !ok {
+		return 0, "", "", "", false
+	}
+	switch {
+	case strings.HasPrefix(s, "TX"):
+		dir = TX
+	case strings.HasPrefix(s, "RX"):
+		dir = RX
+	default:
+		return 0, "", "", "", false
+	}
+	s, ok = cutPrefix(s[2:], ": ")
+	if !ok {
+		return 0, "", "", "", false
+	}
+	mpps, s, ok = scanNumber(s)
+	if !ok {
+		return 0, "", "", "", false
+	}
+	s, ok = cutPrefix(s, " Mpps")
+	if !ok {
+		return 0, "", "", "", false
+	}
+	return atoi(d), dir, mpps, s, true
+}
+
+// cutPrefix is strings.CutPrefix with the pre-1.20 return order the
+// scanners read naturally.
+func cutPrefix(s, prefix string) (string, bool) {
+	if strings.HasPrefix(s, prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// scanDigits consumes the maximal run of [0-9] — the regexps' (\d+).
+func scanDigits(s string) (string, string, bool) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return "", s, false
+	}
+	return s[:i], s[i:], true
+}
+
+// scanNumber consumes the maximal run of [0-9.] — the regexps' ([\d.]+),
+// including degenerate tokens like "." that atof then maps to 0 exactly as
+// the regexp path did.
+func scanNumber(s string) (string, string, bool) {
+	i := 0
+	for i < len(s) && (s[i] == '.' || (s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	if i == 0 {
+		return "", s, false
+	}
+	return s[:i], s[i:], true
+}
+
 var (
 	sampleRe = regexp.MustCompile(`^\[Device: id=(\d+)\] (TX|RX): ([\d.]+) Mpps, ([\d.]+) Mbit/s \(([\d.]+) Mbit/s with framing\)`)
 	totalRe  = regexp.MustCompile(`^\[Device: id=(\d+)\] (TX|RX): ([\d.]+) Mpps \(StdDev ([\d.]+)\), total (\d+) packets, (\d+) bytes`)
 	latRe    = regexp.MustCompile(`^\[Latency\] avg: ([\d.]+) ns, min: ([\d.]+) ns, max: ([\d.]+) ns, samples: (\d+)`)
 )
 
-// Parse reads a MoonGen log from r.
-func Parse(r io.Reader) (*Report, error) {
+// ParseRegexp is the original regexp-based implementation of Parse. It is
+// retained as the executable specification of the line grammar: the
+// differential test asserts Parse ≡ ParseRegexp, and the benchmark in the
+// repository root measures the scanner's speedup against it.
+func ParseRegexp(r io.Reader) (*Report, error) {
 	rep := &Report{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -118,9 +327,6 @@ func Parse(r io.Reader) (*Report, error) {
 	}
 	return rep, nil
 }
-
-// ParseString is Parse over an in-memory log.
-func ParseString(s string) (*Report, error) { return Parse(strings.NewReader(s)) }
 
 // Total returns the run total for a direction, preferring the conventional
 // device (0 for TX, 1 for RX) and falling back to the first match.

@@ -171,6 +171,106 @@ func BenchmarkParse(b *testing.B) {
 	}
 }
 
+// reportsEqual compares two parses structurally.
+func reportsEqual(a, b *Report) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.Samples) != len(b.Samples) || len(a.Totals) != len(b.Totals) {
+		return false
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			return false
+		}
+	}
+	for i := range a.Totals {
+		if a.Totals[i] != b.Totals[i] {
+			return false
+		}
+	}
+	if (a.Latency == nil) != (b.Latency == nil) {
+		return false
+	}
+	return a.Latency == nil || *a.Latency == *b.Latency
+}
+
+// TestScannerMatchesRegexp holds the hand-rolled scanner equal to the
+// retained regexp reference on exemplar, malformed, and borderline lines.
+func TestScannerMatchesRegexp(t *testing.T) {
+	lines := []string{
+		sampleLog,
+		"[Device: id=0] TX: 0.1000 Mpps, 51.20 Mbit/s (67.20 Mbit/s with framing)",
+		"[Device: id=12] RX: 14.88 Mpps (StdDev 0.01), total 148800000 packets, 9523200000 bytes",
+		"[Latency] avg: 12345.6 ns, min: 9000 ns, max: 40000 ns, samples: 1000",
+		// Trailing garbage is tolerated, exactly like the anchored regexps.
+		"[Device: id=0] TX: 1 Mpps (StdDev 0), total 1 packets, 64 bytes TRAILING",
+		"[Latency] avg: 1 ns, min: 1 ns, max: 1 ns, samples: 1 extra",
+		// Degenerate numeric tokens [\d.]+ accepts.
+		"[Device: id=0] TX: . Mpps, 1.2.3 Mbit/s (... Mbit/s with framing)",
+		"[Device: id=0] TX: .5 Mpps (StdDev 1.), total 10 packets, 640 bytes",
+		// Near-misses that must parse as nothing.
+		"[Device: id=] TX: 1 Mpps (StdDev 0), total 1 packets, 64 bytes",
+		"[Device: id=0] FX: 1 Mpps (StdDev 0), total 1 packets, 64 bytes",
+		"[Device: id=0] TX: 1 Mpps (StdDev ), total 1 packets, 64 bytes",
+		"[Device: id=0] TX: 1 Mpps, 1 Mbit/s (1 Mbit/s without framing)",
+		"[Device: id=0] TX: 1 Mpps",
+		"[Latency] avg: ns, min: 1 ns, max: 1 ns, samples: 1",
+		"[Latency] avg: 1 ns, min: 1 ns, max: 1 ns, samples: x",
+		" [Device: id=0] TX: 1 Mpps (StdDev 0), total 1 packets, 64 bytes", // leading space is trimmed
+		"Device: id=0] TX: 1 Mpps (StdDev 0), total 1 packets, 64 bytes",
+		"",
+	}
+	for _, line := range lines {
+		input := line + "\n[Device: id=9] TX: 1 Mpps (StdDev 0), total 1 packets, 64 bytes\n"
+		got, gerr := ParseString(input)
+		want, werr := ParseRegexp(strings.NewReader(input))
+		if (gerr == nil) != (werr == nil) {
+			t.Errorf("%q: scanner err %v, regexp err %v", line, gerr, werr)
+			continue
+		}
+		if !reportsEqual(got, want) {
+			t.Errorf("%q:\nscanner: %+v\nregexp:  %+v", line, got, want)
+		}
+	}
+}
+
+// Property: scanner and regexp reference agree on arbitrary input.
+func TestScannerMatchesRegexpProperty(t *testing.T) {
+	prop := func(input string) bool {
+		got, gerr := ParseString(input)
+		want, werr := ParseRegexp(strings.NewReader(input))
+		if (gerr == nil) != (werr == nil) {
+			return false
+		}
+		return gerr != nil || reportsEqual(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzScannerMatchesRegexp drives the differential check from the fuzzer's
+// corpus; `go test` runs the seed corpus, `go test -fuzz` explores.
+func FuzzScannerMatchesRegexp(f *testing.F) {
+	f.Add(sampleLog)
+	f.Add("[Device: id=0] TX: . Mpps (StdDev .), total 0 packets, 0 bytes\n")
+	f.Add("[Latency] avg: 0.1 ns, min: 0 ns, max: 9 ns, samples: 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		got, gerr := ParseString(input)
+		want, werr := ParseRegexp(strings.NewReader(input))
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("scanner err %v, regexp err %v", gerr, werr)
+		}
+		if gerr == nil && !reportsEqual(got, want) {
+			t.Fatalf("scanner %+v\nregexp %+v", got, want)
+		}
+	})
+}
+
 // Property: the parser terminates without panicking on arbitrary input and
 // either returns a report with totals or ErrNoTotals.
 func TestParseNeverPanicsProperty(t *testing.T) {

@@ -1,0 +1,393 @@
+// Package sched schedules a measurement campaign across replica testbeds.
+//
+// The paper executes the cross product of loop variables as one sequential
+// sweep on one testbed. For large parameter spaces the sweep's wall-clock
+// time is the sum of every run — MACI's observation is that independent runs
+// dispatched onto multiple testbed instances in parallel are the single
+// biggest wall-clock win. This package implements that: a campaign holds N
+// replica testbeds (disjoint host-sets with identical images and variables,
+// like the paper's pos/vpos dual setup), shards the combinations across them
+// through a shared work queue, and records everything into ONE results
+// experiment with exactly the run numbering and per-run metadata the
+// sequential sweep would produce.
+//
+// Reproducibility invariants, enforced before any node is touched:
+//
+//   - every replica declares the same experiment name, user, global
+//     variables, loop variables, and role→image mapping — a campaign over
+//     diverging replicas would not be one experiment;
+//   - replica host-sets sharing one hosttools service must be disjoint,
+//     so per-run scopes can never collide;
+//   - run numbering is the deterministic cross-product order regardless of
+//     which replica executes which run.
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pos/internal/core"
+	"pos/internal/hosttools"
+	"pos/internal/results"
+)
+
+// Replica is one testbed instance participating in a campaign: a runner over
+// its host-set and the logical experiment bound to this replica's nodes.
+type Replica struct {
+	// Name namespaces the replica's setup artifacts ("replica0" style
+	// default). It must be flat (no path separators).
+	Name string
+	// Runner drives this replica's hosts.
+	Runner *core.Runner
+	// Experiment is the campaign's experiment definition bound to this
+	// replica's node names. Everything except the node binding must be
+	// identical across replicas.
+	Experiment *core.Experiment
+}
+
+// Campaign shards one experiment's measurement runs across replicas.
+type Campaign struct {
+	// Replicas are the participating testbed instances (at least one).
+	Replicas []Replica
+	// Parallel bounds the number of runs in flight at once. Zero or
+	// anything above len(Replicas) means one run per replica.
+	Parallel int
+	// RunTimeout, when positive, bounds each dispatched run in addition
+	// to any per-runner RunTimeout.
+	RunTimeout time.Duration
+	// ContinueOnRunFailure keeps the campaign sweeping after a failed
+	// run; the default is fail-fast — cancel everything in flight.
+	ContinueOnRunFailure bool
+	// Progress, when non-nil, observes campaign-level measurement events
+	// (Host carries the executing replica's name). Serialized.
+	Progress func(core.ProgressEvent)
+
+	progressMu sync.Mutex
+}
+
+func (c *Campaign) progress(ev core.ProgressEvent) {
+	if c.Progress != nil {
+		c.progressMu.Lock()
+		defer c.progressMu.Unlock()
+		c.Progress(ev)
+	}
+}
+
+func (c *Campaign) now() time.Time {
+	if clock := c.Replicas[0].Runner.Clock; clock != nil {
+		return clock()
+	}
+	return time.Now()
+}
+
+// validate checks the campaign's reproducibility invariants.
+func (c *Campaign) validate() error {
+	if len(c.Replicas) == 0 {
+		return fmt.Errorf("sched: campaign needs at least one replica")
+	}
+	names := make(map[string]bool, len(c.Replicas))
+	for i := range c.Replicas {
+		rep := &c.Replicas[i]
+		if rep.Runner == nil || rep.Experiment == nil {
+			return fmt.Errorf("sched: replica %d needs a runner and an experiment", i)
+		}
+		if rep.Name == "" {
+			rep.Name = fmt.Sprintf("replica%d", i)
+		}
+		if strings.ContainsAny(rep.Name, "/\\") {
+			return fmt.Errorf("sched: replica name %q must be flat", rep.Name)
+		}
+		if names[rep.Name] {
+			return fmt.Errorf("sched: duplicate replica name %q", rep.Name)
+		}
+		names[rep.Name] = true
+		if err := rep.Experiment.Validate(); err != nil {
+			return fmt.Errorf("sched: replica %s: %w", rep.Name, err)
+		}
+	}
+	first := c.Replicas[0].Experiment
+	firstLoop, err := core.MarshalLoopVars(first.LoopVars)
+	if err != nil {
+		return err
+	}
+	for _, rep := range c.Replicas[1:] {
+		e := rep.Experiment
+		if e.Name != first.Name || e.User != first.User {
+			return fmt.Errorf("sched: replica %s runs %s/%s, campaign runs %s/%s — one campaign is one experiment",
+				rep.Name, e.User, e.Name, first.User, first.Name)
+		}
+		loop, err := core.MarshalLoopVars(e.LoopVars)
+		if err != nil {
+			return err
+		}
+		if string(loop) != string(firstLoop) {
+			return fmt.Errorf("sched: replica %s sweeps different loop variables — sharding would not reproduce the sequential sweep", rep.Name)
+		}
+		if err := sameVars(first.GlobalVars, e.GlobalVars); err != nil {
+			return fmt.Errorf("sched: replica %s: %w", rep.Name, err)
+		}
+		if err := sameImages(first, e); err != nil {
+			return fmt.Errorf("sched: replica %s: %w", rep.Name, err)
+		}
+	}
+	return c.validateDisjointHosts()
+}
+
+func sameVars(a, b core.Vars) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("global variables differ (%d vs %d keys)", len(b), len(a))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return fmt.Errorf("global variable %s=%q differs from %q", k, b[k], v)
+		}
+	}
+	return nil
+}
+
+// sameImages requires the identical role→image mapping on every replica —
+// the paper's condition for sharding to preserve reproducibility.
+func sameImages(a, b *core.Experiment) error {
+	imgs := func(e *core.Experiment) map[string]string {
+		m := make(map[string]string, len(e.Hosts))
+		for _, h := range e.Hosts {
+			m[h.Role] = h.Image
+		}
+		return m
+	}
+	ia, ib := imgs(a), imgs(b)
+	if len(ia) != len(ib) {
+		return fmt.Errorf("role sets differ")
+	}
+	for role, img := range ia {
+		got, ok := ib[role]
+		if !ok {
+			return fmt.Errorf("role %q missing", role)
+		}
+		if got != img {
+			return fmt.Errorf("role %q boots image %q, campaign boots %q", role, got, img)
+		}
+	}
+	return nil
+}
+
+// validateDisjointHosts rejects replicas that share a node on a shared
+// hosttools service: their per-run scopes would fight over the binding.
+func (c *Campaign) validateDisjointHosts() error {
+	seen := make(map[*hosttools.Service]map[string]string)
+	for _, rep := range c.Replicas {
+		svc := rep.Runner.Service
+		if svc == nil {
+			return fmt.Errorf("sched: replica %s: runner needs a hosttools service", rep.Name)
+		}
+		nodes := seen[svc]
+		if nodes == nil {
+			nodes = make(map[string]string)
+			seen[svc] = nodes
+		}
+		for _, n := range rep.Experiment.NodeNames() {
+			if prev, ok := nodes[n]; ok {
+				return fmt.Errorf("sched: node %q claimed by replicas %s and %s on the same service — replica host-sets must be disjoint", n, prev, rep.Name)
+			}
+			nodes[n] = rep.Name
+		}
+	}
+	return nil
+}
+
+// manifest is the campaign's experiment-level artifact: how the sweep was
+// sharded. It complements — never alters — the per-run metadata, which stays
+// byte-identical to a sequential execution.
+type manifest struct {
+	Replicas  []string       `json:"replicas"`
+	Parallel  int            `json:"parallel"`
+	TotalRuns int            `json:"total_runs"`
+	Schedule  map[string]int `json:"runs_per_replica,omitempty"`
+}
+
+// Run executes the campaign: prepare every replica (boot + setup, in
+// parallel), then drain the run queue concurrently. It returns a summary
+// equivalent to the sequential runner's — deterministic run numbering, one
+// record per executed run in run order.
+func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	logical := c.Replicas[0].Experiment
+	combos, err := core.CrossProduct(logical.LoopVars)
+	if err != nil {
+		return nil, err
+	}
+	parallel := c.Parallel
+	if parallel <= 0 || parallel > len(c.Replicas) {
+		parallel = len(c.Replicas)
+	}
+
+	started := c.now()
+	exp, err := store.CreateExperiment(logical.User, logical.Name, started)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ArchiveDefinition(logical, exp); err != nil {
+		return nil, err
+	}
+
+	// Setup phase on every replica concurrently; a campaign with a broken
+	// replica must fail before the first measurement run.
+	sessions := make([]*core.Session, len(c.Replicas))
+	prepErrs := make([]error, len(c.Replicas))
+	var wg sync.WaitGroup
+	for i := range c.Replicas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep := c.Replicas[i]
+			sessions[i], prepErrs[i] = rep.Runner.PrepareShared(ctx, rep.Experiment, exp, rep.Name)
+		}(i)
+	}
+	wg.Wait()
+	defer func() {
+		for _, sess := range sessions {
+			if sess != nil {
+				sess.Close()
+			}
+		}
+	}()
+	for i, err := range prepErrs {
+		if err != nil {
+			return nil, fmt.Errorf("sched: replica %s: %w", c.Replicas[i].Name, err)
+		}
+	}
+
+	sum := &core.Summary{
+		Experiment: logical.Name,
+		ResultsDir: exp.Dir(),
+		TotalRuns:  len(combos),
+		Started:    started,
+	}
+
+	// Shared work queue: replicas pull the next run index as they free
+	// up, so a slow run on one replica never stalls the others. The
+	// semaphore bounds runs in flight when Parallel < len(Replicas).
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	queue := make(chan int)
+	go func() {
+		defer close(queue)
+		for i := range combos {
+			select {
+			case queue <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		records   = make([]*core.RunRecord, len(combos))
+		perWorker = make([]int, len(c.Replicas))
+		firstFail = -1
+	)
+	sem := make(chan struct{}, parallel)
+	for wi, sess := range sessions {
+		wg.Add(1)
+		go func(wi int, sess *core.Session) {
+			defer wg.Done()
+			for {
+				var runIdx int
+				var ok bool
+				select {
+				case <-runCtx.Done():
+					return
+				case runIdx, ok = <-queue:
+					if !ok {
+						return
+					}
+				}
+				select {
+				case <-runCtx.Done():
+					return
+				case sem <- struct{}{}:
+				}
+				rctx := runCtx
+				var rcancel context.CancelFunc
+				if c.RunTimeout > 0 {
+					rctx, rcancel = context.WithTimeout(runCtx, c.RunTimeout)
+				}
+				c.progress(core.ProgressEvent{
+					Phase: core.PhaseMeasurement, Run: runIdx, TotalRuns: len(combos),
+					Host: c.Replicas[wi].Name, Message: combos[runIdx].Key(),
+				})
+				rec, _ := sess.RunOne(rctx, runIdx, len(combos), combos[runIdx])
+				if rcancel != nil {
+					rcancel()
+				}
+				<-sem
+				mu.Lock()
+				records[runIdx] = &rec
+				perWorker[wi]++
+				fail := rec.Failed && !c.ContinueOnRunFailure
+				if fail && (firstFail == -1 || runIdx < firstFail) {
+					firstFail = runIdx
+				}
+				mu.Unlock()
+				if fail {
+					cancel()
+					return
+				}
+			}
+		}(wi, sess)
+	}
+	wg.Wait()
+
+	// Assemble the summary in deterministic run order.
+	schedule := make(map[string]int, len(c.Replicas))
+	for wi, n := range perWorker {
+		if n > 0 {
+			schedule[c.Replicas[wi].Name] = n
+		}
+	}
+	for _, rec := range records {
+		if rec == nil {
+			continue // never dispatched (cancelled or failed-fast)
+		}
+		sum.Records = append(sum.Records, *rec)
+		if rec.Failed {
+			sum.FailedRuns++
+		}
+	}
+	sum.Finished = c.now()
+
+	names := make([]string, len(c.Replicas))
+	for i, rep := range c.Replicas {
+		names[i] = rep.Name
+	}
+	sort.Strings(names)
+	m, err := json.MarshalIndent(manifest{
+		Replicas: names, Parallel: parallel, TotalRuns: len(combos), Schedule: schedule,
+	}, "", "  ")
+	if err != nil {
+		return sum, fmt.Errorf("sched: %w", err)
+	}
+	if err := exp.AddExperimentArtifact("experiment/campaign.json", append(m, '\n')); err != nil {
+		return sum, err
+	}
+
+	if err := ctx.Err(); err != nil {
+		return sum, err
+	}
+	mu.Lock()
+	failIdx := firstFail
+	mu.Unlock()
+	if failIdx >= 0 {
+		rec := records[failIdx]
+		return sum, fmt.Errorf("sched: run %d (%s) failed: %s", failIdx, rec.Combo.Key(), rec.Error)
+	}
+	return sum, nil
+}

@@ -1,0 +1,469 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pos/internal/core"
+	"pos/internal/hosttools"
+	"pos/internal/results"
+)
+
+// fakeHost is an in-memory core.Host; measurement behaviour is scripted per
+// test through the hooks.
+type fakeHost struct {
+	name string
+	svc  *hosttools.Service
+
+	mu      sync.Mutex
+	execs   []map[string]string
+	reboots int
+	// onMeasure runs during each measurement Exec (outside the lock).
+	onMeasure func(ctx context.Context, env map[string]string) error
+}
+
+func (f *fakeHost) Name() string                                  { return f.name }
+func (f *fakeHost) SetBoot(img string, p map[string]string) error { return nil }
+func (f *fakeHost) DeployTools() error                            { return nil }
+
+func (f *fakeHost) Reboot() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reboots++
+	return nil
+}
+
+func (f *fakeHost) Exec(ctx context.Context, script string, env map[string]string) (string, error) {
+	cp := make(map[string]string, len(env))
+	for k, v := range env {
+		cp[k] = v
+	}
+	f.mu.Lock()
+	f.execs = append(f.execs, cp)
+	hook := f.onMeasure
+	f.mu.Unlock()
+	if strings.Contains(script, "measure") && hook != nil {
+		if err := hook(ctx, cp); err != nil {
+			return "interrupted", err
+		}
+	}
+	return "output of " + script, nil
+}
+
+// sweepFor is the campaign's experiment definition bound to one node.
+func sweepFor(node string) *core.Experiment {
+	return &core.Experiment{
+		Name:       "sweep",
+		User:       "user",
+		GlobalVars: core.Vars{"dut_mac": "02:00:00:00:00:02"},
+		LoopVars: []core.LoopVar{
+			{Name: "pkt_sz", Values: []string{"64", "1500"}},
+			{Name: "pkt_rate", Values: []string{"10000", "20000", "30000"}},
+		},
+		Hosts: []core.HostSpec{{
+			Role: "loadgen", Node: node, Image: "debian-buster",
+			Setup: "setup", Measurement: "measure",
+		}},
+		Duration: time.Hour,
+	}
+}
+
+// newReplica builds one replica testbed: a single fake host on the shared
+// service. Sharing one Service across replicas is the hard case — per-run
+// state must stay scoped even though every scope lives on the same endpoint.
+func newReplica(name, node string, svc *hosttools.Service) (Replica, *fakeHost) {
+	h := &fakeHost{name: node, svc: svc}
+	return Replica{
+		Name:       name,
+		Runner:     &core.Runner{Hosts: map[string]core.Host{node: h}, Service: svc},
+		Experiment: sweepFor(node),
+	}, h
+}
+
+func storeAt(t *testing.T) *results.Store {
+	t.Helper()
+	s, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCampaignShardsRunsAcrossReplicas(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+
+	// Gate: the first measurement on each replica waits for the other, so
+	// the test proves two runs genuinely in flight at once (the -race run
+	// then exercises the concurrent scope paths). An atomic high-water
+	// mark double-checks it.
+	var gate sync.WaitGroup
+	gate.Add(2)
+	var inFlight, maxInFlight atomic.Int32
+	var onceA, onceB sync.Once
+	measure := func(once *sync.Once) func(ctx context.Context, env map[string]string) error {
+		return func(ctx context.Context, env map[string]string) error {
+			n := inFlight.Add(1)
+			for {
+				m := maxInFlight.Load()
+				if n <= m || maxInFlight.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			once.Do(func() { gate.Done(); gate.Wait() })
+			// Upload through the shared service mid-run: must land in
+			// exactly this run's directory.
+			return svc.Upload(env["NODE"], "moongen.log", []byte("run "+env["RUN"]))
+		}
+	}
+	hostA.onMeasure = measure(&onceA)
+	hostB.onMeasure = measure(&onceB)
+
+	store := storeAt(t)
+	c := &Campaign{Replicas: []Replica{repA, repB}}
+	sum, err := c.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalRuns != 6 || sum.FailedRuns != 0 || len(sum.Records) != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if got := maxInFlight.Load(); got < 2 {
+		t.Errorf("max concurrent runs = %d, want >= 2", got)
+	}
+	// Deterministic run numbering: records in cross-product order no
+	// matter which replica executed which run.
+	for i, rec := range sum.Records {
+		if rec.Run != i {
+			t.Errorf("record %d has run %d", i, rec.Run)
+		}
+	}
+	if sum.Records[0].Combo["pkt_sz"] != "64" || sum.Records[0].Combo["pkt_rate"] != "10000" {
+		t.Errorf("run 0 combo = %v", sum.Records[0].Combo)
+	}
+	// Both replicas pulled work from the queue.
+	if len(hostA.execs) < 2 || len(hostB.execs) < 2 {
+		t.Errorf("execs alpha=%d beta=%d — work not shared", len(hostA.execs), len(hostB.execs))
+	}
+
+	exp, err := store.OpenExperiment("user", "sweep", idFromDir(t, sum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-run uploads routed to the right run directory despite the
+	// shared service: each run holds exactly its own RUN number, uploaded
+	// by whichever node executed it.
+	for run := 0; run < 6; run++ {
+		var data []byte
+		var err error
+		for _, node := range []string{"nodeA", "nodeB"} {
+			if data, err = exp.ReadRunArtifact(run, node, "moongen.log"); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("run %d upload missing: %v", run, err)
+		}
+		if string(data) != fmt.Sprintf("run %d", run) {
+			t.Errorf("run %d upload = %q", run, data)
+		}
+		if _, err := exp.ReadRunMeta(run); err != nil {
+			t.Errorf("run %d metadata: %v", run, err)
+		}
+	}
+	// Definition archived once; setup outputs namespaced per replica; the
+	// campaign manifest records the sharding.
+	for _, a := range []string{
+		"experiment/loop-variables.json",
+		"setup/alpha/nodeA.out",
+		"setup/beta/nodeB.out",
+		"experiment/campaign.json",
+	} {
+		if _, err := exp.ReadExperimentArtifact(a); err != nil {
+			t.Errorf("missing artifact %s: %v", a, err)
+		}
+	}
+}
+
+func idFromDir(t *testing.T, dir string) string {
+	t.Helper()
+	i := strings.LastIndex(dir, "/")
+	return dir[i+1:]
+}
+
+// TestCampaignMetadataMatchesSequential pins the clock and compares every
+// run's metadata.json byte for byte between the sequential runner and a
+// 2-replica campaign: sharding must not be observable in the results.
+func TestCampaignMetadataMatchesSequential(t *testing.T) {
+	clock := func() time.Time { return time.Date(2021, 12, 7, 10, 0, 0, 0, time.UTC) }
+
+	// Sequential reference.
+	seqHost := &fakeHost{name: "nodeA"}
+	seqRunner := &core.Runner{
+		Hosts:   map[string]core.Host{"nodeA": seqHost},
+		Service: hosttools.NewService(nil),
+		Clock:   clock,
+	}
+	seqStore := storeAt(t)
+	seqSum, err := seqRunner.Run(context.Background(), sweepFor("nodeA"), seqStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2-replica campaign.
+	svc := hosttools.NewService(nil)
+	repA, _ := newReplica("alpha", "nodeA", svc)
+	repB, _ := newReplica("beta", "nodeB", svc)
+	repA.Runner.Clock = clock
+	repB.Runner.Clock = clock
+	parStore := storeAt(t)
+	parSum, err := (&Campaign{Replicas: []Replica{repA, repB}}).Run(context.Background(), parStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqExp, err := seqStore.OpenExperiment("user", "sweep", idFromDir(t, seqSum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parExp, err := parStore.OpenExperiment("user", "sweep", idFromDir(t, parSum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 6; run++ {
+		want, err := seqExp.ReadRunArtifact(run, "", "metadata.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parExp.ReadRunArtifact(run, "", "metadata.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Errorf("run %d metadata diverges:\nsequential: %s\ncampaign:   %s", run, want, got)
+		}
+	}
+	// The archived definitions match too.
+	for _, a := range []string{"experiment/loop-variables.json", "experiment/global-vars.json"} {
+		want, _ := seqExp.ReadExperimentArtifact(a)
+		got, err := parExp.ReadExperimentArtifact(a)
+		if err != nil || string(want) != string(got) {
+			t.Errorf("artifact %s diverges (%v)", a, err)
+		}
+	}
+}
+
+// TestCampaignRunTimeoutContinues: a hung run is cut off by the campaign's
+// per-run timeout and recorded as failed; with ContinueOnRunFailure the
+// sweep still completes every other run.
+func TestCampaignRunTimeoutContinues(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+	hang := func(ctx context.Context, env map[string]string) error {
+		if env["pkt_rate"] == "20000" && env["pkt_sz"] == "64" {
+			<-ctx.Done() // wedged measurement: only the timeout frees it
+			return ctx.Err()
+		}
+		return nil
+	}
+	hostA.onMeasure = hang
+	hostB.onMeasure = hang
+
+	store := storeAt(t)
+	c := &Campaign{
+		Replicas:             []Replica{repA, repB},
+		RunTimeout:           50 * time.Millisecond,
+		ContinueOnRunFailure: true,
+	}
+	start := time.Now()
+	sum, err := c.Run(context.Background(), store)
+	if err != nil {
+		t.Fatalf("continue-on-failure returned error: %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("hung run not bounded by campaign timeout")
+	}
+	if sum.FailedRuns != 1 || len(sum.Records) != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// The timed-out run (index 1: pkt_sz=64, pkt_rate=20000) is the
+	// failed one, and its failure is in the run metadata.
+	if !sum.Records[1].Failed {
+		t.Errorf("records = %+v", sum.Records)
+	}
+	exp, _ := store.OpenExperiment("user", "sweep", idFromDir(t, sum.ResultsDir))
+	meta, err := exp.ReadRunMeta(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Failed || meta.Error == "" {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+// TestCampaignFailFast: without ContinueOnRunFailure the first failure
+// cancels everything in flight and the campaign reports that run.
+func TestCampaignFailFast(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+	fail := func(ctx context.Context, env map[string]string) error {
+		if env["RUN"] == "2" {
+			return errors.New("loadgen crashed")
+		}
+		return nil
+	}
+	hostA.onMeasure = fail
+	hostB.onMeasure = fail
+
+	store := storeAt(t)
+	c := &Campaign{Replicas: []Replica{repA, repB}}
+	sum, err := c.Run(context.Background(), store)
+	if err == nil || !strings.Contains(err.Error(), "run 2") {
+		t.Fatalf("err = %v", err)
+	}
+	if sum.FailedRuns == 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	// The sweep stopped early: not all 6 runs executed.
+	if len(sum.Records) == 6 && sum.FailedRuns == 1 {
+		t.Errorf("fail-fast executed the full sweep: %+v", sum)
+	}
+}
+
+// TestCampaignCancellation: cancelling the campaign context stops the whole
+// sweep promptly, including runs blocked in measurement.
+func TestCampaignCancellation(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+	ctx, cancel := context.WithCancel(context.Background())
+	var measured atomic.Int32
+	block := func(c context.Context, env map[string]string) error {
+		if measured.Add(1) == 2 {
+			cancel() // second run in flight cancels the campaign
+		}
+		<-c.Done()
+		return c.Err()
+	}
+	hostA.onMeasure = block
+	hostB.onMeasure = block
+
+	store := storeAt(t)
+	c := &Campaign{Replicas: []Replica{repA, repB}, ContinueOnRunFailure: true}
+	done := make(chan struct{})
+	var sum *core.Summary
+	var err error
+	go func() {
+		sum, err = c.Run(ctx, store)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not stop after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sum == nil || len(sum.Records) > 2 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestCampaignParallelBound(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+	var inFlight, maxInFlight atomic.Int32
+	track := func(ctx context.Context, env map[string]string) error {
+		n := inFlight.Add(1)
+		for {
+			m := maxInFlight.Load()
+			if n <= m || maxInFlight.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	}
+	hostA.onMeasure = track
+	hostB.onMeasure = track
+
+	store := storeAt(t)
+	c := &Campaign{Replicas: []Replica{repA, repB}, Parallel: 1}
+	if _, err := c.Run(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxInFlight.Load(); got > 1 {
+		t.Errorf("max concurrent runs = %d with Parallel=1", got)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	mk := func(name, node string) Replica {
+		r, _ := newReplica(name, node, svc)
+		return r
+	}
+	store := storeAt(t)
+	ctx := context.Background()
+
+	cases := map[string]*Campaign{
+		"no replicas": {},
+		"duplicate replica names": {
+			Replicas: []Replica{mk("alpha", "n1"), mk("alpha", "n2")},
+		},
+		"nested replica name": {
+			Replicas: []Replica{{Name: "a/b", Runner: mk("x", "n1").Runner, Experiment: sweepFor("n1")}},
+		},
+		"overlapping nodes on shared service": {
+			Replicas: []Replica{mk("alpha", "shared"), mk("beta", "shared")},
+		},
+	}
+	divergent := mk("beta", "n2")
+	divergent.Experiment.LoopVars = []core.LoopVar{{Name: "other", Values: []string{"1"}}}
+	cases["divergent loop variables"] = &Campaign{Replicas: []Replica{mk("alpha", "n1"), divergent}}
+
+	otherName := mk("beta", "n3")
+	otherName.Experiment.Name = "different"
+	cases["divergent experiment name"] = &Campaign{Replicas: []Replica{mk("alpha", "n1"), otherName}}
+
+	otherImage := mk("beta", "n4")
+	otherImage.Experiment.Hosts[0].Image = "debian-bullseye"
+	cases["divergent image"] = &Campaign{Replicas: []Replica{mk("alpha", "n1"), otherImage}}
+
+	otherGlobal := mk("beta", "n5")
+	otherGlobal.Experiment.GlobalVars = core.Vars{"dut_mac": "02:00:00:00:00:99"}
+	cases["divergent global vars"] = &Campaign{Replicas: []Replica{mk("alpha", "n1"), otherGlobal}}
+
+	for name, c := range cases {
+		if _, err := c.Run(ctx, store); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestCampaignSingleReplica degenerates to the sequential sweep.
+func TestCampaignSingleReplica(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	rep, _ := newReplica("solo", "nodeA", svc)
+	store := storeAt(t)
+	sum, err := (&Campaign{Replicas: []Replica{rep}}).Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalRuns != 6 || len(sum.Records) != 6 || sum.FailedRuns != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"pos/internal/repeat"
 	"pos/internal/results"
 	"pos/internal/router"
+	"pos/internal/sched"
 	"pos/internal/sim"
 	"pos/internal/testbed"
 	"pos/internal/topo"
@@ -162,6 +163,32 @@ func OSNTProfile() GeneratorProfile { return loadgen.OSNTProfile() }
 // IPerfProfile is a sockets-based software generator (bursty, software
 // timestamps only).
 func IPerfProfile() GeneratorProfile { return loadgen.IPerfProfile() }
+
+// Campaign scheduling (internal/sched): shard one experiment's measurement
+// runs across replica testbeds, preserving the sequential sweep's run
+// numbering and per-run artifacts.
+type (
+	// Campaign shards a sweep across replica testbeds.
+	Campaign = sched.Campaign
+	// CampaignReplica is one replica testbed participating in a campaign.
+	CampaignReplica = sched.Replica
+	// Session is a prepared experiment execution (nodes booted, setup
+	// done); measurement runs are dispatched onto it.
+	Session = core.Session
+)
+
+// NewCaseStudyReplicas builds n independent case-study topologies — the
+// replica testbeds of a parallel campaign (paper's pos/vpos dual setup,
+// generalized to n instances).
+func NewCaseStudyReplicas(flavor Flavor, n int, opts ...CaseStudyOption) ([]*CaseStudy, error) {
+	return casestudy.NewReplicas(flavor, n, opts...)
+}
+
+// CaseStudyReplicas renders one sweep as campaign replicas over topologies
+// built with NewCaseStudyReplicas.
+func CaseStudyReplicas(topos []*CaseStudy, cfg SweepConfig) []CampaignReplica {
+	return casestudy.Replicas(topos, cfg)
+}
 
 // NDR search (internal/ndr): RFC 2544-style throughput search.
 type (
