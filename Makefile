@@ -18,5 +18,15 @@ race:
 bench:
 	go test -run NONE -bench 'BenchmarkParallelSweep|BenchmarkMoonparse' -benchtime 3x .
 
+# Result-pipeline tier: store ingest (indexed/deduplicated vs. legacy
+# scan store), warm-cache evaluation, and the end-to-end appendix
+# workflow. Headline speedups are recorded next to the code in
+# BENCH_results.json via BENCH_RESULTS_OUT.
+.PHONY: bench-results
+bench-results:
+	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_results.json \
+	go test -run NONE -bench 'BenchmarkStoreIngest|BenchmarkEvalWarmCache|BenchmarkAppendixWorkflow' \
+		-benchmem -benchtime 5x .
+
 .PHONY: all
 all: verify race

@@ -40,6 +40,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "results":
 		err = cmdResults(os.Args[2:])
+	case "index":
+		err = cmdIndex(os.Args[2:])
 	case "publish":
 		err = cmdPublish(os.Args[2:])
 	case "check":
@@ -83,6 +85,7 @@ commands:
   serve      expose the controller HTTP API for a demo testbed
   vposd      run the virtual-testbed-as-a-service endpoint
   results    inspect a results tree
+  index      inspect or rebuild an experiment's run manifest and dedup pool
   plot       generate throughput figures from an experiment's results
   check      verify an experiment's artifact completeness
   topo       validate and canonicalize a topology description
@@ -141,6 +144,7 @@ func cmdRun(args []string) error {
 	dir := fs.String("results", "", "results root (default: temp dir)")
 	seed := fs.Uint64("seed", 1, "vpos jitter seed")
 	parallel := fs.Int("parallel", 1, "replica testbeds to shard the sweep across")
+	durable := fs.Bool("durable", false, "fsync result files and directories on every write")
 	fs.Parse(args)
 
 	var fl pos.Flavor
@@ -169,7 +173,11 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	store, err := pos.NewResultsStore(root)
+	var storeOpts []pos.ResultsOption
+	if *durable {
+		storeOpts = append(storeOpts, pos.Durable())
+	}
+	store, err := pos.NewResultsStore(root, storeOpts...)
 	if err != nil {
 		return err
 	}
@@ -487,6 +495,64 @@ func cmdResults(args []string) error {
 		arts, _ := exp.RunArtifacts(run)
 		fmt.Printf("  run %3d  %-40s %d artifacts  %s\n", run, metaKey(meta), len(arts), status)
 	}
+	return nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	dir := fs.String("dir", "", "results root (required)")
+	user := fs.String("user", "user", "experiment owner")
+	name := fs.String("exp", "", "experiment name (required)")
+	id := fs.String("id", "", "experiment id (default: latest)")
+	rebuild := fs.Bool("rebuild", false, "rebuild the manifest from the on-disk tree")
+	gc := fs.Bool("gc", false, "remove unreferenced blobs from the dedup pool")
+	fs.Parse(args)
+	if *dir == "" || *name == "" {
+		return fmt.Errorf("index: -dir and -exp required")
+	}
+	store, err := pos.NewResultsStore(*dir)
+	if err != nil {
+		return err
+	}
+	eid := *id
+	if eid == "" {
+		ids, err := store.ListExperiments(*user, *name)
+		if err != nil || len(ids) == 0 {
+			return fmt.Errorf("index: no executions of %s/%s found", *user, *name)
+		}
+		eid = ids[len(ids)-1]
+	}
+	exp, err := store.OpenExperiment(*user, *name, eid)
+	if err != nil {
+		return err
+	}
+	if *rebuild {
+		if err := exp.RebuildIndex(); err != nil {
+			return err
+		}
+		fmt.Println("manifest rebuilt from tree")
+	}
+	info, err := exp.IndexInfo()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("experiment %s/%s/%s\n", *user, *name, eid)
+	fmt.Printf("  manifest generation  %d\n", info.Generation)
+	fmt.Printf("  runs                 %d\n", info.Runs)
+	fmt.Printf("  run artifacts        %d\n", info.RunArtifacts)
+	fmt.Printf("  experiment artifacts %d\n", info.ExperimentArtifacts)
+	if *gc {
+		removed, err := store.GCBlobs()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  blobs reclaimed      %d\n", removed)
+	}
+	stats, err := store.BlobStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dedup pool: %d blobs, %d bytes, %d referenced\n", stats.Blobs, stats.Bytes, stats.Referenced)
 	return nil
 }
 

@@ -212,6 +212,7 @@ func TestResultsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { exp.Sync() })
 	if err := exp.WriteRunMeta(results.RunMeta{Run: 0, LoopVars: map[string]string{"pkt_sz": "64"}}); err != nil {
 		t.Fatal(err)
 	}

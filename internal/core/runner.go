@@ -99,6 +99,12 @@ type Runner struct {
 	// whole campaign; recoverability (R3) handles the wedged host.
 	// Zero means no limit.
 	RunTimeout time.Duration
+	// BatchUploads, when positive, queues up to that many in-flight host
+	// uploads per run behind a background writer instead of blocking
+	// each pos_upload on the results store. The queue is flushed before
+	// the run's metadata is written, so the recorded state is identical
+	// to synchronous uploads. Zero keeps uploads synchronous.
+	BatchUploads int
 	// Clock supplies timestamps (defaults to time.Now); tests pin it.
 	Clock func() time.Time
 
@@ -160,6 +166,11 @@ func (r *Runner) Run(ctx context.Context, e *Experiment, store *results.Store) (
 		}
 	}
 	sum.Finished = r.now()
+	// Flush the experiment's write-behind manifest: by the time Run
+	// returns, the results directory must be complete and reopenable.
+	if err := sess.Results().Sync(); err != nil {
+		return sum, err
+	}
 	return sum, nil
 }
 
@@ -200,11 +211,13 @@ func (r *Runner) Prepare(ctx context.Context, e *Experiment, store *results.Stor
 		return nil, err
 	}
 	if err := ArchiveDefinition(e, exp); err != nil {
+		exp.Sync()
 		release()
 		return nil, err
 	}
 	sess, err := r.prepare(ctx, e, exp, "", release, true)
 	if err != nil {
+		exp.Sync()
 		release()
 		return nil, err
 	}
@@ -341,12 +354,14 @@ func (s *Session) Results() *results.Experiment { return s.exp }
 // Replica returns the session's replica name ("" outside campaigns).
 func (s *Session) Replica() string { return s.replica }
 
-// Close releases the calendar allocation and detaches the session's nodes.
-// It is idempotent.
+// Close releases the calendar allocation, detaches the session's nodes,
+// and drains the results manifest flusher (best effort — Run reports sync
+// errors on its success path). It is idempotent.
 func (s *Session) Close() {
 	s.once.Do(func() {
 		s.scope.Close()
 		s.release()
+		s.exp.Sync()
 	})
 }
 
@@ -365,9 +380,15 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 	// host upload arriving after the run (a straggler past the timeout)
 	// hits the session scope and is refused — it can never land in a
 	// successor run's directory.
-	scope := r.Service.NewScope(fmt.Sprintf("run%d", runIdx), hosttools.UploaderFunc(func(nodeName, artifact string, data []byte) error {
+	sink := hosttools.Uploader(hosttools.UploaderFunc(func(nodeName, artifact string, data []byte) error {
 		return s.exp.AddRunArtifact(runIdx, nodeName, artifact, data)
 	}))
+	var buffered *hosttools.BufferedUploader
+	if r.BatchUploads > 0 {
+		buffered = hosttools.NewBufferedUploader(sink, r.BatchUploads)
+		sink = buffered
+	}
+	scope := r.Service.NewScope(fmt.Sprintf("run%d", runIdx), sink)
 	for k, v := range combo {
 		scope.SetVar(k, v)
 	}
@@ -404,6 +425,13 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 	for i, spec := range s.e.Hosts {
 		if err := s.exp.AddRunArtifact(runIdx, spec.Node, "measurement.out", []byte(outputs[i])); err != nil {
 			return rec, err
+		}
+	}
+	// Every batched upload must be on disk before the run's metadata
+	// declares the run recorded.
+	if buffered != nil {
+		if err := buffered.Flush(); err != nil && runErr == nil {
+			runErr = err
 		}
 	}
 	if runErr != nil {

@@ -51,7 +51,17 @@ func (r RunData) LoopFloat(name string) (float64, error) {
 // which are independent. The result is deterministic: runs stay in run
 // order and the error (if any) is the one the sequential loop would have
 // returned first.
+//
+// Repeated loads of an unchanged experiment are served from the warm cache
+// (see cache.go); any write through the results store invalidates it.
 func LoadRuns(exp *results.Experiment, nodeName, artifact string) ([]RunData, error) {
+	gen, cacheable := cacheGeneration(exp)
+	key := cacheKey{dir: exp.Dir(), node: nodeName, artifact: artifact, kind: "runs"}
+	if cacheable {
+		if e := cacheLookup(key, gen); e != nil {
+			return copyRuns(e.runs), nil
+		}
+	}
 	runs, err := exp.Runs()
 	if err != nil {
 		return nil, err
@@ -77,6 +87,14 @@ func LoadRuns(exp *results.Experiment, nodeName, artifact string) ([]RunData, er
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	if cacheable {
+		// Only valid if no write raced the load; a racing write moved the
+		// generation on, so the entry would never hit and the store below
+		// is harmless either way.
+		if now, ok := cacheGeneration(exp); ok && now == gen {
+			cacheStore(key, &cacheEntry{gen: gen, runs: copyRuns(out)})
 		}
 	}
 	return out, nil
@@ -179,8 +197,16 @@ func ParseLatencyCSV(data []byte) ([]float64, error) {
 // keyed by the run's loop combination. Runs without the artifact are
 // skipped (e.g. the whole experiment on vpos). Parsing happens on the same
 // bounded worker pool as LoadRuns; samples are merged in run order, so the
-// result is identical to a sequential load.
+// result is identical to a sequential load. Like LoadRuns, unchanged
+// experiments are served from the warm cache.
 func LoadLatency(exp *results.Experiment, nodeName, artifact string) (map[string][]float64, error) {
+	gen, cacheable := cacheGeneration(exp)
+	key := cacheKey{dir: exp.Dir(), node: nodeName, artifact: artifact, kind: "latency"}
+	if cacheable {
+		if e := cacheLookup(key, gen); e != nil {
+			return copyLatency(e.latency), nil
+		}
+	}
 	runs, err := exp.Runs()
 	if err != nil {
 		return nil, err
@@ -216,6 +242,11 @@ func LoadLatency(exp *results.Experiment, nodeName, artifact string) (map[string
 		}
 		if p.samples != nil {
 			out[p.key] = append(out[p.key], p.samples...)
+		}
+	}
+	if cacheable {
+		if now, ok := cacheGeneration(exp); ok && now == gen {
+			cacheStore(key, &cacheEntry{gen: gen, latency: copyLatency(out)})
 		}
 	}
 	return out, nil

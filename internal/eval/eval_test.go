@@ -212,6 +212,7 @@ func TestLoadRunsAndThroughputSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { exp.Sync() })
 	writeRun(t, exp, 0, "64", "10000", 0.01, false)
 	writeRun(t, exp, 1, "64", "20000", 0.02, false)
 	writeRun(t, exp, 2, "1500", "10000", 0.01, false)
@@ -267,6 +268,7 @@ func TestLoopFloatErrors(t *testing.T) {
 func TestThroughputSeriesErrorOnBadXVar(t *testing.T) {
 	store, _ := results.NewStore(t.TempDir())
 	exp, _ := store.CreateExperiment("u", "e", time.Now())
+	t.Cleanup(func() { exp.Sync() })
 	writeRun(t, exp, 0, "64", "notanumber", 0.01, false)
 	runs, err := LoadRuns(exp, "loadgen", "moongen.log")
 	if err != nil {

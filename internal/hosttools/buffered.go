@@ -1,0 +1,105 @@
+package hosttools
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Flusher is an Uploader with a drain point: callers that batch uploads
+// flush at run boundaries to make everything durable before recording
+// metadata.
+type Flusher interface {
+	Uploader
+	Flush() error
+}
+
+// BufferedUploader decouples upload producers (measurement scripts pushing
+// captures through pos_upload) from the storage sink: uploads enqueue onto
+// a bounded queue drained in order by one background goroutine, so a slow
+// disk no longer stalls the measurement hosts. The queue bound applies
+// backpressure instead of growing without limit; the first sink error is
+// sticky and reported by every subsequent Upload and Flush, so a broken
+// sink fails the run rather than silently dropping artifacts.
+type BufferedUploader struct {
+	sink  Uploader
+	depth int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []bufferedUpload
+	draining bool
+	err      error
+}
+
+type bufferedUpload struct {
+	node     string
+	artifact string
+	data     []byte
+}
+
+// NewBufferedUploader wraps sink with a queue of at most depth pending
+// uploads. depth < 1 is treated as 1.
+func NewBufferedUploader(sink Uploader, depth int) *BufferedUploader {
+	if depth < 1 {
+		depth = 1
+	}
+	b := &BufferedUploader{sink: sink, depth: depth}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Upload enqueues one artifact, blocking while the queue is full. The data
+// slice is captured as-is; callers must not mutate it afterwards (the
+// service hands each upload its own buffer).
+func (b *BufferedUploader) Upload(nodeName, artifact string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	for len(b.queue) >= b.depth {
+		b.cond.Wait()
+		if b.err != nil {
+			return b.err
+		}
+	}
+	b.queue = append(b.queue, bufferedUpload{node: nodeName, artifact: artifact, data: data})
+	if !b.draining {
+		b.draining = true
+		go b.drain()
+	}
+	return nil
+}
+
+// drain pushes queued uploads to the sink in order and exits when the
+// queue empties; Upload restarts it on demand, so an idle uploader holds
+// no goroutine.
+func (b *BufferedUploader) drain() {
+	b.mu.Lock()
+	for len(b.queue) > 0 && b.err == nil {
+		up := b.queue[0]
+		b.queue = b.queue[1:]
+		b.mu.Unlock()
+		err := b.sink.Upload(up.node, up.artifact, up.data)
+		b.mu.Lock()
+		if err != nil && b.err == nil {
+			b.err = fmt.Errorf("hosttools: buffered upload %s/%s: %w", up.node, up.artifact, err)
+		}
+		b.cond.Broadcast() // wake blocked producers and Flush waiters
+	}
+	b.queue = nil
+	b.draining = false
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Flush blocks until every enqueued upload has reached the sink and
+// returns the sticky error, if any.
+func (b *BufferedUploader) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.draining || len(b.queue) > 0 {
+		b.cond.Wait()
+	}
+	return b.err
+}

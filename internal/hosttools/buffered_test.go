@@ -1,0 +1,104 @@
+package hosttools
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBufferedUploaderDeliversInOrder(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	sink := UploaderFunc(func(node, artifact string, data []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, fmt.Sprintf("%s/%s=%s", node, artifact, data))
+		return nil
+	})
+	b := NewBufferedUploader(sink, 4)
+	for i := 0; i < 20; i++ {
+		if err := b.Upload("n", fmt.Sprintf("a%02d", i), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d uploads", len(got))
+	}
+	for i, s := range got {
+		if want := fmt.Sprintf("n/a%02d=%d", i, i); s != want {
+			t.Errorf("upload %d = %s, want %s", i, s, want)
+		}
+	}
+}
+
+func TestBufferedUploaderStickyError(t *testing.T) {
+	boom := errors.New("disk full")
+	calls := 0
+	var mu sync.Mutex
+	sink := UploaderFunc(func(node, artifact string, data []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		return boom
+	})
+	b := NewBufferedUploader(sink, 2)
+	if err := b.Upload("n", "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("flush = %v", err)
+	}
+	// The error is sticky: later uploads fail immediately, the sink is
+	// not called again.
+	if err := b.Upload("n", "b", []byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("post-error upload = %v", err)
+	}
+	if err := b.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("second flush = %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("sink called %d times", calls)
+	}
+}
+
+func TestBufferedUploaderConcurrentProducers(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	sink := UploaderFunc(func(node, artifact string, data []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[node+"/"+artifact] = true
+		return nil
+	})
+	b := NewBufferedUploader(sink, 3) // small queue: exercises backpressure
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if err := b.Upload(fmt.Sprintf("n%d", w), fmt.Sprintf("a%d", i), nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 8*30 {
+		t.Errorf("delivered %d distinct uploads, want %d", len(seen), 8*30)
+	}
+}

@@ -58,6 +58,7 @@ func TestCheckFlagsMissingDefinition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { exp.Sync() })
 	if err := exp.WriteRunMeta(results.RunMeta{Run: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -79,6 +80,7 @@ func TestCheckFlagsMissingDefinition(t *testing.T) {
 func TestCheckFlagsNoRuns(t *testing.T) {
 	store, _ := results.NewStore(t.TempDir())
 	exp, _ := store.CreateExperiment("u", "empty", time.Now())
+	t.Cleanup(func() { exp.Sync() })
 	rep, err := Check(exp)
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +93,7 @@ func TestCheckFlagsNoRuns(t *testing.T) {
 func TestCheckFlagsRunGap(t *testing.T) {
 	store, _ := results.NewStore(t.TempDir())
 	exp, _ := store.CreateExperiment("u", "gap", time.Now())
+	t.Cleanup(func() { exp.Sync() })
 	for _, run := range []int{0, 2} { // hole at 1
 		exp.WriteRunMeta(results.RunMeta{Run: run, LoopVars: map[string]string{"r": string(rune('0' + run))}})
 		exp.AddRunArtifact(run, "n", "out", []byte("x"))
@@ -107,6 +110,7 @@ func TestCheckFlagsRunGap(t *testing.T) {
 func TestCheckFlagsEmptySuccessfulRun(t *testing.T) {
 	store, _ := results.NewStore(t.TempDir())
 	exp, _ := store.CreateExperiment("u", "hollow", time.Now())
+	t.Cleanup(func() { exp.Sync() })
 	exp.WriteRunMeta(results.RunMeta{Run: 0})
 	rep, err := Check(exp)
 	if err != nil {
@@ -126,6 +130,7 @@ func TestCheckFlagsEmptySuccessfulRun(t *testing.T) {
 func TestCheckWarnsOnDuplicatesAndSilentFailures(t *testing.T) {
 	store, _ := results.NewStore(t.TempDir())
 	exp, _ := store.CreateExperiment("u", "warns", time.Now())
+	t.Cleanup(func() { exp.Sync() })
 	combo := map[string]string{"pkt_sz": "64"}
 	exp.WriteRunMeta(results.RunMeta{Run: 0, LoopVars: combo})
 	exp.AddRunArtifact(0, "n", "out", []byte("x"))

@@ -24,6 +24,7 @@ func sampleExperiment(t *testing.T) *results.Experiment {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { exp.Sync() })
 	if err := exp.AddExperimentArtifact("experiment/measurement.sh", []byte("moongen --rate $pkt_rate")); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,120 @@
+package results
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// tmpPrefix names the store's in-flight temp files. Writers publish by
+// renaming a temp file over the final path; anything still carrying the
+// prefix after a crash is an orphan and gets swept on open.
+const tmpPrefix = ".tmp-"
+
+// bufWriterPool recycles the buffered writers of the streamed-JSON ingest
+// path, so per-run metadata writes stop allocating a fresh 4 KiB buffer
+// each time.
+var bufWriterPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(nil, 16<<10) },
+}
+
+// writeFileAtomic writes via a temp file + rename so readers never observe
+// a torn result file. With the store in durable mode, the file and its
+// parent directory are fsynced before and after the rename.
+func (s *Store) writeFileAtomic(path string, data []byte) error {
+	return s.writeFileStream(path, func(w *bufio.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// writeFileStream is writeFileAtomic with the content streamed into a
+// pooled buffered writer — the ingest fast path for encoded JSON, which
+// avoids materializing an intermediate byte slice per record.
+func (s *Store) writeFileStream(path string, write func(w *bufio.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	tmpName := tmp.Name()
+	bw := bufWriterPool.Get().(*bufio.Writer)
+	bw.Reset(tmp)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	bw.Reset(nil)
+	bufWriterPool.Put(bw)
+	if err == nil && s.durable {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("results: %w", err)
+	}
+	return s.publish(tmpName, path)
+}
+
+// publish atomically moves a prepared temp file to its final path, syncing
+// the parent directory in durable mode so the rename itself survives a
+// crash.
+func (s *Store) publish(tmpName, path string) error {
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("results: %w", err)
+	}
+	if s.durable {
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return nil
+}
+
+// sweepTmp removes orphaned temp files left behind by a crashed writer.
+// Shallow sweeps cover a directory's own entries; recursive sweeps descend
+// (used when opening a single experiment, where the tree is bounded).
+func sweepTmp(dir string, recursive bool) {
+	if !recursive {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, ent := range entries {
+			if !ent.IsDir() && strings.HasPrefix(ent.Name(), tmpPrefix) {
+				os.Remove(filepath.Join(dir, ent.Name()))
+			}
+		}
+		return
+	}
+	filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil // best-effort: a vanished entry is already gone
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), tmpPrefix) {
+			os.Remove(path)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,579 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The run manifest is the experiment's index: which runs exist, each run's
+// metadata, and every artifact path recorded. It is maintained in memory by
+// the experiment handle and flushed write-behind: mutations are applied
+// immediately (so readers on the same handle are never stale), marked
+// pending, and a background flusher group-commits the accumulated state in
+// one atomic file write. Backpressure bounds the number of unflushed
+// mutations, so a wedged disk slows writers down instead of growing an
+// unbounded queue.
+//
+// The manifest lives at <root>/.posindex/<user>/<experiment>/<id>.json —
+// outside the experiment directory, so the published layout stays
+// byte-identical to the paper's. Reopening an experiment loads the manifest;
+// a missing or corrupt manifest is rebuilt from a tree scan (the slow path
+// the manifest exists to avoid).
+
+// maxPendingMutations bounds the write-behind queue. A writer that gets
+// this far ahead of the flusher blocks until a group commit completes.
+const maxPendingMutations = 512
+
+// flushWindow is how long the flusher waits before each group commit so
+// back-to-back writers accumulate into one manifest write. Skipped when a
+// Sync is waiting or the queue is saturated.
+const flushWindow = 2 * time.Millisecond
+
+// index is the in-memory manifest.
+type index struct {
+	gen  uint64
+	runs map[int]*indexRun
+	exp  map[string]struct{} // experiment-level artifacts, slash paths
+}
+
+type indexRun struct {
+	hasMeta   bool
+	meta      RunMeta
+	artifacts map[string]struct{} // "<node>/<artifact>" slash paths
+}
+
+func newIndex() *index {
+	return &index{runs: make(map[int]*indexRun), exp: make(map[string]struct{})}
+}
+
+func (idx *index) run(n int) *indexRun {
+	entry := idx.runs[n]
+	if entry == nil {
+		entry = &indexRun{artifacts: make(map[string]struct{})}
+		idx.runs[n] = entry
+	}
+	return entry
+}
+
+func (idx *index) setMeta(meta RunMeta) {
+	entry := idx.run(meta.Run)
+	entry.hasMeta = true
+	entry.meta = meta
+}
+
+func (idx *index) addRunArtifact(run int, rel string) {
+	idx.run(run).artifacts[rel] = struct{}{}
+}
+
+func (idx *index) addExperimentArtifact(rel string) {
+	idx.exp[rel] = struct{}{}
+}
+
+// manifestFile is the persisted form.
+type manifestFile struct {
+	Version    int                     `json:"version"`
+	Generation uint64                  `json:"generation"`
+	Experiment []string                `json:"experiment_artifacts,omitempty"`
+	Runs       map[string]*manifestRun `json:"runs,omitempty"`
+}
+
+type manifestRun struct {
+	Meta      *RunMeta `json:"meta,omitempty"`
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+const manifestVersion = 1
+
+func (idx *index) encode() ([]byte, error) {
+	mf := manifestFile{
+		Version:    manifestVersion,
+		Generation: idx.gen,
+		Runs:       make(map[string]*manifestRun, len(idx.runs)),
+	}
+	mf.Experiment = sortedKeys(idx.exp)
+	for run, entry := range idx.runs {
+		mr := &manifestRun{Artifacts: sortedKeys(entry.artifacts)}
+		if entry.hasMeta {
+			meta := entry.meta.clone()
+			mr.Meta = &meta
+		}
+		mf.Runs[strconv.Itoa(run)] = mr
+	}
+	return json.Marshal(mf)
+}
+
+func decodeIndex(data []byte) (*index, error) {
+	var mf manifestFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, err
+	}
+	if mf.Version != manifestVersion {
+		return nil, fmt.Errorf("manifest version %d", mf.Version)
+	}
+	idx := newIndex()
+	idx.gen = mf.Generation
+	for _, rel := range mf.Experiment {
+		idx.exp[rel] = struct{}{}
+	}
+	for key, mr := range mf.Runs {
+		run, err := strconv.Atoi(key)
+		if err != nil || run < 0 {
+			return nil, fmt.Errorf("manifest run key %q", key)
+		}
+		entry := idx.run(run)
+		for _, rel := range mr.Artifacts {
+			entry.artifacts[rel] = struct{}{}
+		}
+		if mr.Meta != nil {
+			entry.hasMeta = true
+			entry.meta = mr.Meta.clone()
+		}
+	}
+	return idx, nil
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Store) indexPath(user, name, id string) string {
+	return filepath.Join(s.root, indexDirName, user, name, id+".json")
+}
+
+func (e *Experiment) indexPath() string {
+	return e.store.indexPath(e.user, e.name, e.id)
+}
+
+// ensureIndexLocked loads or rebuilds the manifest. Caller holds e.mu.
+func (e *Experiment) ensureIndexLocked() error {
+	if e.idx != nil {
+		return nil
+	}
+	if data, err := os.ReadFile(e.indexPath()); err == nil {
+		if idx, derr := decodeIndex(data); derr == nil && e.indexMatchesTree(idx) {
+			e.idx = idx
+			return nil
+		}
+		// Corrupt or stale manifest: fall through to a rebuild.
+	}
+	idx, err := scanTree(e.dir)
+	if err != nil {
+		return err
+	}
+	e.idx = idx
+	return nil
+}
+
+// indexMatchesTree is the shallow staleness probe run when a manifest is
+// loaded from disk: one readdir of the experiment root, comparing the run
+// directory set and the top-level entry set against the manifest. A writer
+// that crashed before its final flush leaves a manifest that is a
+// consistent-but-old snapshot — typically missing whole runs — which this
+// catches at the cost of a single directory read instead of a tree walk.
+// Out-of-band edits inside an existing run directory are not detectable
+// this cheaply; RebuildIndex covers those.
+func (e *Experiment) indexMatchesTree(idx *index) bool {
+	entries, err := os.ReadDir(e.dir)
+	if err != nil {
+		return false
+	}
+	diskRuns := make(map[int]bool)
+	diskTops := make(map[string]bool)
+	for _, ent := range entries {
+		if run, ok := parseRunDir(ent.Name()); ok && ent.IsDir() {
+			diskRuns[run] = true
+			continue
+		}
+		diskTops[ent.Name()] = true
+	}
+	if len(diskRuns) != len(idx.runs) {
+		return false
+	}
+	for run := range idx.runs {
+		if !diskRuns[run] {
+			return false
+		}
+	}
+	idxTops := make(map[string]bool)
+	for rel := range idx.exp {
+		top := rel
+		if i := strings.IndexByte(rel, '/'); i >= 0 {
+			top = rel[:i]
+		}
+		idxTops[top] = true
+	}
+	if len(diskTops) != len(idxTops) {
+		return false
+	}
+	for name := range diskTops {
+		if !idxTops[name] {
+			return false
+		}
+	}
+	return true
+}
+
+// scanTree rebuilds a manifest from the on-disk layout — the legacy walk,
+// run once on reopen instead of on every enumeration.
+func scanTree(dir string) (*index, error) {
+	idx := newIndex()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if run, ok := parseRunDir(name); ok && ent.IsDir() {
+			if err := scanRunDir(idx, filepath.Join(dir, name), run); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Everything else is experiment-level artifact territory.
+		if err := scanExperimentArtifacts(idx, dir, filepath.Join(dir, name)); err != nil {
+			return nil, err
+		}
+	}
+	return idx, nil
+}
+
+func scanRunDir(idx *index, base string, run int) error {
+	entry := idx.run(run)
+	err := filepath.Walk(base, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(base, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "metadata.json" {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			var meta RunMeta
+			if err := json.Unmarshal(data, &meta); err != nil {
+				return fmt.Errorf("run %d metadata: %w", run, err)
+			}
+			entry.hasMeta = true
+			entry.meta = meta
+			return nil
+		}
+		entry.artifacts[rel] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return nil
+}
+
+func scanExperimentArtifacts(idx *index, dir, path string) error {
+	err := filepath.Walk(path, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		idx.addExperimentArtifact(filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return nil
+}
+
+// mutate applies one manifest mutation and schedules a write-behind flush.
+// With the index disabled it is a no-op.
+func (e *Experiment) mutate(apply func(*index)) error { return e.mutateOp("", nil, apply) }
+
+// mutateOp is mutate with an optional deferred disk write riding the same
+// queue: the flusher executes op before committing the manifest snapshot
+// that records it, so a crash leaves a stale-but-consistent manifest rather
+// than one listing files that were never written. Re-queueing a path still
+// in the queue replaces its op (last write wins), which also guarantees
+// every queued op targets a distinct path — the invariant that lets the
+// flusher drain them in parallel. With the index disabled the op runs
+// synchronously — the legacy behavior.
+func (e *Experiment) mutateOp(path string, op func() error, apply func(*index)) error {
+	if e.store.noIndex {
+		if op != nil {
+			return op()
+		}
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureIndexLocked(); err != nil {
+		return err
+	}
+	// Backpressure: bound the unflushed mutation count.
+	for e.pending >= maxPendingMutations {
+		e.cond.Wait()
+	}
+	apply(e.idx)
+	e.idx.gen++
+	e.pending++
+	if op != nil {
+		if i, ok := e.opIdx[path]; ok {
+			e.ops[i] = op
+		} else {
+			if e.opIdx == nil {
+				e.opIdx = make(map[string]int)
+			}
+			e.opIdx[path] = len(e.ops)
+			e.ops = append(e.ops, op)
+		}
+	}
+	if !e.flushing {
+		e.flushing = true
+		go e.flushLoop()
+	}
+	return nil
+}
+
+// flushLoop group-commits the manifest: every iteration snapshots the
+// current state and writes it once, covering all mutations that accumulated
+// while the previous write was in flight. It exits when nothing is pending.
+func (e *Experiment) flushLoop() {
+	e.mu.Lock()
+	for e.pending > 0 || len(e.ops) > 0 {
+		if e.syncWaiters == 0 && e.pending < maxPendingMutations {
+			e.mu.Unlock()
+			time.Sleep(flushWindow)
+			e.mu.Lock()
+		}
+		ops := e.ops
+		e.ops = nil
+		e.opIdx = nil
+		data, err := e.idx.encode()
+		e.pending = 0
+		e.cond.Broadcast() // wake writers blocked on backpressure
+		e.mu.Unlock()
+		if len(ops) > 0 {
+			// Skip deferred writes when the experiment tree is gone (pruned,
+			// or a test tearing it down) — same guard as writeManifest.
+			if _, statErr := os.Stat(e.dir); statErr == nil {
+				if opErr := drainOps(ops); opErr != nil && err == nil {
+					err = opErr
+				}
+			}
+		}
+		if err == nil {
+			err = e.writeManifest(data)
+		}
+		e.mu.Lock()
+		if err != nil && e.flushErr == nil {
+			e.flushErr = err
+		}
+	}
+	e.flushing = false
+	e.cond.Broadcast() // wake Sync waiters
+	e.mu.Unlock()
+}
+
+// drainOps executes one group commit's deferred writes. Every op targets a
+// distinct path (mutateOp replaces re-queued paths in place), so a few
+// workers can drain them in parallel; the first error wins.
+func drainOps(ops []func() error) error {
+	workers := 4
+	if len(ops) < workers {
+		workers = len(ops)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ops); i += workers {
+				if err := ops[i](); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return first
+}
+
+func (e *Experiment) writeManifest(data []byte) error {
+	// An experiment that has been removed (pruned, or a test tearing its
+	// tree down) needs no manifest; dropping the write keeps the flusher
+	// from resurrecting deleted directories.
+	if _, err := os.Stat(e.dir); err != nil {
+		return nil
+	}
+	path := e.indexPath()
+	if err := e.store.ensureDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return e.store.writeFileAtomic(path, data)
+}
+
+// Sync blocks until every pending manifest mutation has been flushed and
+// returns the first flush error, if any. Runners call it when an experiment
+// execution completes; it is cheap when the manifest is already clean.
+func (e *Experiment) Sync() error {
+	if e.store.noIndex {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.syncWaiters++
+	for e.flushing || e.pending > 0 || len(e.ops) > 0 {
+		e.cond.Wait()
+	}
+	e.syncWaiters--
+	return e.flushErr
+}
+
+// Generation returns the experiment's manifest generation counter. It bumps
+// on every recorded write — rewritten metadata, re-uploaded artifacts — and
+// is the invalidation key for warm evaluation caches. ok is false when the
+// manifest is disabled or unavailable; such experiments are uncacheable.
+func (e *Experiment) Generation() (gen uint64, ok bool) {
+	if e.store.noIndex {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureIndexLocked(); err != nil {
+		return 0, false
+	}
+	return e.idx.gen, true
+}
+
+// ArtifactPaths returns every file recorded for the experiment as sorted,
+// slash-separated paths relative to the experiment directory — exactly what
+// a tree walk would list, without the walk. The publication phase streams
+// from this list.
+func (e *Experiment) ArtifactPaths() ([]string, error) {
+	if e.store.noIndex {
+		idx, err := scanTree(e.dir)
+		if err != nil {
+			return nil, err
+		}
+		return idx.paths(), nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureIndexLocked(); err != nil {
+		return nil, err
+	}
+	return e.idx.paths(), nil
+}
+
+func (idx *index) paths() []string {
+	var out []string
+	for rel := range idx.exp {
+		out = append(out, rel)
+	}
+	for run, entry := range idx.runs {
+		prefix := runDirName(run) + "/"
+		if entry.hasMeta {
+			out = append(out, prefix+"metadata.json")
+		}
+		for rel := range entry.artifacts {
+			out = append(out, prefix+rel)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RebuildIndex discards the manifest and rebuilds it from the on-disk tree,
+// then flushes it synchronously. Use after out-of-band modifications to an
+// experiment directory.
+func (e *Experiment) RebuildIndex() error {
+	if e.store.noIndex {
+		return fmt.Errorf("results: store opened without an index")
+	}
+	idx, err := scanTree(e.dir)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	for e.flushing || e.pending > 0 {
+		e.cond.Wait()
+	}
+	// Continue the persisted generation sequence — a rebuild must never
+	// regress the counter, or stale cache entries would re-validate.
+	if e.idx == nil {
+		e.ensureIndexLocked()
+	}
+	oldGen := uint64(0)
+	if e.idx != nil {
+		oldGen = e.idx.gen
+	}
+	idx.gen = oldGen + 1
+	e.idx = idx
+	data, err := idx.encode()
+	e.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	return e.writeManifest(data)
+}
+
+// IndexInfo summarizes the manifest for inspection tooling.
+type IndexInfo struct {
+	Generation          uint64
+	Runs                int
+	RunArtifacts        int
+	ExperimentArtifacts int
+}
+
+// IndexInfo reports the manifest's current shape.
+func (e *Experiment) IndexInfo() (IndexInfo, error) {
+	if e.store.noIndex {
+		return IndexInfo{}, fmt.Errorf("results: store opened without an index")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureIndexLocked(); err != nil {
+		return IndexInfo{}, err
+	}
+	info := IndexInfo{
+		Generation:          e.idx.gen,
+		Runs:                len(e.idx.runs),
+		ExperimentArtifacts: len(e.idx.exp),
+	}
+	for _, entry := range e.idx.runs {
+		info.RunArtifacts += len(entry.artifacts)
+	}
+	return info, nil
+}

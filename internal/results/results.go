@@ -4,14 +4,33 @@
 // files, per-run loop-parameter metadata, the executed scripts and variable
 // files, and experiment-wide artifacts. The enforced structure is what makes
 // the evaluation and publication phases mechanical.
+//
+// On top of the paper layout the store maintains a fast path:
+//
+//   - a per-experiment run manifest (see index.go) kept in memory and
+//     flushed write-behind, so enumerating runs and artifacts never walks
+//     the tree again;
+//   - content-addressed blob storage (see blob.go) that deduplicates
+//     identical artifacts — a 60-run sweep writes each repeated script or
+//     variable file once and hardlinks it into every run;
+//   - a generation counter per experiment that downstream caches (eval)
+//     use for invalidation.
+//
+// Both live outside the experiment directories (<root>/.posindex,
+// <root>/.posblob), so the on-disk experiment layout stays byte-identical
+// to the paper's artifacts.
 package results
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -20,27 +39,177 @@ import (
 // Store is the root of the results tree, the emulated
 // /srv/testbed/results.
 type Store struct {
-	root string
+	root    string
+	durable bool
+	noDedup bool
+	noIndex bool
+
+	// dirs memoizes directories this handle has created. Artifact ingest
+	// otherwise pays an os.MkdirAll stat-walk for every single file.
+	dirs sync.Map
+
+	// exps registers live experiment handles by "user/name/id" so every
+	// consumer sharing this store sees one manifest: a reader opened while
+	// a writer's queue is still draining gets the writer's in-memory state,
+	// not a stale disk scan.
+	exps sync.Map
 }
 
-// NewStore opens (creating if needed) a results tree rooted at dir.
-func NewStore(dir string) (*Store, error) {
+// Option configures a Store.
+type Option func(*Store)
+
+// Durable makes every write fsync the file and its parent directory before
+// the atomic rename publishes it — crash durability at a heavy syscall cost.
+// Off by default (and in tests).
+func Durable() Option { return func(s *Store) { s.durable = true } }
+
+// NoDedup disables content-addressed deduplication; every artifact is
+// written in full.
+func NoDedup() Option { return func(s *Store) { s.noDedup = true } }
+
+// NoIndex disables the fast path: no run manifest, no write-behind flusher,
+// no directory-creation memo. Enumeration and writes behave the way the
+// original store did. Used as the baseline in benchmarks.
+func NoIndex() Option { return func(s *Store) { s.noIndex = true } }
+
+// ensureDir creates dir unless this handle already has. Unlike os.MkdirAll
+// it never stat-walks the path: it tries a bare Mkdir and only recurses to
+// the parent on ENOENT, so the per-artifact cost is zero syscalls for a
+// memoized directory and one for a fresh leaf under an existing parent.
+// With the fast path disabled it degrades to a plain MkdirAll.
+func (s *Store) ensureDir(dir string) error {
+	if s.noIndex {
+		return os.MkdirAll(dir, 0o755)
+	}
+	if _, ok := s.dirs.Load(dir); ok {
+		return nil
+	}
+	err := os.Mkdir(dir, 0o755)
+	switch {
+	case err == nil || os.IsExist(err):
+	case os.IsNotExist(err):
+		if perr := s.ensureDir(filepath.Dir(dir)); perr != nil {
+			return perr
+		}
+		if err = os.Mkdir(dir, 0o755); err != nil && !os.IsExist(err) {
+			return err
+		}
+	default:
+		return err
+	}
+	s.dirs.Store(dir, struct{}{})
+	return nil
+}
+
+// forgetTree drops memoized directories at or below dir after the tree was
+// removed, so a later write recreates them instead of failing.
+func (s *Store) forgetTree(dir string) {
+	prefix := dir + string(filepath.Separator)
+	s.dirs.Range(func(k, _ any) bool {
+		if d := k.(string); d == dir || strings.HasPrefix(d, prefix) {
+			s.dirs.Delete(k)
+		}
+		return true
+	})
+}
+
+// deferSmallWrite returns a write-behind op for an artifact too small to
+// deduplicate: the bytes are copied (the caller may reuse its buffer) and
+// written by the background flusher, overlapped with foreground payload
+// writes. Only taken on the fast path — with the index disabled every write
+// is synchronous, and the queue's memory footprint stays bounded by
+// backpressure × dedupMinBytes.
+func (e *Experiment) deferSmallWrite(dir, base string, data []byte) (string, func() error, bool) {
+	if e.store.noIndex || len(data) >= dedupMinBytes {
+		return "", nil, false
+	}
+	path := filepath.Join(dir, base)
+	// Overwrites of flushed files stay synchronous: such a file must never
+	// serve stale bytes to readers between the rewrite and the next queue
+	// drain. Re-queueing a path still in the queue is fine — mutateOp
+	// replaces the queued op, so the last write wins.
+	if _, err := os.Lstat(path); err == nil || !errors.Is(err, fs.ErrNotExist) {
+		return "", nil, false
+	}
+	if err := e.store.ensureDir(dir); err != nil {
+		return path, func() error { return fmt.Errorf("results: %w", err) }, true
+	}
+	buf := append([]byte(nil), data...)
+	return path, func() error { return e.store.writeFileAtomic(path, buf) }, true
+}
+
+// writeInDir runs one artifact write inside dir, creating dir on demand. If
+// the memoized directory turns out to have been removed out-of-band, the
+// memo is dropped and the write retried once against a fresh directory.
+func (e *Experiment) writeInDir(dir string, write func() error) error {
+	if err := e.store.ensureDir(dir); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	err := write()
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		e.store.forgetTree(dir)
+		if mkErr := os.MkdirAll(dir, 0o755); mkErr == nil {
+			err = write()
+		}
+	}
+	return err
+}
+
+// NewStore opens (creating if needed) a results tree rooted at dir. Orphaned
+// temp files at the root (from a crashed writer) are swept; experiment
+// directories are swept when opened.
+func NewStore(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
-	return &Store{root: dir}, nil
+	s := &Store{root: dir}
+	for _, opt := range opts {
+		opt(s)
+	}
+	sweepTmp(dir, false)
+	return s, nil
 }
 
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
-// Experiment is one experiment's result directory.
+// internalDirs are the store-level directories that hold the fast-path
+// state. They sit next to the per-user trees and are never part of any
+// experiment's published layout.
+const (
+	indexDirName = ".posindex"
+	blobDirName  = ".posblob"
+)
+
+// Experiment is one experiment's result directory. One handle is the single
+// writer of its manifest; handles are safe for concurrent use by multiple
+// goroutines (replica testbeds of a campaign share one).
 type Experiment struct {
+	// mu guards the manifest (idx), the write-behind flusher state, and
+	// the generation counter. File writes happen outside the lock; the
+	// index mutation that records them happens under it.
 	mu   sync.Mutex
-	dir  string
-	user string
-	name string
-	id   string
+	cond *sync.Cond
+
+	store *Store
+	dir   string
+	user  string
+	name  string
+	id    string
+
+	idx         *index
+	pending     int            // manifest mutations not yet flushed to disk
+	ops         []func() error // deferred small-file writes, drained by the flusher
+	opIdx       map[string]int // queued op per target path; re-queue replaces (last wins)
+	flushing    bool           // a flusher goroutine is active
+	flushErr    error          // first flush failure, surfaced by Sync
+	syncWaiters int            // Sync callers blocked; makes the flusher skip its window
+}
+
+func (s *Store) newExperiment(dir, user, name, id string) *Experiment {
+	e := &Experiment{store: s, dir: dir, user: user, name: name, id: id}
+	e.cond = sync.NewCond(&e.mu)
+	return e
 }
 
 // CreateExperiment allocates a fresh timestamped experiment directory. The
@@ -50,21 +219,44 @@ func (s *Store) CreateExperiment(user, name string, at time.Time) (*Experiment, 
 	if user == "" || name == "" {
 		return nil, fmt.Errorf("results: user and experiment name required")
 	}
+	if strings.HasPrefix(user, ".") || strings.HasPrefix(name, ".") {
+		return nil, fmt.Errorf("results: user and experiment name must not start with a dot (reserved for store internals)")
+	}
 	id := at.Format("2006-01-02_15-04-05") + fmt.Sprintf("_%06d", at.Nanosecond()/1000)
 	dir := filepath.Join(s.root, user, name, id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
-	return &Experiment{dir: dir, user: user, name: name, id: id}, nil
+	e := s.newExperiment(dir, user, name, id)
+	if !s.noIndex {
+		e.idx = newIndex()
+		s.exps.Store(user+"/"+name+"/"+id, e)
+	}
+	return e, nil
 }
 
-// OpenExperiment opens an existing experiment directory for evaluation.
+// OpenExperiment opens an existing experiment directory for evaluation. The
+// manifest is loaded (or rebuilt from a tree scan) on first use; orphaned
+// temp files from a crashed writer are swept.
 func (s *Store) OpenExperiment(user, name, id string) (*Experiment, error) {
+	key := user + "/" + name + "/" + id
+	if !s.noIndex {
+		if live, ok := s.exps.Load(key); ok {
+			return live.(*Experiment), nil
+		}
+	}
 	dir := filepath.Join(s.root, user, name, id)
 	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
 		return nil, fmt.Errorf("results: experiment %s/%s/%s not found", user, name, id)
 	}
-	return &Experiment{dir: dir, user: user, name: name, id: id}, nil
+	sweepTmp(dir, true)
+	e := s.newExperiment(dir, user, name, id)
+	if !s.noIndex {
+		if prior, loaded := s.exps.LoadOrStore(key, e); loaded {
+			return prior.(*Experiment), nil
+		}
+	}
+	return e, nil
 }
 
 // ListExperiments returns the IDs recorded for user/name, sorted ascending
@@ -90,7 +282,8 @@ func (s *Store) ListExperiments(user, name string) ([]string, error) {
 // Prune deletes all but the newest keep executions of user/name, returning
 // the removed ids. Retention by count matches how shared testbeds manage
 // their result volumes; the newest executions (lexically greatest ids —
-// timestamps sort chronologically) survive.
+// timestamps sort chronologically) survive. Deduplicated blobs that lose
+// their last reference are reclaimed by GCBlobs.
 func (s *Store) Prune(user, name string, keep int) ([]string, error) {
 	if keep < 0 {
 		return nil, fmt.Errorf("results: keep must be >= 0")
@@ -108,6 +301,9 @@ func (s *Store) Prune(user, name string, keep int) ([]string, error) {
 		if err := os.RemoveAll(dir); err != nil {
 			return nil, fmt.Errorf("results: pruning %s: %w", id, err)
 		}
+		s.forgetTree(dir)
+		s.exps.Delete(user + "/" + name + "/" + id)
+		os.Remove(s.indexPath(user, name, id))
 	}
 	return append([]string(nil), victims...), nil
 }
@@ -131,23 +327,104 @@ type RunMeta struct {
 	Error string `json:"error,omitempty"`
 }
 
-func runDirName(run int) string { return fmt.Sprintf("run_%04d", run) }
-
-// WriteRunMeta stores the metadata file of one run.
-func (e *Experiment) WriteRunMeta(meta RunMeta) error {
-	dir := filepath.Join(e.dir, runDirName(meta.Run))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("results: %w", err)
+// clone returns a defensive copy (the LoopVars map is shared state
+// otherwise — the manifest keeps its own copy).
+func (m RunMeta) clone() RunMeta {
+	if m.LoopVars != nil {
+		vars := make(map[string]string, len(m.LoopVars))
+		for k, v := range m.LoopVars {
+			vars[k] = v
+		}
+		m.LoopVars = vars
 	}
-	data, err := json.MarshalIndent(meta, "", "  ")
-	if err != nil {
-		return fmt.Errorf("results: %w", err)
-	}
-	return writeFileAtomic(filepath.Join(dir, "metadata.json"), append(data, '\n'))
+	return m
 }
 
-// ReadRunMeta loads one run's metadata.
+func runDirName(run int) string { return fmt.Sprintf("run_%04d", run) }
+
+// parseRunDir strictly parses a run directory name. Only names that
+// round-trip through runDirName are accepted, so stragglers like
+// "run_0001.bak", "run_001", or "run_+0001" never surface as runs.
+func parseRunDir(name string) (int, bool) {
+	digits, ok := strings.CutPrefix(name, "run_")
+	if !ok || len(digits) < 4 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 0 || runDirName(n) != name {
+		return 0, false
+	}
+	return n, true
+}
+
+// validateArtifactName is the shared sanitizer for artifact and node names.
+// flat names (per-run artifacts, node names) must be a single path element;
+// nested names (experiment artifacts) may contain forward slashes but no
+// empty, dot, or dot-dot segments. Temp-file prefixes are reserved for the
+// store's own atomic writes.
+func validateArtifactName(name string, flat bool) error {
+	if name == "" {
+		return fmt.Errorf("results: artifact name must not be empty")
+	}
+	if strings.ContainsRune(name, '\\') {
+		return fmt.Errorf("results: artifact name %q must use forward slashes", name)
+	}
+	if strings.HasPrefix(name, "/") {
+		return fmt.Errorf("results: artifact path %q must be relative", name)
+	}
+	if flat && strings.ContainsRune(name, '/') {
+		return fmt.Errorf("results: artifact and node names must be flat (%q)", name)
+	}
+	for _, seg := range strings.Split(name, "/") {
+		switch {
+		case seg == "" || seg == "." || seg == "..":
+			return fmt.Errorf("results: artifact path %q escapes the experiment", name)
+		case strings.HasPrefix(seg, tmpPrefix):
+			return fmt.Errorf("results: artifact path %q uses the reserved temp prefix", name)
+		}
+	}
+	return nil
+}
+
+// WriteRunMeta stores the metadata file of one run. The write is atomic on
+// disk and recorded in the manifest write-behind; rewriting a run's metadata
+// bumps the experiment generation, invalidating warm eval caches.
+func (e *Experiment) WriteRunMeta(meta RunMeta) error {
+	dir := filepath.Join(e.dir, runDirName(meta.Run))
+	stored := meta.clone()
+	path := filepath.Join(dir, "metadata.json")
+	writeMeta := func() error {
+		return e.store.writeFileStream(path, func(w *bufio.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(stored)
+		})
+	}
+	if e.store.noIndex {
+		return e.writeInDir(dir, writeMeta)
+	}
+	record := func(idx *index) { idx.setMeta(stored) }
+	if err := e.store.ensureDir(dir); err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	// Fast path: the metadata is authoritative in the manifest the moment
+	// mutateOp returns; the small disk file rides the write-behind queue.
+	// Rewrites of a flushed file stay synchronous, like deferSmallWrite.
+	if _, err := os.Lstat(path); errors.Is(err, fs.ErrNotExist) {
+		return e.mutateOp(path, writeMeta, record)
+	}
+	if err := e.writeInDir(dir, writeMeta); err != nil {
+		return err
+	}
+	return e.mutate(record)
+}
+
+// ReadRunMeta loads one run's metadata, served from the manifest when the
+// run was recorded through this store.
 func (e *Experiment) ReadRunMeta(run int) (RunMeta, error) {
+	if meta, ok := e.metaFromIndex(run); ok {
+		return meta, nil
+	}
 	data, err := os.ReadFile(filepath.Join(e.dir, runDirName(run), "metadata.json"))
 	if err != nil {
 		return RunMeta{}, fmt.Errorf("results: %w", err)
@@ -159,63 +436,133 @@ func (e *Experiment) ReadRunMeta(run int) (RunMeta, error) {
 	return meta, nil
 }
 
+func (e *Experiment) metaFromIndex(run int) (RunMeta, bool) {
+	if e.store.noIndex {
+		return RunMeta{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureIndexLocked(); err != nil {
+		return RunMeta{}, false
+	}
+	entry := e.idx.runs[run]
+	if entry == nil || !entry.hasMeta {
+		return RunMeta{}, false
+	}
+	return entry.meta.clone(), true
+}
+
 // AddRunArtifact stores one artifact produced during a run by a node, e.g.
-// the captured MoonGen log.
+// the captured MoonGen log. Identical content already present anywhere in
+// the store is deduplicated: the run's file becomes a hardlink to the shared
+// blob, keeping the visible layout byte-identical at a fraction of the IO.
 func (e *Experiment) AddRunArtifact(run int, nodeName, artifact string, data []byte) error {
-	if strings.ContainsAny(artifact, "/\\") || strings.ContainsAny(nodeName, "/\\") {
-		return fmt.Errorf("results: artifact and node names must be flat (%q, %q)", nodeName, artifact)
+	if err := validateArtifactName(nodeName, true); err != nil {
+		return err
+	}
+	if err := validateArtifactName(artifact, true); err != nil {
+		return err
 	}
 	dir := filepath.Join(e.dir, runDirName(run), nodeName)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("results: %w", err)
+	record := func(idx *index) { idx.addRunArtifact(run, nodeName+"/"+artifact) }
+	if path, op, ok := e.deferSmallWrite(dir, artifact, data); ok {
+		return e.mutateOp(path, op, record)
 	}
-	return writeFileAtomic(filepath.Join(dir, artifact), data)
+	err := e.writeInDir(dir, func() error {
+		return e.store.writeFileDedup(filepath.Join(dir, artifact), data)
+	})
+	if err != nil {
+		return err
+	}
+	return e.mutate(record)
 }
 
 // ReadRunArtifact loads one artifact back.
 func (e *Experiment) ReadRunArtifact(run int, nodeName, artifact string) ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(e.dir, runDirName(run), nodeName, artifact))
+	data, err := e.readBack(filepath.Join(e.dir, runDirName(run), nodeName, artifact))
 	if err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
 	return data, nil
+}
+
+// readBack reads an artifact file, draining the write-behind queue once when
+// the file is not there yet — a handle must always see its own writes.
+func (e *Experiment) readBack(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && errors.Is(err, fs.ErrNotExist) && !e.store.noIndex {
+		if serr := e.Sync(); serr == nil {
+			data, err = os.ReadFile(path)
+		}
+	}
+	return data, err
 }
 
 // AddExperimentArtifact stores an experiment-wide artifact (the experiment
 // script, variable files, topology dump, hardware info, generated plots).
+// Content is deduplicated against the store's blob pool like run artifacts.
 func (e *Experiment) AddExperimentArtifact(artifact string, data []byte) error {
-	if strings.Contains(artifact, "..") {
-		return fmt.Errorf("results: artifact path %q escapes the experiment", artifact)
+	if err := validateArtifactName(artifact, false); err != nil {
+		return err
 	}
-	path := filepath.Join(e.dir, artifact)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("results: %w", err)
+	path := filepath.Join(e.dir, filepath.FromSlash(artifact))
+	record := func(idx *index) { idx.addExperimentArtifact(artifact) }
+	if opPath, op, ok := e.deferSmallWrite(filepath.Dir(path), filepath.Base(path), data); ok {
+		return e.mutateOp(opPath, op, record)
 	}
-	return writeFileAtomic(path, data)
+	err := e.writeInDir(filepath.Dir(path), func() error {
+		return e.store.writeFileDedup(path, data)
+	})
+	if err != nil {
+		return err
+	}
+	return e.mutate(record)
 }
 
 // ReadExperimentArtifact loads an experiment-wide artifact.
 func (e *Experiment) ReadExperimentArtifact(artifact string) ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(e.dir, artifact))
+	data, err := e.readBack(filepath.Join(e.dir, artifact))
 	if err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
 	return data, nil
 }
 
-// Runs lists the run indices present, sorted.
+// Runs lists the run indices present, sorted. With the manifest this is a
+// memory read; without it the directory is scanned with strict run-name
+// matching.
 func (e *Experiment) Runs() ([]int, error) {
+	if e.store.noIndex {
+		return e.scanRuns()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureIndexLocked(); err != nil {
+		return nil, err
+	}
+	runs := make([]int, 0, len(e.idx.runs))
+	for run := range e.idx.runs {
+		runs = append(runs, run)
+	}
+	sort.Ints(runs)
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	return runs, nil
+}
+
+func (e *Experiment) scanRuns() ([]int, error) {
 	entries, err := os.ReadDir(e.dir)
 	if err != nil {
 		return nil, fmt.Errorf("results: %w", err)
 	}
 	var runs []int
 	for _, ent := range entries {
-		var n int
-		if ent.IsDir() {
-			if _, err := fmt.Sscanf(ent.Name(), "run_%04d", &n); err == nil {
-				runs = append(runs, n)
-			}
+		if !ent.IsDir() {
+			continue
+		}
+		if n, ok := parseRunDir(ent.Name()); ok {
+			runs = append(runs, n)
 		}
 	}
 	sort.Ints(runs)
@@ -224,6 +571,30 @@ func (e *Experiment) Runs() ([]int, error) {
 
 // RunArtifacts lists "<node>/<artifact>" paths for one run, sorted.
 func (e *Experiment) RunArtifacts(run int) ([]string, error) {
+	if e.store.noIndex {
+		return e.scanRunArtifacts(run)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureIndexLocked(); err != nil {
+		return nil, err
+	}
+	entry := e.idx.runs[run]
+	if entry == nil {
+		return nil, fmt.Errorf("results: run %d not recorded", run)
+	}
+	out := make([]string, 0, len(entry.artifacts))
+	for rel := range entry.artifacts {
+		if filepath.Base(rel) == "metadata.json" {
+			continue
+		}
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (e *Experiment) scanRunArtifacts(run int) ([]string, error) {
 	base := filepath.Join(e.dir, runDirName(run))
 	var out []string
 	err := filepath.Walk(base, func(path string, info os.FileInfo, err error) error {
@@ -245,28 +616,4 @@ func (e *Experiment) RunArtifacts(run int) ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
-}
-
-// writeFileAtomic writes via a temp file + rename so readers never observe a
-// torn result file.
-func writeFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("results: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("results: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("results: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("results: %w", err)
-	}
-	return nil
 }

@@ -18,6 +18,8 @@ func newExp(t *testing.T) (*Store, *Experiment) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Drain the write-behind flusher before the TempDir is torn down.
+	t.Cleanup(func() { e.Sync() })
 	return s, e
 }
 

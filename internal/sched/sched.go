@@ -233,6 +233,9 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	if err != nil {
 		return nil, err
 	}
+	// Best-effort drain on every exit path; the success path checks the
+	// flush error explicitly below.
+	defer exp.Sync()
 	if err := core.ArchiveDefinition(logical, exp); err != nil {
 		return nil, err
 	}
@@ -376,6 +379,11 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 		return sum, fmt.Errorf("sched: %w", err)
 	}
 	if err := exp.AddExperimentArtifact("experiment/campaign.json", append(m, '\n')); err != nil {
+		return sum, err
+	}
+	// Drain the write-behind manifest: the campaign's results directory
+	// must be complete and reopenable once Run returns.
+	if err := exp.Sync(); err != nil {
 		return sum, err
 	}
 

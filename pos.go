@@ -110,8 +110,23 @@ type (
 	RunMeta = results.RunMeta
 )
 
+// ResultsOption configures a results store (Durable, NoDedup, NoIndex).
+type ResultsOption = results.Option
+
+// Store options re-exported for facade users.
+var (
+	// Durable fsyncs files and directories around every publish rename.
+	Durable = results.Durable
+	// NoDedup disables content-addressed deduplication.
+	NoDedup = results.NoDedup
+	// NoIndex disables the run manifest; enumerations scan the tree.
+	NoIndex = results.NoIndex
+)
+
 // NewResultsStore opens (creating if needed) a results tree at dir.
-func NewResultsStore(dir string) (*ResultsStore, error) { return results.NewStore(dir) }
+func NewResultsStore(dir string, opts ...ResultsOption) (*ResultsStore, error) {
+	return results.NewStore(dir, opts...)
+}
 
 // Case-study types (internal/casestudy): the paper's Sec. 5 experiment.
 type (
