@@ -12,6 +12,16 @@ race:
 	go vet ./...
 	go test -race ./...
 
+# Fault-tolerance tier: the retry/quarantine/fault-injection paths under
+# the race detector — workers re-enqueueing failed runs, quarantine
+# draining, and the fault-injection hooks all synchronize across
+# goroutines, so -race is the honest way to run them.
+.PHONY: verify-race
+verify-race:
+	go build ./...
+	go test -race ./internal/sched/ ./internal/core/ ./internal/hosttools/ \
+		./internal/casestudy/ ./internal/vpos/ ./internal/api/
+
 # Performance tier: the speedup benchmarks added with the campaign
 # scheduler (sequential vs. 2-replica sweep, regexp vs. scanner parsing).
 .PHONY: bench
@@ -27,6 +37,13 @@ bench-results:
 	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_results.json \
 	go test -run NONE -bench 'BenchmarkStoreIngest|BenchmarkEvalWarmCache|BenchmarkAppendixWorkflow' \
 		-benchmem -benchtime 5x .
+
+# Retry-overhead tier: fault-free vs. faulty campaign wall clock. The
+# overhead ratio is recorded next to the code in BENCH_sched.json.
+.PHONY: bench-sched-faults
+bench-sched-faults:
+	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_sched.json \
+	go test -run NONE -bench BenchmarkSchedFaultRetry -benchtime 3x .
 
 .PHONY: all
 all: verify race

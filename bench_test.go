@@ -736,10 +736,10 @@ type waitHost struct {
 	delay time.Duration
 }
 
-func (h *waitHost) Name() string                                  { return h.name }
-func (h *waitHost) SetBoot(string, map[string]string) error       { return nil }
-func (h *waitHost) Reboot() error                                 { return nil }
-func (h *waitHost) DeployTools() error                            { return nil }
+func (h *waitHost) Name() string                            { return h.name }
+func (h *waitHost) SetBoot(string, map[string]string) error { return nil }
+func (h *waitHost) Reboot() error                           { return nil }
+func (h *waitHost) DeployTools() error                      { return nil }
 func (h *waitHost) Exec(ctx context.Context, script string, _ map[string]string) (string, error) {
 	if strings.Contains(script, "measure") {
 		select {
@@ -831,6 +831,92 @@ func BenchmarkParallelSweep(b *testing.B) {
 		}
 		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_x")
 		b.ReportMetric(0, "ns/op")
+	})
+}
+
+// BenchmarkSchedFaultRetry measures what the fault-tolerance layer costs: the
+// same 2-replica, 8-run campaign runs fault-free and with a deterministic
+// plan that hangs two of one replica's measurement execs (each fault burns
+// the run timeout, then costs a backoff, a clean-slate re-setup, and a
+// re-run of the measurement wait).
+// The Overhead sub-benchmark reports the wall-clock ratio — `make
+// bench-sched-faults` records it into BENCH_sched.json.
+func BenchmarkSchedFaultRetry(b *testing.B) {
+	const delay = 50 * time.Millisecond
+	newCampaign := func(faulty bool) *sched.Campaign {
+		alpha := benchReplica("alpha", "n0", delay)
+		beta := benchReplica("beta", "n1", delay)
+		if faulty {
+			// Exec occurrences on n1: 1 is the session setup, then one
+			// per measurement, with a re-setup consuming the occurrence
+			// after each failure. Occurrence 3 always hangs (beta's
+			// second measurement); 5 hangs too if the shared queue hands
+			// beta another run before alpha drains it. Hangs (not
+			// instant failures) so each fault burns the run timeout,
+			// like a wedged host in a real campaign.
+			beta.Runner.InjectFaults(sim.NewFaultInjector(map[string]sim.FaultPlan{
+				"n1": {HangExecs: []int{3, 5}},
+			}))
+		}
+		return &sched.Campaign{
+			Replicas:        []sched.Replica{alpha, beta},
+			MaxAttempts:     3,
+			RetryBackoff:    time.Millisecond,
+			QuarantineAfter: 4,
+			RunTimeout:      100 * time.Millisecond,
+		}
+	}
+	run := func(b *testing.B, faulty bool) (time.Duration, int) {
+		store, err := results.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		sum, err := newCampaign(faulty).Run(context.Background(), store)
+		wall := time.Since(start)
+		if err != nil || sum.FailedRuns != 0 {
+			b.Fatalf("sum=%+v err=%v", sum, err)
+		}
+		retried := 0
+		for _, rec := range sum.Records {
+			if rec.Attempts > 1 {
+				retried++
+			}
+		}
+		if faulty && retried == 0 {
+			b.Fatal("fault plan injected no retries")
+		}
+		return wall, retried
+	}
+	b.Run("FaultFree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, false)
+		}
+	})
+	b.Run("TwoFaults", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, true)
+		}
+	})
+	b.Run("Overhead", func(b *testing.B) {
+		var clean, faulty time.Duration
+		retried := 0
+		for i := 0; i < b.N; i++ {
+			c, _ := run(b, false)
+			f, r := run(b, true)
+			clean += c
+			faulty += f
+			retried = r
+		}
+		overhead := faulty.Seconds() / clean.Seconds()
+		b.ReportMetric(overhead, "overhead_x")
+		b.ReportMetric(0, "ns/op")
+		recordBenchResults(b, "SchedFaultRetry", map[string]float64{
+			"overhead_x":      overhead,
+			"faultfree_ms_op": clean.Seconds() * 1000 / float64(b.N),
+			"faulty_ms_op":    faulty.Seconds() * 1000 / float64(b.N),
+			"retried_runs":    float64(retried),
+		})
 	})
 }
 

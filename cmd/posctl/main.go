@@ -144,6 +144,8 @@ func cmdRun(args []string) error {
 	dir := fs.String("results", "", "results root (default: temp dir)")
 	seed := fs.Uint64("seed", 1, "vpos jitter seed")
 	parallel := fs.Int("parallel", 1, "replica testbeds to shard the sweep across")
+	retries := fs.Int("retries", 1, "attempts per run (>1 enables retry with clean-slate re-setup)")
+	quarantine := fs.Int("quarantine", 0, "quarantine a replica after this many consecutive failures (0: never)")
 	durable := fs.Bool("durable", false, "fsync result files and directories on every write")
 	fs.Parse(args)
 
@@ -158,6 +160,12 @@ func cmdRun(args []string) error {
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("run: -parallel must be >= 1, got %d", *parallel)
+	}
+	if *retries < 1 {
+		return fmt.Errorf("run: -retries must be >= 1, got %d", *retries)
+	}
+	if *quarantine < 0 {
+		return fmt.Errorf("run: -quarantine must be >= 0, got %d", *quarantine)
 	}
 	cfg := pos.SweepConfig{RuntimeSec: *runtime}
 	var err error
@@ -182,10 +190,11 @@ func cmdRun(args []string) error {
 		return err
 	}
 
-	if *parallel > 1 {
+	if *parallel > 1 || *retries > 1 || *quarantine > 0 {
 		// Campaign mode: shard the sweep across independent replica
 		// testbeds (same images, same variables — the condition for the
-		// shards to be one reproducible experiment).
+		// shards to be one reproducible experiment). Retry and quarantine
+		// are campaign features, so either flag opts into this path too.
 		topos, err := pos.NewCaseStudyReplicas(fl, *parallel, pos.WithSeed(*seed))
 		if err != nil {
 			return err
@@ -194,7 +203,9 @@ func cmdRun(args []string) error {
 			defer t.Close()
 		}
 		c := &pos.Campaign{
-			Replicas: pos.CaseStudyReplicas(topos, cfg),
+			Replicas:        pos.CaseStudyReplicas(topos, cfg),
+			MaxAttempts:     *retries,
+			QuarantineAfter: *quarantine,
 			Progress: func(ev pos.ProgressEvent) {
 				fmt.Printf("run %d/%d on %s: %s\n", ev.Run+1, ev.TotalRuns, ev.Host, ev.Message)
 			},
@@ -203,8 +214,12 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%d runs complete (%d failed) across %d replicas\nresults: %s\n",
-			sum.TotalRuns, sum.FailedRuns, *parallel, sum.ResultsDir)
+		fmt.Printf("%d runs complete (%d failed, %d cancelled) across %d replicas\n",
+			sum.TotalRuns, sum.FailedRuns, sum.CancelledRuns, *parallel)
+		if len(sum.Quarantined) > 0 {
+			fmt.Printf("quarantined replicas: %s\n", strings.Join(sum.Quarantined, ", "))
+		}
+		fmt.Printf("results: %s\n", sum.ResultsDir)
 		return nil
 	}
 

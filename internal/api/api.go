@@ -361,16 +361,32 @@ func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
 
 // Client is a typed client for the controller API.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
 }
 
 // NewClient returns a client for the API at addr (host:port).
 func NewClient(addr string) *Client {
-	return &Client{base: "http://" + addr, hc: &http.Client{Timeout: 30 * time.Second}}
+	// The deadline lives on each request's context, never on http.Client
+	// .Timeout: a transport-wide cap would silently cut down any exec
+	// whose server-side budget (TimeoutMS) exceeds it.
+	return &Client{base: "http://" + addr, hc: &http.Client{}, timeout: 30 * time.Second}
 }
 
+// SetTimeout sets the client's baseline per-request deadline (default 30s,
+// zero disables). Execs carrying their own budget extend past it — the
+// baseline then only bounds the transport overhead on top of the budget.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
 func (c *Client) do(method, path string, body, out any) error {
+	return c.doCtx(context.Background(), method, path, body, out, 0)
+}
+
+// doCtx issues one request. extra > 0 is a server-side execution budget the
+// request must outlive: the deadline becomes extra plus the baseline, so the
+// HTTP layer never expires before the work it is waiting on.
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, extra time.Duration) error {
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -379,7 +395,12 @@ func (c *Client) do(method, path string, body, out any) error {
 		}
 		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	if d := c.requestTimeout(extra); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("api: %w", err)
 	}
@@ -415,6 +436,16 @@ func (c *Client) do(method, path string, body, out any) error {
 	return nil
 }
 
+// requestTimeout derives one request's deadline: the baseline alone for
+// plain calls, the execution budget plus the baseline when the server was
+// asked to work for up to `extra`.
+func (c *Client) requestTimeout(extra time.Duration) time.Duration {
+	if extra <= 0 {
+		return c.timeout
+	}
+	return extra + c.timeout
+}
+
 // Nodes lists all nodes.
 func (c *Client) Nodes() ([]NodeStatus, error) {
 	var out []NodeStatus
@@ -441,10 +472,23 @@ func (c *Client) Power(name, op string) (NodeStatus, error) {
 	return out, err
 }
 
-// Exec runs a script on a node.
+// Exec runs a script on a node under the client's baseline deadline.
 func (c *Client) Exec(name, script string, env map[string]string) (ExecResponse, error) {
+	return c.ExecContext(context.Background(), name, script, env, 0)
+}
+
+// ExecContext runs a script with an execution budget. timeout > 0 is passed
+// to the server as TimeoutMS to bound the script, and the client's own HTTP
+// deadline is extended to the budget plus the baseline — a long measurement
+// is never cut down by the transport while the server is still within the
+// window the caller granted it. The context cancels the request early.
+func (c *Client) ExecContext(ctx context.Context, name, script string, env map[string]string, timeout time.Duration) (ExecResponse, error) {
+	req := ExecRequest{Script: script, Env: env}
+	if timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
 	var out ExecResponse
-	err := c.do(http.MethodPost, "/api/v1/nodes/"+name+"/exec", ExecRequest{Script: script, Env: env}, &out)
+	err := c.doCtx(ctx, http.MethodPost, "/api/v1/nodes/"+name+"/exec", req, &out, timeout)
 	return out, err
 }
 

@@ -1,11 +1,14 @@
 package api
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"pos/internal/image"
+	"pos/internal/node"
 	"pos/internal/results"
 	"pos/internal/testbed"
 )
@@ -247,5 +250,78 @@ func TestResultsEndpoints(t *testing.T) {
 	}
 	if _, err := c.Runs("user", "exp", "nope"); err == nil {
 		t.Error("missing execution id succeeded")
+	}
+}
+
+// TestExecBudgetOutlivesClientBaseline: an exec whose server-side budget
+// exceeds the client's baseline deadline must not be cut down by the HTTP
+// transport — the request deadline follows the budget. With the old fixed
+// http.Client{Timeout: ...} this request died at the baseline.
+func TestExecBudgetOutlivesClientBaseline(t *testing.T) {
+	tb, c := setup(t)
+	c.SetTimeout(50 * time.Millisecond)
+	if err := c.SetBoot("vriga", "debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Power("vriga", "on"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.Handle("vriga")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.Node.RegisterCommand("slow", func(ctx context.Context, _ *node.Node, _ []string, stdout, _ node.ErrWriter) error {
+		select {
+		case <-time.After(150 * time.Millisecond):
+			stdout.Write([]byte("survived\n"))
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 150ms of work under a 500ms budget and a 50ms baseline: succeeds.
+	res, err := c.ExecContext(context.Background(), "vriga", "slow", nil, 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("budgeted exec cut down: %v", err)
+	}
+	if !strings.Contains(res.Output, "survived") {
+		t.Errorf("output = %q", res.Output)
+	}
+
+	// The same work under the bare baseline dies at the transport — the
+	// capped behaviour a budget exists to avoid.
+	if _, err := c.Exec("vriga", "slow", nil); err == nil {
+		t.Error("50ms-baseline exec of 150ms work succeeded")
+	}
+
+	// A budget below the work time is enforced server-side: the server
+	// reports the kill, and the response still reaches the client because
+	// the transport deadline outlives the budget.
+	res, err = c.ExecContext(context.Background(), "vriga", "slow", nil, 60*time.Millisecond)
+	if err == nil {
+		t.Fatal("over-budget exec succeeded")
+	}
+	if !strings.Contains(res.Output, "deadline exceeded") {
+		t.Errorf("err = %v, resp = %+v, want server-side deadline kill", err, res)
+	}
+}
+
+// TestExecContextCancellation: the caller's context aborts the request.
+func TestExecContextCancellation(t *testing.T) {
+	_, c := setup(t)
+	if err := c.SetBoot("vriga", "debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Power("vriga", "on"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.ExecContext(ctx, "vriga", "echo hi", nil, time.Second); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

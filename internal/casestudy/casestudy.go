@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"sync"
 
+	"pos/internal/core"
 	"pos/internal/image"
 	"pos/internal/loadgen"
 	"pos/internal/netem"
@@ -55,6 +56,12 @@ type Topology struct {
 	DuT      string // node name playing the device under test
 	template func(frameSize int) packet.UDPTemplate
 
+	// Faults, when non-nil, is the deterministic fault injector every
+	// Runner() built from this topology is wrapped with. Occurrences
+	// count over the topology's lifetime, like the condition of a
+	// physical node.
+	Faults *sim.FaultInjector
+
 	// mu guards lastRun, written by the moongen command (executed on the
 	// loadgen node) and read by moongen_hist.
 	mu      sync.Mutex
@@ -69,6 +76,7 @@ type options struct {
 	switched    bool
 	switchDelay sim.Duration
 	profile     *loadgen.Profile
+	faults      map[string]sim.FaultPlan
 }
 
 // WithSeed pins the VM jitter seed (default 1).
@@ -89,6 +97,16 @@ func WithSwitch(delay sim.Duration) Option {
 // hardware terms.
 func WithGenerator(p loadgen.Profile) Option {
 	return func(o *options) { o.profile = &p }
+}
+
+// WithFaults arms the topology with a deterministic fault schedule, keyed
+// by node name (vriga, vtartu). Every runner built via Topology.Runner is
+// wrapped with the injector, so a campaign replica built from this topology
+// misbehaves on exactly the scheduled operations — the reproducible way to
+// rehearse the fault-tolerance path (retry, clean-slate re-setup,
+// quarantine) before trusting it on hardware.
+func WithFaults(plans map[string]sim.FaultPlan) Option {
+	return func(o *options) { o.faults = plans }
 }
 
 // New builds the two-node topology on fresh testbed infrastructure. The
@@ -204,9 +222,34 @@ func newTopology(flavor Flavor, seedOffset uint64, opts ...Option) (*Topology, e
 			}
 		},
 	}
+	if o.faults != nil {
+		topo.Faults = sim.NewFaultInjector(o.faults)
+	}
 	lgHandle.OnBoot(topo.installLoadGenTools)
 	dutHandle.OnBoot(topo.installDuTTools)
 	return topo, nil
+}
+
+// SetFaults arms (or disarms, with nil) the topology's fault schedule after
+// construction — the way to break a single replica out of a NewReplicas
+// batch, which applies identical options to every copy.
+func (t *Topology) SetFaults(plans map[string]sim.FaultPlan) {
+	if plans == nil {
+		t.Faults = nil
+		return
+	}
+	t.Faults = sim.NewFaultInjector(plans)
+}
+
+// Runner builds the topology's workflow runner, wrapped with the fault
+// injector when one is armed. Campaign replicas must be built through this
+// method (not Testbed.Runner directly) or scheduled faults never fire.
+func (t *Topology) Runner() *core.Runner {
+	r := t.Testbed.Runner()
+	if t.Faults != nil {
+		r.InjectFaults(t.Faults)
+	}
+	return r
 }
 
 // Close releases the control-plane resources.

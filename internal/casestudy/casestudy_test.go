@@ -541,3 +541,92 @@ func TestArtifactsByteIdenticalAcrossExecutions(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignSurvivesFaultyReplica: one of three replicas is armed (via
+// SetFaults) to fail every exec after its initial setup — measurements and
+// clean-slate re-setups alike, on both of its nodes. The campaign retries
+// its runs on the healthy replicas and still completes the full sweep with
+// zero failed runs and a complete attempt history.
+func TestCampaignSurvivesFaultyReplica(t *testing.T) {
+	cfg := SweepConfig{
+		Sizes:      []int{64, 1500},
+		RatesPPS:   []int{10_000, 20_000, 30_000},
+		RuntimeSec: 1,
+	}
+	topos, err := NewReplicas(Virtual, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range topos {
+		defer topo.Close()
+	}
+	// Both nodes fail so a faulted run dies instantly instead of leaving
+	// the partner waiting out the run_done barrier. Exec occurrence 1 is
+	// each node's initial setup script, which must succeed for the
+	// session to come up at all.
+	failing := map[string]sim.FaultPlan{}
+	for _, node := range []string{topos[1].LoadGen, topos[1].DuT} {
+		var occ []int
+		for i := 2; i <= 60; i++ {
+			occ = append(occ, i)
+		}
+		failing[node] = sim.FaultPlan{FailExecs: occ}
+	}
+	topos[1].SetFaults(failing)
+
+	reps := Replicas(topos, cfg)
+	store, err := results.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &sched.Campaign{
+		Replicas:        reps,
+		MaxAttempts:     4,
+		QuarantineAfter: 2,
+	}
+	sum, err := c.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalRuns != 6 || sum.FailedRuns != 0 || len(sum.Records) != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// replica1 dequeues at least one run and always fails it, so at least
+	// one run must record a retry; and if anything was quarantined it can
+	// only be the armed replica.
+	retried := 0
+	for _, rec := range sum.Records {
+		if rec.Attempts > 1 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Error("no run records a retry despite replica1 failing every exec")
+	}
+	for _, q := range sum.Quarantined {
+		if q != "replica1" {
+			t.Errorf("quarantined %q, only replica1 is faulty", q)
+		}
+	}
+
+	ids, _ := store.ListExperiments("user", "linux-router-vpos")
+	e, err := store.OpenExperiment("user", "linux-router-vpos", ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 6; run++ {
+		if _, err := e.ReadRunMeta(run); err != nil {
+			t.Errorf("run %d metadata: %v", run, err)
+		}
+		logData, err := e.ReadRunArtifact(run, "vriga", "moongen.log")
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if _, err := moonparse.Parse(bytes.NewReader(logData)); err != nil {
+			t.Errorf("run %d: parse: %v", run, err)
+		}
+	}
+	if _, err := e.ReadExperimentArtifact("experiment/attempts.json"); err != nil {
+		t.Errorf("attempts.json missing: %v", err)
+	}
+}

@@ -133,7 +133,7 @@ func Replicas(topos []*Topology, cfg SweepConfig) []sched.Replica {
 	for i, t := range topos {
 		reps[i] = sched.Replica{
 			Name:       fmt.Sprintf("replica%d", i),
-			Runner:     t.Testbed.Runner(),
+			Runner:     t.Runner(),
 			Experiment: t.Experiment(cfg),
 		}
 	}

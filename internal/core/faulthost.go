@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"pos/internal/sim"
+)
+
+// FaultHost wraps a Host with a deterministic fault injector: the plan
+// decides, per occurrence, whether an exec or reboot on this node fails,
+// hangs until its context is cancelled, or proceeds. Occurrences count every
+// operation the runner issues — setup scripts, measurements, and clean-slate
+// re-setups alike — in dispatch order, so a fault schedule replays
+// identically under `go test -race` and in a vpos instance.
+type FaultHost struct {
+	// Inner is the real host.
+	Inner Host
+	// Faults decides which operations misbehave.
+	Faults *sim.FaultInjector
+}
+
+// Name returns the wrapped host's node name.
+func (f *FaultHost) Name() string { return f.Inner.Name() }
+
+// SetBoot passes through; boot *parameters* are configuration, not an
+// injectable operation.
+func (f *FaultHost) SetBoot(imageRef string, params map[string]string) error {
+	return f.Inner.SetBoot(imageRef, params)
+}
+
+// Reboot fails when the plan schedules a boot fault — a dead BMC or a node
+// that never comes back from power-cycling.
+func (f *FaultHost) Reboot() error {
+	if f.Faults.Next(f.Inner.Name(), sim.FaultBoot).Fail {
+		return fmt.Errorf("core: injected boot fault on %s", f.Inner.Name())
+	}
+	return f.Inner.Reboot()
+}
+
+// DeployTools passes through (tool deployment rides the boot fault: a node
+// that failed to boot never reaches deployment).
+func (f *FaultHost) DeployTools() error { return f.Inner.DeployTools() }
+
+// Exec fails or hangs when the plan schedules an exec fault. A hang blocks
+// until ctx is cancelled — the wedged measurement only a run timeout frees.
+func (f *FaultHost) Exec(ctx context.Context, script string, env map[string]string) (string, error) {
+	d := f.Faults.Next(f.Inner.Name(), sim.FaultExec)
+	if d.Hang {
+		<-ctx.Done()
+		return "", fmt.Errorf("core: injected hang on %s: %w", f.Inner.Name(), ctx.Err())
+	}
+	if d.Fail {
+		return "", fmt.Errorf("core: injected exec fault on %s", f.Inner.Name())
+	}
+	return f.Inner.Exec(ctx, script, env)
+}
+
+// InjectFaults wraps every host of the runner with the injector and installs
+// the upload screen on the runner's hosttools service, so scheduled upload
+// drops surface as refused pos_upload calls. Nodes without a plan are
+// unaffected. Call before Prepare; repeated calls stack wrappers.
+func (r *Runner) InjectFaults(in *sim.FaultInjector) {
+	for name, h := range r.Hosts {
+		r.Hosts[name] = &FaultHost{Inner: h, Faults: in}
+	}
+	if r.Service != nil {
+		r.Service.SetUploadHook(UploadFaultHook(in))
+	}
+}
+
+// UploadFaultHook adapts the injector to hosttools.Service.SetUploadHook:
+// uploads scheduled as drops are refused with an error the uploading script
+// sees, like a controller that lost the file.
+func UploadFaultHook(in *sim.FaultInjector) func(nodeName, artifact string) error {
+	return func(nodeName, artifact string) error {
+		if in.Next(nodeName, sim.FaultUpload).Fail {
+			return fmt.Errorf("core: injected upload drop (%s from %s)", artifact, nodeName)
+		}
+		return nil
+	}
+}
+
+var _ Host = (*FaultHost)(nil)

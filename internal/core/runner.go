@@ -56,6 +56,15 @@ type RunRecord struct {
 	Failed   bool
 	Error    string
 	Duration time.Duration
+	// Attempts counts how many times the run was dispatched (1 without
+	// retries). It lives in the summary and the campaign's attempts.json,
+	// never in the run's metadata.json — retries must not be observable
+	// in the per-run artifacts.
+	Attempts int
+	// Cancelled marks a run that failed only because the campaign was
+	// torn down around it (fail-fast or context cancellation), not
+	// because its own measurement misbehaved.
+	Cancelled bool
 }
 
 // Summary is the outcome of a workflow execution.
@@ -63,10 +72,18 @@ type Summary struct {
 	Experiment string
 	ResultsDir string
 	TotalRuns  int
-	FailedRuns int
-	Records    []RunRecord
-	Started    time.Time
-	Finished   time.Time
+	// FailedRuns counts runs whose own measurement failed terminally.
+	// Runs cut down collaterally by fail-fast or cancellation are
+	// CancelledRuns, so post-mortems can tell the culprit from the
+	// casualties.
+	FailedRuns    int
+	CancelledRuns int
+	// Quarantined lists replicas a campaign drained after repeated
+	// failures (campaign executions only).
+	Quarantined []string
+	Records     []RunRecord
+	Started     time.Time
+	Finished    time.Time
 }
 
 // Runner executes experiments against a set of hosts following the pos
@@ -155,7 +172,13 @@ func (r *Runner) Run(ctx context.Context, e *Experiment, store *results.Store) (
 		if err := ctx.Err(); err != nil {
 			return sum, err
 		}
-		rec, _ := sess.RunOne(ctx, runIdx, len(combos), combo)
+		rec, err := sess.RunOne(ctx, runIdx, len(combos), combo)
+		if err != nil && !rec.Failed {
+			// Recording errors (artifact or metadata writes) fail the
+			// run even when the measurement itself succeeded — a run
+			// whose results are not on disk did not happen.
+			rec.Failed, rec.Error = true, err.Error()
+		}
 		sum.Records = append(sum.Records, rec)
 		if rec.Failed {
 			sum.FailedRuns++
@@ -372,7 +395,7 @@ func (s *Session) Close() {
 func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combination) (RunRecord, error) {
 	r := s.r
 	r.progress(ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total, Host: s.replica, Message: combo.Key()})
-	rec := RunRecord{Run: runIdx, Combo: combo}
+	rec := RunRecord{Run: runIdx, Combo: combo, Attempts: 1}
 	runStart := r.now()
 
 	// The per-run handle: loop variables and upload routing for exactly
@@ -422,26 +445,47 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 		mu.Unlock()
 		return err
 	})
+	// Recording failures (artifact writes, flushes) must not short-circuit:
+	// the buffered uploader still drains and the run still gets its
+	// metadata, marked failed — a run directory without metadata.json
+	// would be invisible to evaluation and unreproducible.
+	var recordErr error
 	for i, spec := range s.e.Hosts {
-		if err := s.exp.AddRunArtifact(runIdx, spec.Node, "measurement.out", []byte(outputs[i])); err != nil {
-			return rec, err
+		if err := s.exp.AddRunArtifact(runIdx, spec.Node, "measurement.out", []byte(outputs[i])); err != nil && recordErr == nil {
+			recordErr = err
 		}
 	}
 	// Every batched upload must be on disk before the run's metadata
 	// declares the run recorded.
 	if buffered != nil {
-		if err := buffered.Flush(); err != nil && runErr == nil {
-			runErr = err
+		if err := buffered.Flush(); err != nil && recordErr == nil {
+			recordErr = err
 		}
+	}
+	if runErr == nil {
+		runErr = recordErr
 	}
 	if runErr != nil {
 		rec.Failed, rec.Error = true, runErr.Error()
 	}
 	rec.Duration = r.now().Sub(runStart)
 	if err := s.writeMeta(runIdx, combo, runStart, rec); err != nil {
-		return rec, err
+		if runErr == nil {
+			rec.Failed, rec.Error = true, err.Error()
+			runErr = err
+		}
 	}
 	return rec, runErr
+}
+
+// Recover re-establishes the clean-slate state of the session's hosts: every
+// host is rebooted from its live image, gets the tools re-deployed, and runs
+// its setup script again — the paper's answer to a misbehaving run. The
+// campaign scheduler calls it before re-dispatching a failed run, so a retry
+// executes on exactly the state a fresh experiment would see.
+func (s *Session) Recover(ctx context.Context) error {
+	s.r.progress(ProgressEvent{Phase: PhaseSetup, Host: s.replica, Message: "clean-slate re-setup"})
+	return s.r.rebootAndResetup(ctx, s.e, s.hosts)
 }
 
 func (s *Session) writeMeta(runIdx int, combo Combination, start time.Time, rec RunRecord) error {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -581,5 +583,122 @@ func TestRunTimeoutBoundsHungMeasurement(t *testing.T) {
 	}
 	if sum.FailedRuns != 1 {
 		t.Errorf("failed runs = %d, want 1 (timeout)", sum.FailedRuns)
+	}
+}
+
+// TestRunOneRecordsMetadataDespiteRecordingFailure: when recording one
+// node's artifact fails mid-run, RunOne must not bail out early — the other
+// node's output is still recorded and the run still gets its metadata.json,
+// marked failed. A run directory without metadata would be invisible to
+// evaluation.
+func TestRunOneRecordsMetadataDespiteRecordingFailure(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	e := caseStudyExperiment()
+	sess, err := r.Prepare(context.Background(), e, storeAt(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// A regular file where run 0's vriga directory must go makes every
+	// artifact write for that node fail (mkdir over a file).
+	blocker := filepath.Join(sess.Results().Dir(), "run_0000", "vriga")
+	if err := os.MkdirAll(filepath.Dir(blocker), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	combos, err := CrossProduct(e.LoopVars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sess.RunOne(context.Background(), 0, len(combos), combos[0])
+	if err == nil || !rec.Failed {
+		t.Fatalf("recording failure not surfaced: rec = %+v, err = %v", rec, err)
+	}
+	// The other node's measurement output was still recorded.
+	if _, err := sess.Results().ReadRunArtifact(0, "vtartu", "measurement.out"); err != nil {
+		t.Errorf("vtartu output dropped after vriga's recording failure: %v", err)
+	}
+	// And the run has metadata, marked failed with the recording error.
+	meta, err := sess.Results().ReadRunMeta(0)
+	if err != nil {
+		t.Fatalf("metadata.json missing after recording failure: %v", err)
+	}
+	if !meta.Failed || meta.Error == "" {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+// TestRunOneFailsWhenMetadataUnwritable: a run whose metadata cannot be
+// written is a failed run even if the measurement itself succeeded — the
+// results on disk are the experiment.
+func TestRunOneFailsWhenMetadataUnwritable(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	e := caseStudyExperiment()
+	sess, err := r.Prepare(context.Background(), e, storeAt(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// A non-empty directory squatting on metadata.json's path defeats the
+	// atomic rename that writes it.
+	if err := os.MkdirAll(filepath.Join(sess.Results().Dir(), "run_0000", "metadata.json", "squat"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	combos, err := CrossProduct(e.LoopVars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sess.RunOne(context.Background(), 0, len(combos), combos[0])
+	if err == nil || !rec.Failed || rec.Error == "" {
+		t.Fatalf("unwritable metadata not surfaced: rec = %+v, err = %v", rec, err)
+	}
+}
+
+// TestSessionRecoverCleanSlate: Recover reboots every host, re-deploys the
+// tools, and re-runs the setup scripts — the exact state a fresh experiment
+// would see, which is what a retry must execute on.
+func TestSessionRecoverCleanSlate(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	sess, err := r.Prepare(context.Background(), caseStudyExperiment(), storeAt(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if err := sess.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*fakeHost{lg, dut} {
+		h.mu.Lock()
+		reboots, deploys := h.reboots, h.deploys
+		setups := 0
+		for _, s := range h.scripts {
+			if strings.Contains(s, "setup") {
+				setups++
+			}
+		}
+		h.mu.Unlock()
+		if reboots != 2 || deploys != 2 || setups != 2 {
+			t.Errorf("%s: reboots=%d deploys=%d setups=%d, want 2 each", h.name, reboots, deploys, setups)
+		}
+	}
+
+	// A failing setup script fails the recovery.
+	lg.mu.Lock()
+	lg.failExec = "setup"
+	lg.mu.Unlock()
+	if err := sess.Recover(context.Background()); err == nil {
+		t.Error("failing setup script did not fail Recover")
 	}
 }

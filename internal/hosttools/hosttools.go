@@ -53,6 +53,8 @@ type Service struct {
 	barriers map[string]*barrier
 	uploader Uploader
 	binding  map[string]*Scope
+	// uploadHook, when set, screens every upload before routing.
+	uploadHook func(nodeName, artifact string) error
 	// BarrierTimeout overrides DefaultBarrierTimeout when positive.
 	BarrierTimeout time.Duration
 }
@@ -66,6 +68,16 @@ func NewService(uploader Uploader) *Service {
 		uploader: uploader,
 		binding:  make(map[string]*Scope),
 	}
+}
+
+// SetUploadHook installs a screen consulted before every upload is routed;
+// a non-nil error refuses the upload. The fault injector uses it to drop
+// the Nth upload of a node deterministically (a lost result file); nil
+// removes the hook.
+func (s *Service) SetUploadHook(hook func(nodeName, artifact string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.uploadHook = hook
 }
 
 // SetUploader replaces the service-level upload sink. Nodes bound to a Scope
@@ -233,12 +245,25 @@ func (b *barrier) wait(ctx context.Context) error {
 		b.mu.Unlock()
 		return nil
 	}
+	gen := b.gen
 	ch := b.release
 	b.mu.Unlock()
 	select {
 	case <-ch:
 		return nil
 	case <-ctx.Done():
+		// Withdraw the arrival so the next wave is not released short:
+		// a timed-out waiter that stayed counted would be a ghost
+		// participant filling someone else's barrier. Generation-aware —
+		// if the barrier released between the timeout firing and the
+		// lock, the wait actually succeeded and there is nothing to
+		// withdraw.
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.gen != gen {
+			return nil
+		}
+		b.arrived--
 		return ErrBarrierTimeout
 	}
 }
@@ -289,12 +314,18 @@ func (s *Service) Barrier(ctx context.Context, name string, parties int) error {
 func (s *Service) Upload(nodeName, artifact string, data []byte) error {
 	s.mu.Lock()
 	u := s.uploader
+	hook := s.uploadHook
 	scopeID := ""
 	if sc := s.binding[nodeName]; sc != nil {
 		u = sc.uploader
 		scopeID = sc.id
 	}
 	s.mu.Unlock()
+	if hook != nil {
+		if err := hook(nodeName, artifact); err != nil {
+			return err
+		}
+	}
 	if u == nil {
 		if scopeID != "" {
 			return fmt.Errorf("hosttools: scope %s accepts no uploads (artifact %s from %s)", scopeID, artifact, nodeName)

@@ -172,6 +172,69 @@ func TestBarrierTimeout(t *testing.T) {
 	}
 }
 
+// TestBarrierTimeoutWithdrawsArrival: a waiter that times out must not stay
+// counted, or the next wave at the same barrier releases with fewer real
+// participants than parties — the ghost-arrival leak.
+func TestBarrierTimeoutWithdrawsArrival(t *testing.T) {
+	svc := NewService(nil)
+	svc.BarrierTimeout = 20 * time.Millisecond
+
+	// First wave: a lone waiter times out, leaving (pre-fix) a ghost
+	// arrival behind.
+	if err := svc.Barrier(context.Background(), "wave", 2); err != ErrBarrierTimeout {
+		t.Fatalf("lone waiter: err = %v, want timeout", err)
+	}
+
+	// Second wave, still alone: with the ghost counted, this waiter would
+	// release instantly as the "second" participant. It must time out.
+	if err := svc.Barrier(context.Background(), "wave", 2); err != ErrBarrierTimeout {
+		t.Fatalf("post-timeout lone waiter released by ghost arrival: err = %v", err)
+	}
+
+	// Third wave with two real participants still works.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = svc.Barrier(context.Background(), "wave", 2)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("waiter %d: %v", i, err)
+		}
+	}
+}
+
+func TestUploadHookScreensUploads(t *testing.T) {
+	up := &memUploads{}
+	svc := NewService(up)
+	calls := 0
+	svc.SetUploadHook(func(nodeName, artifact string) error {
+		calls++
+		if calls == 1 {
+			return ErrBarrierTimeout // any error: upload refused
+		}
+		return nil
+	})
+	if err := svc.Upload("n1", "a.log", []byte("x")); err == nil {
+		t.Fatal("hooked upload not refused")
+	}
+	if err := svc.Upload("n1", "a.log", []byte("y")); err != nil {
+		t.Fatalf("second upload: %v", err)
+	}
+	if string(up.got["n1/a.log"]) != "y" {
+		t.Errorf("uploads = %v", up.got)
+	}
+	svc.SetUploadHook(nil)
+	if err := svc.Upload("n1", "b.log", []byte("z")); err != nil {
+		t.Fatalf("after hook removal: %v", err)
+	}
+}
+
 func TestBarrierPartyMismatch(t *testing.T) {
 	svc := NewService(nil)
 	svc.BarrierTimeout = 10 * time.Millisecond

@@ -25,6 +25,7 @@ package sched
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,13 +62,64 @@ type Campaign struct {
 	// to any per-runner RunTimeout.
 	RunTimeout time.Duration
 	// ContinueOnRunFailure keeps the campaign sweeping after a failed
-	// run; the default is fail-fast — cancel everything in flight.
+	// run; the default is fail-fast — cancel everything in flight. With
+	// retries enabled, fail-fast only triggers once a run has exhausted
+	// its attempts.
 	ContinueOnRunFailure bool
+	// MaxAttempts bounds how many times a failed run is dispatched,
+	// counting the first attempt. Zero or one disables retries. Every
+	// retry is preceded by a clean-slate reboot-and-re-setup of the
+	// executing replica's hosts, so a retry runs on exactly the state a
+	// fresh experiment would see; a failed re-setup consumes the attempt
+	// like a failed run.
+	MaxAttempts int
+	// RetryBackoff is the pause before a run's second attempt; it
+	// doubles with each further attempt. Zero retries immediately.
+	RetryBackoff time.Duration
+	// QuarantineAfter drains a replica from the campaign after this many
+	// consecutive failed dispatches on it: the replica stops pulling
+	// work, its failed run is redistributed to the surviving replicas,
+	// and the campaign degrades gracefully instead of burning the whole
+	// sweep on one broken testbed. Zero disables quarantine. When every
+	// replica is quarantined the campaign aborts.
+	QuarantineAfter int
 	// Progress, when non-nil, observes campaign-level measurement events
 	// (Host carries the executing replica's name). Serialized.
 	Progress func(core.ProgressEvent)
+	// Sleep, when non-nil, replaces the context-aware timer wait used
+	// for retry backoff (tests pin it).
+	Sleep func(ctx context.Context, d time.Duration)
 
 	progressMu sync.Mutex
+}
+
+func (c *Campaign) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if c.Sleep != nil {
+		c.Sleep(ctx, d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// backoffFor returns the pause that precedes the given attempt (attempt 2
+// waits RetryBackoff, each further attempt doubles it).
+func (c *Campaign) backoffFor(attempt int) time.Duration {
+	if attempt <= 1 || c.RetryBackoff <= 0 {
+		return 0
+	}
+	shift := attempt - 2
+	if shift > 16 {
+		shift = 16 // cap: backoff growth, not overflow
+	}
+	return c.RetryBackoff << shift
 }
 
 func (c *Campaign) progress(ev core.ProgressEvent) {
@@ -210,6 +262,82 @@ type manifest struct {
 	Schedule  map[string]int `json:"runs_per_replica,omitempty"`
 }
 
+// Attempt phases recorded in the attempt history.
+const (
+	// phaseRun is a dispatched measurement run.
+	phaseRun = "run"
+	// phaseResetup is the clean-slate reboot-and-re-setup that precedes
+	// a retry (or follows a failure on the same replica).
+	phaseResetup = "re-setup"
+)
+
+// attempt is one entry of a run's dispatch history.
+type attempt struct {
+	Attempt   int    `json:"attempt"`
+	Replica   string `json:"replica"`
+	Phase     string `json:"phase"`
+	Failed    bool   `json:"failed,omitempty"`
+	Error     string `json:"error,omitempty"`
+	BackoffMS int64  `json:"backoff_ms,omitempty"`
+}
+
+// runAttempts groups one run's attempts for attempts.json.
+type runAttempts struct {
+	Run      int       `json:"run"`
+	Attempts []attempt `json:"attempts"`
+}
+
+// attemptsDoc is the experiment/attempts.json artifact: the campaign's
+// complete fault-tolerance history. It lives next to campaign.json at the
+// experiment level — per-run metadata.json never records attempts, so a
+// retried sweep stays byte-identical to a fault-free sequential one.
+type attemptsDoc struct {
+	MaxAttempts     int           `json:"max_attempts"`
+	QuarantineAfter int           `json:"quarantine_after,omitempty"`
+	Quarantined     []string      `json:"quarantined,omitempty"`
+	Runs            []runAttempts `json:"runs"`
+}
+
+// workItem is one dispatch of a run: the run index plus which attempt this
+// dispatch is.
+type workItem struct {
+	run     int
+	attempt int
+}
+
+// campaignState is the mutable bookkeeping shared by the campaign workers.
+type campaignState struct {
+	mu          sync.Mutex
+	records     []*core.RunRecord
+	attempts    [][]attempt
+	perWorker   []int
+	outstanding int // runs not yet terminally resolved
+	firstFail   int // lowest run index that failed terminally (fail-fast)
+	active      int // workers still pulling from the queue
+	quarantined []string
+	queue       chan workItem
+}
+
+// resolve marks one run terminally finished. Closing the queue when the
+// last run resolves releases the idle workers; no sends can follow, because
+// only a worker holding an unresolved item ever re-enqueues.
+func (st *campaignState) resolve(run int, rec *core.RunRecord) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.records[run] = rec
+	st.outstanding--
+	if st.outstanding == 0 {
+		close(st.queue)
+	}
+}
+
+// record appends one attempt to a run's history.
+func (st *campaignState) record(run int, a attempt) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.attempts[run] = append(st.attempts[run], a)
+}
+
 // Run executes the campaign: prepare every replica (boot + setup, in
 // parallel), then drain the run queue concurrently. It returns a summary
 // equivalent to the sequential runner's — deterministic run numbering, one
@@ -274,97 +402,73 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 		Started:    started,
 	}
 
-	// Shared work queue: replicas pull the next run index as they free
-	// up, so a slow run on one replica never stalls the others. The
-	// semaphore bounds runs in flight when Parallel < len(Replicas).
+	maxAttempts := c.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+
+	// Shared work queue: replicas pull the next dispatch as they free up,
+	// so a slow run on one replica never stalls the others. The queue is
+	// buffered for every possible dispatch (each run is enqueued at most
+	// MaxAttempts times), so re-enqueueing a retry never blocks a worker.
+	// The semaphore bounds runs in flight when Parallel < len(Replicas).
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	queue := make(chan int)
-	go func() {
-		defer close(queue)
-		for i := range combos {
-			select {
-			case queue <- i:
-			case <-runCtx.Done():
-				return
-			}
-		}
-	}()
+	st := &campaignState{
+		records:   make([]*core.RunRecord, len(combos)),
+		attempts:  make([][]attempt, len(combos)),
+		perWorker: make([]int, len(c.Replicas)),
 
-	var (
-		mu        sync.Mutex
-		records   = make([]*core.RunRecord, len(combos))
-		perWorker = make([]int, len(c.Replicas))
-		firstFail = -1
-	)
+		outstanding: len(combos),
+		firstFail:   -1,
+		active:      len(sessions),
+		queue:       make(chan workItem, len(combos)*maxAttempts),
+	}
+	for i := range combos {
+		st.queue <- workItem{run: i, attempt: 1}
+	}
+
 	sem := make(chan struct{}, parallel)
 	for wi, sess := range sessions {
 		wg.Add(1)
 		go func(wi int, sess *core.Session) {
 			defer wg.Done()
-			for {
-				var runIdx int
-				var ok bool
-				select {
-				case <-runCtx.Done():
-					return
-				case runIdx, ok = <-queue:
-					if !ok {
-						return
-					}
-				}
-				select {
-				case <-runCtx.Done():
-					return
-				case sem <- struct{}{}:
-				}
-				rctx := runCtx
-				var rcancel context.CancelFunc
-				if c.RunTimeout > 0 {
-					rctx, rcancel = context.WithTimeout(runCtx, c.RunTimeout)
-				}
-				c.progress(core.ProgressEvent{
-					Phase: core.PhaseMeasurement, Run: runIdx, TotalRuns: len(combos),
-					Host: c.Replicas[wi].Name, Message: combos[runIdx].Key(),
-				})
-				rec, _ := sess.RunOne(rctx, runIdx, len(combos), combos[runIdx])
-				if rcancel != nil {
-					rcancel()
-				}
-				<-sem
-				mu.Lock()
-				records[runIdx] = &rec
-				perWorker[wi]++
-				fail := rec.Failed && !c.ContinueOnRunFailure
-				if fail && (firstFail == -1 || runIdx < firstFail) {
-					firstFail = runIdx
-				}
-				mu.Unlock()
-				if fail {
-					cancel()
-					return
-				}
-			}
+			c.worker(runCtx, cancel, wi, sess, st, sem, combos, maxAttempts)
 		}(wi, sess)
 	}
 	wg.Wait()
 
 	// Assemble the summary in deterministic run order.
+	st.mu.Lock()
 	schedule := make(map[string]int, len(c.Replicas))
-	for wi, n := range perWorker {
+	for wi, n := range st.perWorker {
 		if n > 0 {
 			schedule[c.Replicas[wi].Name] = n
 		}
 	}
-	for _, rec := range records {
+	sort.Strings(st.quarantined)
+	sum.Quarantined = append([]string(nil), st.quarantined...)
+	allQuarantined := st.active == 0
+	failIdx := st.firstFail
+	history := make([]runAttempts, 0, len(combos))
+	for run, atts := range st.attempts {
+		if len(atts) > 0 {
+			history = append(history, runAttempts{Run: run, Attempts: atts})
+		}
+	}
+	for _, rec := range st.records {
 		if rec == nil {
 			continue // never dispatched (cancelled or failed-fast)
 		}
 		sum.Records = append(sum.Records, *rec)
-		if rec.Failed {
+		switch {
+		case rec.Cancelled:
+			sum.CancelledRuns++
+		case rec.Failed:
 			sum.FailedRuns++
 		}
 	}
+	st.mu.Unlock()
 	sum.Finished = c.now()
 
 	names := make([]string, len(c.Replicas))
@@ -381,6 +485,18 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	if err := exp.AddExperimentArtifact("experiment/campaign.json", append(m, '\n')); err != nil {
 		return sum, err
 	}
+	hist, err := json.MarshalIndent(attemptsDoc{
+		MaxAttempts:     maxAttempts,
+		QuarantineAfter: c.QuarantineAfter,
+		Quarantined:     sum.Quarantined,
+		Runs:            history,
+	}, "", "  ")
+	if err != nil {
+		return sum, fmt.Errorf("sched: %w", err)
+	}
+	if err := exp.AddExperimentArtifact("experiment/attempts.json", append(hist, '\n')); err != nil {
+		return sum, err
+	}
 	// Drain the write-behind manifest: the campaign's results directory
 	// must be complete and reopenable once Run returns.
 	if err := exp.Sync(); err != nil {
@@ -390,12 +506,177 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	if err := ctx.Err(); err != nil {
 		return sum, err
 	}
-	mu.Lock()
-	failIdx := firstFail
-	mu.Unlock()
+	if allQuarantined {
+		return sum, fmt.Errorf("sched: all %d replicas quarantined after %d consecutive failures each — %d of %d runs incomplete",
+			len(c.Replicas), c.QuarantineAfter, countNil(st.records), len(combos))
+	}
 	if failIdx >= 0 {
-		rec := records[failIdx]
-		return sum, fmt.Errorf("sched: run %d (%s) failed: %s", failIdx, rec.Combo.Key(), rec.Error)
+		rec := st.records[failIdx]
+		return sum, fmt.Errorf("sched: run %d (%s) failed after %d attempt(s): %s", failIdx, rec.Combo.Key(), rec.Attempts, rec.Error)
 	}
 	return sum, nil
+}
+
+func countNil(recs []*core.RunRecord) int {
+	n := 0
+	for _, r := range recs {
+		if r == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// worker is one replica's dispatch loop: pull a run, back off if it is a
+// retry, re-establish the clean slate when needed, execute, and either
+// resolve the run or hand it back to the queue. A worker that fails
+// QuarantineAfter consecutive dispatches drains itself from the campaign.
+func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi int, sess *core.Session, st *campaignState, sem chan struct{}, combos []core.Combination, maxAttempts int) {
+	name := c.Replicas[wi].Name
+	dirty := false // a failed run leaves the replica's state suspect
+	consec := 0
+	for {
+		var item workItem
+		var ok bool
+		select {
+		case <-runCtx.Done():
+			return
+		case item, ok = <-st.queue:
+			if !ok {
+				return
+			}
+		}
+
+		// Backoff before a retry happens outside the parallelism
+		// bound: a waiting run must not block a healthy replica's slot.
+		backoff := c.backoffFor(item.attempt)
+		if backoff > 0 {
+			c.progress(core.ProgressEvent{
+				Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
+				Host: name, Message: fmt.Sprintf("backing off %v before attempt %d", backoff, item.attempt),
+			})
+			c.sleep(runCtx, backoff)
+		}
+		select {
+		case <-runCtx.Done():
+			return
+		case sem <- struct{}{}:
+		}
+
+		rec, err := c.dispatch(runCtx, sess, st, wi, item, combos, dirty, backoff)
+		<-sem
+
+		// Collateral damage: the run failed only because the campaign
+		// was being torn down around it. Resolve it as cancelled — it
+		// neither consumes attempts nor counts against the replica.
+		if rec.Failed && runCtx.Err() != nil && errors.Is(err, context.Canceled) {
+			rec.Cancelled = true
+			st.mu.Lock()
+			st.perWorker[wi]++
+			st.mu.Unlock()
+			st.resolve(item.run, &rec)
+			return
+		}
+
+		st.mu.Lock()
+		st.perWorker[wi]++
+		st.mu.Unlock()
+
+		if !rec.Failed {
+			dirty = false
+			consec = 0
+			st.resolve(item.run, &rec)
+			continue
+		}
+
+		// Genuine failure: the replica is suspect until re-set-up.
+		dirty = true
+		consec++
+		terminal := item.attempt >= maxAttempts
+		if !terminal {
+			c.progress(core.ProgressEvent{
+				Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
+				Host: name, Message: fmt.Sprintf("attempt %d failed, requeueing: %s", item.attempt, rec.Error),
+			})
+			st.queue <- workItem{run: item.run, attempt: item.attempt + 1}
+		} else {
+			st.resolve(item.run, &rec)
+		}
+
+		if c.QuarantineAfter > 0 && consec >= c.QuarantineAfter {
+			c.progress(core.ProgressEvent{
+				Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
+				Host: name, Message: fmt.Sprintf("replica quarantined after %d consecutive failures", consec),
+			})
+			st.mu.Lock()
+			st.quarantined = append(st.quarantined, name)
+			st.active--
+			lastWorker := st.active == 0
+			st.mu.Unlock()
+			if lastWorker {
+				cancel() // nobody left to drain the queue
+			}
+			return
+		}
+		if terminal && !c.ContinueOnRunFailure {
+			st.mu.Lock()
+			if st.firstFail == -1 || item.run < st.firstFail {
+				st.firstFail = item.run
+			}
+			st.mu.Unlock()
+			cancel()
+			return
+		}
+	}
+}
+
+// dispatch executes one work item on a session: clean-slate re-setup when
+// the item is a retry (or the replica just failed), then the measurement
+// run. It returns the run record with the campaign-level bookkeeping
+// (attempt count, collateral-cancellation marker) filled in, plus the raw
+// error for cancellation analysis.
+func (c *Campaign) dispatch(runCtx context.Context, sess *core.Session, st *campaignState, wi int, item workItem, combos []core.Combination, dirty bool, backoff time.Duration) (core.RunRecord, error) {
+	name := c.Replicas[wi].Name
+	rctx := runCtx
+	var rcancel context.CancelFunc
+	if c.RunTimeout > 0 {
+		rctx, rcancel = context.WithTimeout(runCtx, c.RunTimeout)
+		defer rcancel()
+	}
+
+	// The paper's recovery discipline: a run is only re-executed from a
+	// freshly booted, freshly set-up testbed, so the retry cannot be
+	// contaminated by whatever the failure left behind.
+	if item.attempt > 1 || dirty {
+		if err := sess.Recover(rctx); err != nil {
+			rec := core.RunRecord{
+				Run: item.run, Combo: combos[item.run], Failed: true,
+				Error:    fmt.Sprintf("re-setup: %s", err),
+				Attempts: item.attempt,
+			}
+			st.record(item.run, attempt{
+				Attempt: item.attempt, Replica: name, Phase: phaseResetup,
+				Failed: true, Error: err.Error(), BackoffMS: backoff.Milliseconds(),
+			})
+			return rec, err
+		}
+	}
+
+	c.progress(core.ProgressEvent{
+		Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
+		Host: name, Message: combos[item.run].Key(),
+	})
+	rec, err := sess.RunOne(rctx, item.run, len(combos), combos[item.run])
+	if err != nil && !rec.Failed {
+		// Recording errors (artifact or metadata writes) that RunOne
+		// reports without marking the record would otherwise count the
+		// run as successful with its results missing.
+		rec.Failed, rec.Error = true, err.Error()
+	}
+	rec.Attempts = item.attempt
+	st.record(item.run, attempt{
+		Attempt: item.attempt, Replica: name, Phase: phaseRun,
+		Failed: rec.Failed, Error: rec.Error, BackoffMS: backoff.Milliseconds(),
+	})
+	return rec, err
 }

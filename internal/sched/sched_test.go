@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"pos/internal/core"
 	"pos/internal/hosttools"
 	"pos/internal/results"
+	"pos/internal/sim"
 )
 
 // fakeHost is an in-memory core.Host; measurement behaviour is scripted per
@@ -378,6 +380,19 @@ func TestCampaignCancellation(t *testing.T) {
 	if sum == nil || len(sum.Records) > 2 {
 		t.Errorf("summary = %+v", sum)
 	}
+	// The cut-down runs are casualties of the cancellation, not failures
+	// of their own: they land in CancelledRuns.
+	if sum.FailedRuns != 0 {
+		t.Errorf("FailedRuns = %d after cancellation, want 0", sum.FailedRuns)
+	}
+	if sum.CancelledRuns != len(sum.Records) {
+		t.Errorf("CancelledRuns = %d, records = %d", sum.CancelledRuns, len(sum.Records))
+	}
+	for _, rec := range sum.Records {
+		if !rec.Cancelled {
+			t.Errorf("record %d not marked cancelled: %+v", rec.Run, rec)
+		}
+	}
 }
 
 func TestCampaignParallelBound(t *testing.T) {
@@ -465,5 +480,390 @@ func TestCampaignSingleReplica(t *testing.T) {
 	}
 	if sum.TotalRuns != 6 || len(sum.Records) != 6 || sum.FailedRuns != 0 {
 		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// intsFrom returns [from..to] — occurrence lists for fault plans.
+func intsFrom(from, to int) []int {
+	var out []int
+	for i := from; i <= to; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestCampaignRetriesWithCleanSlateResetup: a run that fails twice succeeds
+// on its third attempt, each retry preceded by a clean-slate reboot and
+// re-setup and by an exponentially growing backoff. The attempt history
+// lands in experiment/attempts.json; the summary reports no failed runs.
+func TestCampaignRetriesWithCleanSlateResetup(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	rep, host := newReplica("solo", "nodeA", svc)
+	var fails atomic.Int32
+	host.onMeasure = func(ctx context.Context, env map[string]string) error {
+		if env["RUN"] == "3" && fails.Add(1) <= 2 {
+			return errors.New("generator wedged")
+		}
+		return nil
+	}
+
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	store := storeAt(t)
+	c := &Campaign{
+		Replicas:     []Replica{rep},
+		MaxAttempts:  3,
+		RetryBackoff: 10 * time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) {
+			mu.Lock()
+			sleeps = append(sleeps, d)
+			mu.Unlock()
+		},
+	}
+	sum, err := c.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.FailedRuns != 0 || sum.CancelledRuns != 0 || len(sum.Records) != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	for _, rec := range sum.Records {
+		want := 1
+		if rec.Run == 3 {
+			want = 3
+		}
+		if rec.Attempts != want {
+			t.Errorf("run %d attempts = %d, want %d", rec.Run, rec.Attempts, want)
+		}
+	}
+	// One boot from Prepare; one clean-slate re-setup before each of the
+	// two retries of run 3; and one before run 4, dispatched while the
+	// replica was still dirty from run 3's first failure.
+	host.mu.Lock()
+	reboots := host.reboots
+	host.mu.Unlock()
+	if reboots != 4 {
+		t.Errorf("reboots = %d, want 4 (prepare + 3 clean-slate re-setups)", reboots)
+	}
+	// Exponential backoff: 10ms before attempt 2, 20ms before attempt 3.
+	mu.Lock()
+	gotSleeps := append([]time.Duration(nil), sleeps...)
+	mu.Unlock()
+	if len(gotSleeps) != 2 || gotSleeps[0] != 10*time.Millisecond || gotSleeps[1] != 20*time.Millisecond {
+		t.Errorf("backoff sleeps = %v", gotSleeps)
+	}
+
+	exp, err := store.OpenExperiment("user", "sweep", idFromDir(t, sum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := exp.ReadExperimentArtifact("experiment/attempts.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc attemptsDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.MaxAttempts != 3 || len(doc.Quarantined) != 0 {
+		t.Errorf("attempts doc = %+v", doc)
+	}
+	if len(doc.Runs) != 6 {
+		t.Fatalf("attempt history covers %d runs, want 6", len(doc.Runs))
+	}
+	for _, ra := range doc.Runs {
+		if ra.Run != 3 {
+			if len(ra.Attempts) != 1 || ra.Attempts[0].Failed {
+				t.Errorf("run %d history = %+v", ra.Run, ra.Attempts)
+			}
+			continue
+		}
+		if len(ra.Attempts) != 3 {
+			t.Fatalf("run 3 history = %+v", ra.Attempts)
+		}
+		for i, a := range ra.Attempts {
+			if a.Attempt != i+1 || a.Replica != "solo" || a.Phase != phaseRun {
+				t.Errorf("run 3 attempt %d = %+v", i, a)
+			}
+			if failed := i < 2; a.Failed != failed {
+				t.Errorf("run 3 attempt %d failed = %v", i, a.Failed)
+			}
+		}
+		if ra.Attempts[0].Error == "" || !strings.Contains(ra.Attempts[0].Error, "generator wedged") {
+			t.Errorf("attempt error = %q", ra.Attempts[0].Error)
+		}
+		if ra.Attempts[1].BackoffMS != 10 || ra.Attempts[2].BackoffMS != 20 {
+			t.Errorf("backoff history = %+v", ra.Attempts)
+		}
+	}
+}
+
+// TestCampaignQuarantinesFailingReplica: one of three replicas fails every
+// measurement; after QuarantineAfter consecutive failures it is drained and
+// the survivors complete the full sweep without a single failed run.
+func TestCampaignQuarantinesFailingReplica(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+	repC, hostC := newReplica("gamma", "nodeC", svc)
+	hostB.onMeasure = func(ctx context.Context, env map[string]string) error {
+		return errors.New("NIC dead")
+	}
+	// The healthy replicas hold their first runs until beta is drained, so
+	// beta deterministically accumulates its consecutive failures instead
+	// of racing the queue against instant successes.
+	quarantined := make(chan struct{})
+	wait := func(ctx context.Context, env map[string]string) error {
+		select {
+		case <-quarantined:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Second):
+			return errors.New("quarantine event never fired")
+		}
+	}
+	hostA.onMeasure = wait
+	hostC.onMeasure = wait
+
+	store := storeAt(t)
+	var once sync.Once
+	c := &Campaign{
+		Replicas:        []Replica{repA, repB, repC},
+		MaxAttempts:     4,
+		QuarantineAfter: 2,
+		Progress: func(ev core.ProgressEvent) {
+			if strings.Contains(ev.Message, "quarantined") {
+				once.Do(func() { close(quarantined) })
+			}
+		},
+	}
+	sum, err := c.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.FailedRuns != 0 || len(sum.Records) != 6 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(sum.Quarantined) != 1 || sum.Quarantined[0] != "beta" {
+		t.Fatalf("quarantined = %v", sum.Quarantined)
+	}
+	retried := 0
+	for _, rec := range sum.Records {
+		if rec.Failed {
+			t.Errorf("run %d failed: %s", rec.Run, rec.Error)
+		}
+		if rec.Attempts > 1 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Error("no run records a retry despite beta failing")
+	}
+	exp, err := store.OpenExperiment("user", "sweep", idFromDir(t, sum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 6; run++ {
+		if _, err := exp.ReadRunMeta(run); err != nil {
+			t.Errorf("run %d metadata: %v", run, err)
+		}
+	}
+	raw, err := exp.ReadExperimentArtifact("experiment/attempts.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc attemptsDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Quarantined) != 1 || doc.Quarantined[0] != "beta" || doc.QuarantineAfter != 2 {
+		t.Errorf("attempts doc = %+v", doc)
+	}
+}
+
+// TestCampaignAllReplicasQuarantined: when every replica is drained the
+// campaign stops with an explicit error instead of hanging on an empty
+// worker pool.
+func TestCampaignAllReplicasQuarantined(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+	die := func(ctx context.Context, env map[string]string) error {
+		return errors.New("power loss")
+	}
+	hostA.onMeasure = die
+	hostB.onMeasure = die
+
+	store := storeAt(t)
+	c := &Campaign{
+		Replicas:        []Replica{repA, repB},
+		MaxAttempts:     10,
+		QuarantineAfter: 2,
+	}
+	done := make(chan struct{})
+	var sum *core.Summary
+	var err error
+	go func() {
+		sum, err = c.Run(context.Background(), store)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign hung with every replica quarantined")
+	}
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("err = %v, want all-quarantined error", err)
+	}
+	if len(sum.Quarantined) != 2 {
+		t.Errorf("quarantined = %v", sum.Quarantined)
+	}
+}
+
+// TestCampaignFaultInjectionMetadataByteIdentical is the acceptance case: a
+// 3-replica campaign with one replica injected (via the deterministic fault
+// plan) to fail every exec after setup completes the full sweep on the
+// survivors, quarantines the faulty replica, and still produces per-run
+// metadata.json byte-identical to a fault-free sequential execution.
+func TestCampaignFaultInjectionMetadataByteIdentical(t *testing.T) {
+	clock := func() time.Time { return time.Date(2021, 12, 7, 10, 0, 0, 0, time.UTC) }
+
+	// Fault-free sequential reference.
+	seqHost := &fakeHost{name: "nodeA"}
+	seqRunner := &core.Runner{
+		Hosts:   map[string]core.Host{"nodeA": seqHost},
+		Service: hosttools.NewService(nil),
+		Clock:   clock,
+	}
+	seqStore := storeAt(t)
+	seqSum, err := seqRunner.Run(context.Background(), sweepFor("nodeA"), seqStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Campaign with beta's node failing every exec after its setup script
+	// (occurrence 1): measurements and clean-slate re-setups alike.
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, _ := newReplica("beta", "nodeB", svc)
+	repC, hostC := newReplica("gamma", "nodeC", svc)
+	repA.Runner.Clock = clock
+	repB.Runner.Clock = clock
+	repC.Runner.Clock = clock
+	repB.Runner.InjectFaults(sim.NewFaultInjector(map[string]sim.FaultPlan{
+		"nodeB": {FailExecs: intsFrom(2, 40)},
+	}))
+
+	// Hold the survivors' first runs until beta is drained (see
+	// TestCampaignQuarantinesFailingReplica).
+	quarantined := make(chan struct{})
+	wait := func(ctx context.Context, env map[string]string) error {
+		select {
+		case <-quarantined:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Second):
+			return errors.New("quarantine event never fired")
+		}
+	}
+	hostA.onMeasure = wait
+	hostC.onMeasure = wait
+
+	parStore := storeAt(t)
+	var once sync.Once
+	c := &Campaign{
+		Replicas:        []Replica{repA, repB, repC},
+		MaxAttempts:     4,
+		QuarantineAfter: 2,
+		Progress: func(ev core.ProgressEvent) {
+			if strings.Contains(ev.Message, "quarantined") {
+				once.Do(func() { close(quarantined) })
+			}
+		},
+	}
+	parSum, err := c.Run(context.Background(), parStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parSum.FailedRuns != 0 || len(parSum.Records) != 6 {
+		t.Fatalf("summary = %+v", parSum)
+	}
+	if len(parSum.Quarantined) != 1 || parSum.Quarantined[0] != "beta" {
+		t.Fatalf("quarantined = %v", parSum.Quarantined)
+	}
+
+	seqExp, err := seqStore.OpenExperiment("user", "sweep", idFromDir(t, seqSum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parExp, err := parStore.OpenExperiment("user", "sweep", idFromDir(t, parSum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 6; run++ {
+		want, err := seqExp.ReadRunArtifact(run, "", "metadata.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parExp.ReadRunArtifact(run, "", "metadata.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(want) != string(got) {
+			t.Errorf("run %d metadata diverges under faults:\nsequential: %s\ncampaign:   %s", run, want, got)
+		}
+	}
+}
+
+// TestCampaignFailFastAccounting: under fail-fast, the run that failed is
+// the only FailedRun; a sibling run cut down mid-measurement by the
+// cancellation is accounted as cancelled, not failed.
+func TestCampaignFailFastAccounting(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+	var gate sync.WaitGroup
+	gate.Add(2) // both runs in flight before the failure fires
+	hook := func(ctx context.Context, env map[string]string) error {
+		gate.Done()
+		if env["RUN"] == "0" {
+			gate.Wait()
+			return errors.New("loadgen crashed")
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	hostA.onMeasure = hook
+	hostB.onMeasure = hook
+
+	store := storeAt(t)
+	c := &Campaign{Replicas: []Replica{repA, repB}}
+	sum, err := c.Run(context.Background(), store)
+	if err == nil || !strings.Contains(err.Error(), "run 0") {
+		t.Fatalf("err = %v", err)
+	}
+	if sum.FailedRuns != 1 {
+		t.Errorf("FailedRuns = %d, want 1 (the culprit only)", sum.FailedRuns)
+	}
+	if sum.CancelledRuns != 1 {
+		t.Errorf("CancelledRuns = %d, want 1 (the collateral run)", sum.CancelledRuns)
+	}
+	var culprit, casualty *core.RunRecord
+	for i := range sum.Records {
+		rec := &sum.Records[i]
+		switch rec.Run {
+		case 0:
+			culprit = rec
+		case 1:
+			casualty = rec
+		}
+	}
+	if culprit == nil || !culprit.Failed || culprit.Cancelled {
+		t.Errorf("culprit record = %+v", culprit)
+	}
+	if casualty == nil || !casualty.Cancelled {
+		t.Errorf("casualty record = %+v", casualty)
 	}
 }

@@ -1,0 +1,130 @@
+package sim
+
+import "sync"
+
+// Deterministic fault schedules for simulated testbeds. Like the engine's
+// virtual clock and Rand, a FaultPlan is reproducible by construction: it
+// names the exact occurrences of an operation that misbehave ("the 3rd exec
+// on vtartu fails"), so a fault-tolerance test observes the identical
+// failure sequence on every run — chaos testing without the chaos.
+
+// Fault operations a plan can target.
+const (
+	// FaultExec is one script execution on a node.
+	FaultExec = "exec"
+	// FaultBoot is one reboot of a node.
+	FaultBoot = "boot"
+	// FaultUpload is one result upload from a node.
+	FaultUpload = "upload"
+)
+
+// FaultPlan schedules deterministic faults for one node. All indices are
+// 1-based occurrence counts of the respective operation on that node; an
+// empty plan injects nothing.
+type FaultPlan struct {
+	// FailExecs lists which execs fail with an injected error.
+	FailExecs []int
+	// HangExecs lists which execs hang until their context is cancelled —
+	// the wedged-measurement case only a run timeout recovers from.
+	HangExecs []int
+	// FailBoots lists which reboots fail, as a dead BMC would.
+	FailBoots []int
+	// DropUploads lists which uploads are refused by the controller.
+	DropUploads []int
+	// FailAllExecs makes every exec fail — a persistently broken node,
+	// the quarantine-worthy case.
+	FailAllExecs bool
+	// FailAllBoots makes every reboot fail, so the node can never be
+	// re-set-up once it needs a clean slate.
+	FailAllBoots bool
+}
+
+func (p FaultPlan) scheduled(op string, n int) bool {
+	var idxs []int
+	switch op {
+	case FaultExec:
+		if p.FailAllExecs {
+			return true
+		}
+		idxs = p.FailExecs
+	case FaultBoot:
+		if p.FailAllBoots {
+			return true
+		}
+		idxs = p.FailBoots
+	case FaultUpload:
+		idxs = p.DropUploads
+	}
+	for _, i := range idxs {
+		if i == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (p FaultPlan) hangs(n int) bool {
+	for _, i := range p.HangExecs {
+		if i == n {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultDecision is the injector's verdict for one operation occurrence.
+type FaultDecision struct {
+	// Fail injects an error in place of the operation.
+	Fail bool
+	// Hang blocks the operation until its context is cancelled (execs
+	// only). Hang implies the operation ultimately fails.
+	Hang bool
+}
+
+// FaultInjector tracks per-node operation counters against a set of plans.
+// It is safe for concurrent use; occurrence numbering follows the order in
+// which the injector observes the operations.
+type FaultInjector struct {
+	mu       sync.Mutex
+	plans    map[string]FaultPlan
+	counts   map[string]int
+	injected int
+}
+
+// NewFaultInjector builds an injector over per-node plans. Nodes without a
+// plan never fault.
+func NewFaultInjector(plans map[string]FaultPlan) *FaultInjector {
+	cp := make(map[string]FaultPlan, len(plans))
+	for node, p := range plans {
+		cp[node] = p
+	}
+	return &FaultInjector{plans: cp, counts: make(map[string]int)}
+}
+
+// Next records one occurrence of op on node and returns whether it faults.
+func (in *FaultInjector) Next(node, op string) FaultDecision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	plan, ok := in.plans[node]
+	if !ok {
+		return FaultDecision{}
+	}
+	key := node + "\x00" + op
+	in.counts[key]++
+	n := in.counts[key]
+	d := FaultDecision{Fail: plan.scheduled(op, n)}
+	if op == FaultExec && plan.hangs(n) {
+		d.Fail, d.Hang = true, true
+	}
+	if d.Fail {
+		in.injected++
+	}
+	return d
+}
+
+// Injected reports how many faults the injector has fired so far.
+func (in *FaultInjector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+func TestFaultInjectorDeterministicSchedule(t *testing.T) {
+	mk := func() *FaultInjector {
+		return NewFaultInjector(map[string]FaultPlan{
+			"vriga":  {FailExecs: []int{2}, FailBoots: []int{1}, DropUploads: []int{3}},
+			"vtartu": {FailAllExecs: true, HangExecs: []int{2}},
+		})
+	}
+	for trial := 0; trial < 2; trial++ {
+		in := mk()
+		// vriga: only the 2nd exec fails.
+		for i, want := range []bool{false, true, false} {
+			if got := in.Next("vriga", FaultExec); got.Fail != want {
+				t.Fatalf("trial %d: vriga exec %d fail = %v, want %v", trial, i+1, got.Fail, want)
+			}
+		}
+		if !in.Next("vriga", FaultBoot).Fail || in.Next("vriga", FaultBoot).Fail {
+			t.Fatalf("trial %d: vriga boot schedule wrong", trial)
+		}
+		if in.Next("vriga", FaultUpload).Fail || in.Next("vriga", FaultUpload).Fail || !in.Next("vriga", FaultUpload).Fail {
+			t.Fatalf("trial %d: vriga upload schedule wrong", trial)
+		}
+		// vtartu: every exec fails; the 2nd additionally hangs.
+		d1, d2 := in.Next("vtartu", FaultExec), in.Next("vtartu", FaultExec)
+		if !d1.Fail || d1.Hang || !d2.Fail || !d2.Hang {
+			t.Fatalf("trial %d: vtartu decisions = %+v %+v", trial, d1, d2)
+		}
+		// Unplanned node never faults.
+		if in.Next("other", FaultExec).Fail {
+			t.Fatalf("trial %d: unplanned node faulted", trial)
+		}
+		if got := in.Injected(); got != 5 {
+			t.Fatalf("trial %d: injected = %d, want 5", trial, got)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"pos/internal/casestudy"
 	"pos/internal/core"
 	"pos/internal/results"
+	"pos/internal/sim"
 )
 
 // Status of an instance.
@@ -190,6 +191,11 @@ func (m *Manager) Destroy(id string) error {
 type RunConfig struct {
 	// Sweep defaults to the paper's Appendix A sweep when zero.
 	Sweep casestudy.SweepConfig
+	// Faults, when non-empty, arms a deterministic fault schedule for
+	// this execution, keyed by node name — disposable instances are the
+	// place to rehearse an experiment's failure behaviour before burning
+	// testbed time on it.
+	Faults map[string]sim.FaultPlan
 }
 
 // Run executes the case-study experiment synchronously inside the instance.
@@ -217,7 +223,11 @@ func (m *Manager) Run(ctx context.Context, id string, cfg RunConfig) (*RunInfo, 
 	}
 	exp := topo.Experiment(sweep)
 	info := &RunInfo{Experiment: exp.Name, StartedAt: m.clock()}
-	sum, runErr := topo.Testbed.Runner().Run(ctx, exp, store)
+	runner := topo.Runner()
+	if len(cfg.Faults) > 0 {
+		runner.InjectFaults(sim.NewFaultInjector(cfg.Faults))
+	}
+	sum, runErr := runner.Run(ctx, exp, store)
 	info.FinishedAt = m.clock()
 	if sum != nil {
 		info.TotalRuns = sum.TotalRuns

@@ -7,6 +7,7 @@ import (
 
 	"pos/internal/casestudy"
 	"pos/internal/eval"
+	"pos/internal/sim"
 )
 
 func newManager(t *testing.T) *Manager {
@@ -192,5 +193,45 @@ func TestHTTPServiceEndToEnd(t *testing.T) {
 	}
 	if _, err := c.Run("ghost", nil, nil, 0); err == nil {
 		t.Error("ran on missing instance over HTTP")
+	}
+}
+
+// TestRunWithFaultSchedule: a deterministic fault plan armed through
+// RunConfig fires inside the instance — the scheduled measurement exec
+// fails, the run is recorded as failed, and the instance returns to ready.
+func TestRunWithFaultSchedule(t *testing.T) {
+	m := newManager(t)
+	inst, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each node's exec occurrence 1 is its setup script; occurrence 2 is
+	// the first measurement run. Both nodes fail it, so neither is left
+	// waiting out the run_done barrier for a partner that never comes.
+	info, err := m.Run(context.Background(), inst.ID, RunConfig{
+		Sweep: quickSweep(),
+		Faults: map[string]sim.FaultPlan{
+			"vriga":  {FailExecs: []int{2}},
+			"vtartu": {FailExecs: []int{2}},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected exec fault") {
+		t.Fatalf("err = %v, want injected exec fault", err)
+	}
+	if info == nil || info.FailedRuns != 1 || info.Error == "" {
+		t.Fatalf("info = %+v", info)
+	}
+	if inst.Status() != StatusReady {
+		t.Errorf("status = %s after faulted run", inst.Status())
+	}
+
+	// Without a plan the same instance completes cleanly — faults are
+	// per-execution, not sticky instance state.
+	info, err = m.Run(context.Background(), inst.ID, RunConfig{Sweep: quickSweep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FailedRuns != 0 || info.TotalRuns != 2 {
+		t.Errorf("info = %+v", info)
 	}
 }

@@ -205,6 +205,26 @@ func CaseStudyReplicas(topos []*CaseStudy, cfg SweepConfig) []CampaignReplica {
 	return casestudy.Replicas(topos, cfg)
 }
 
+// Deterministic fault injection (internal/sim + internal/core): schedule
+// exec/boot/upload faults by occurrence index and rehearse the campaign's
+// fault-tolerance path (retry, clean-slate re-setup, quarantine) — chaos
+// testing without the chaos.
+type (
+	// FaultPlan schedules deterministic faults for one node.
+	FaultPlan = sim.FaultPlan
+	// FaultInjector tracks operation counters against a set of plans.
+	FaultInjector = sim.FaultInjector
+)
+
+// NewFaultInjector builds an injector over per-node fault plans.
+func NewFaultInjector(plans map[string]FaultPlan) *FaultInjector {
+	return sim.NewFaultInjector(plans)
+}
+
+// WithFaults arms a case-study topology with a deterministic fault schedule
+// keyed by node name (vriga, vtartu).
+func WithFaults(plans map[string]FaultPlan) CaseStudyOption { return casestudy.WithFaults(plans) }
+
 // NDR search (internal/ndr): RFC 2544-style throughput search.
 type (
 	// NDRConfig bounds a non-drop-rate search.
