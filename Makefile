@@ -45,5 +45,21 @@ bench-sched-faults:
 	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_sched.json \
 	go test -run NONE -bench BenchmarkSchedFaultRetry -benchtime 3x .
 
+# Telemetry-overhead tier: the instrumented 60-run vpos sweep against the
+# same sweep with the registry disabled. The median ratio is recorded in
+# BENCH_telemetry.json; the budget for always-on instrumentation is 5%.
+.PHONY: bench-telemetry
+bench-telemetry:
+	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_telemetry.json \
+	go test -run NONE -bench BenchmarkTelemetryOverhead -benchtime 3x .
+
+# Static hygiene: vet plus a clean gofmt tree.
+.PHONY: lint
+lint:
+	go vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@echo "lint clean"
+
 .PHONY: all
 all: verify race

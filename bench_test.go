@@ -1003,3 +1003,69 @@ func BenchmarkPublicAPIRun(b *testing.B) {
 		topo.Close()
 	}
 }
+
+// BenchmarkTelemetryOverhead prices the observability layer: the full
+// Appendix A sweep (60 measurement runs) on the vpos platform, once with
+// telemetry live (metric atomics on every hot path, the span tree built and
+// archived as spans.json) and once with the registry disabled (metrics
+// no-op, no trace is even created). Paired rounds with a median ratio, like
+// the other overhead benches; `make bench-telemetry` records the ratio into
+// BENCH_telemetry.json. The budget is 5% — instrumentation that costs more
+// than that does not belong on by default.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	runSweep := func(b *testing.B) time.Duration {
+		topo, err := casestudy.New(casestudy.Virtual, casestudy.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := results.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep := casestudy.PaperSweep()
+		sweep.RuntimeSec = 1
+		start := time.Now()
+		sum, err := topo.Testbed.Runner().Run(context.Background(), topo.Experiment(sweep), store)
+		wall := time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.TotalRuns != 60 || sum.FailedRuns != 0 {
+			b.Fatalf("summary = %+v", sum)
+		}
+		topo.Close()
+		return wall
+	}
+	defer pos.SetTelemetryEnabled(true)
+	// One unrecorded warm-up pair so first-use costs (page faults, metric
+	// family registration) do not land on either side of round one.
+	pos.SetTelemetryEnabled(true)
+	runSweep(b)
+	pos.SetTelemetryEnabled(false)
+	runSweep(b)
+	const rounds = 3
+	var ratios []float64
+	var tInstrumented, tBare time.Duration
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rounds; r++ {
+			pos.SetTelemetryEnabled(true)
+			tI := runSweep(b)
+			pos.SetTelemetryEnabled(false)
+			tB := runSweep(b)
+			ratios = append(ratios, tI.Seconds()/tB.Seconds())
+			tInstrumented += tI
+			tBare += tB
+		}
+	}
+	pos.SetTelemetryEnabled(true)
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2]
+	b.ReportMetric(overhead, "overhead_x")
+	b.ReportMetric(0, "ns/op")
+	recordBenchResults(b, "TelemetryOverhead", map[string]float64{
+		"overhead_x":         overhead,
+		"instrumented_ms_op": tInstrumented.Seconds() * 1000 / float64(b.N*rounds),
+		"bare_ms_op":         tBare.Seconds() * 1000 / float64(b.N*rounds),
+		"runs":               60,
+	})
+}

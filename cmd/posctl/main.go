@@ -16,8 +16,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"pos"
 )
@@ -60,6 +65,10 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "vposd":
 		err = cmdVposd(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "spans":
+		err = cmdSpans(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -84,6 +93,8 @@ commands:
   repeat     run an experiment repeatedly and report the deviation
   serve      expose the controller HTTP API for a demo testbed
   vposd      run the virtual-testbed-as-a-service endpoint
+  metrics    scrape a controller's telemetry (/metrics or JSON snapshot)
+  spans      convert an archived spans.json to Chrome trace-event format
   results    inspect a results tree
   index      inspect or rebuild an experiment's run manifest and dedup pool
   plot       generate throughput figures from an experiment's results
@@ -202,18 +213,24 @@ func cmdRun(args []string) error {
 		for _, t := range topos {
 			defer t.Close()
 		}
+		// The recorder sits between the campaign and the console printer:
+		// every event (including retries and quarantines, with their error
+		// text) lands in the archived execution trace.
+		rec := pos.NewTraceRecorder()
+		rec.Forward = func(ev pos.ProgressEvent) {
+			fmt.Printf("run %d/%d on %s: %s\n", ev.Run+1, ev.TotalRuns, ev.Host, ev.Message)
+		}
 		c := &pos.Campaign{
 			Replicas:        pos.CaseStudyReplicas(topos, cfg),
 			MaxAttempts:     *retries,
 			QuarantineAfter: *quarantine,
-			Progress: func(ev pos.ProgressEvent) {
-				fmt.Printf("run %d/%d on %s: %s\n", ev.Run+1, ev.TotalRuns, ev.Host, ev.Message)
-			},
+			Progress:        rec.Observe,
 		}
 		sum, err := c.Run(context.Background(), store)
 		if err != nil {
 			return err
 		}
+		archiveTrace(rec, store, sum.ResultsDir)
 		fmt.Printf("%d runs complete (%d failed, %d cancelled) across %d replicas\n",
 			sum.TotalRuns, sum.FailedRuns, sum.CancelledRuns, *parallel)
 		if len(sum.Quarantined) > 0 {
@@ -230,17 +247,39 @@ func cmdRun(args []string) error {
 	defer topo.Close()
 	exp := topo.Experiment(cfg)
 	runner := topo.Testbed.Runner()
-	runner.Progress = func(ev pos.ProgressEvent) {
+	rec := pos.NewTraceRecorder()
+	rec.Forward = func(ev pos.ProgressEvent) {
 		if ev.Phase == "measurement" {
 			fmt.Printf("run %d/%d: %s\n", ev.Run+1, ev.TotalRuns, ev.Message)
 		}
 	}
+	runner.Progress = rec.Observe
 	sum, err := runner.Run(context.Background(), exp, store)
 	if err != nil {
 		return err
 	}
+	archiveTrace(rec, store, sum.ResultsDir)
 	fmt.Printf("%d runs complete (%d failed)\nresults: %s\n", sum.TotalRuns, sum.FailedRuns, sum.ResultsDir)
 	return nil
+}
+
+// archiveTrace writes the recorder's timeline into the finished experiment.
+// The results dir is <root>/<user>/<exp>/<id>; best effort — a missing tree
+// only costs the trace artifact, never the run.
+func archiveTrace(rec *pos.TraceRecorder, store *pos.ResultsStore, resultsDir string) {
+	if resultsDir == "" {
+		return
+	}
+	id := filepath.Base(resultsDir)
+	name := filepath.Base(filepath.Dir(resultsDir))
+	user := filepath.Base(filepath.Dir(filepath.Dir(resultsDir)))
+	exp, err := store.OpenExperiment(user, name, id)
+	if err != nil {
+		return
+	}
+	if rec.Archive(exp) == nil {
+		exp.Sync()
+	}
 }
 
 func parseInts(csv string) ([]int, error) {
@@ -403,6 +442,20 @@ func cmdRepeat(args []string) error {
 	return nil
 }
 
+// awaitShutdown blocks until SIGINT/SIGTERM, then drains the server through
+// shutdown with a bounded grace window — in-flight handlers finish, new
+// connections are refused immediately.
+func awaitShutdown(shutdown func(context.Context) error) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default handling: a second Ctrl-C kills immediately
+	fmt.Println("\nshutting down, draining in-flight requests (Ctrl-C again to force)")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	return shutdown(sctx)
+}
+
 func cmdVposd(args []string) error {
 	fs := flag.NewFlagSet("vposd", flag.ExitOnError)
 	dir := fs.String("dir", "", "instance results root (default: temp dir)")
@@ -422,16 +475,16 @@ func cmdVposd(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 	fmt.Printf("virtual testbed service on http://%s/instances (results under %s)\n", srv.Addr(), root)
 	fmt.Println("POST /instances to create a vpos instance; press Ctrl-C to stop")
-	select {}
+	return awaitShutdown(srv.Shutdown)
 }
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	nodes := fs.String("nodes", "vriga,vtartu,vvilnius", "node names to create")
 	resultsDir := fs.String("results", "", "results root to expose read-only (optional)")
+	debug := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	fs.Parse(args)
 	tb := pos.NewTestbed()
 	defer tb.Close()
@@ -443,11 +496,14 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
-	srv, err := pos.ServeAPI(tb)
+	var opts []pos.APIServerOption
+	if *debug {
+		opts = append(opts, pos.WithAPIDebug())
+	}
+	srv, err := pos.ServeAPI(tb, opts...)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 	if *resultsDir != "" {
 		store, err := pos.NewResultsStore(*resultsDir)
 		if err != nil {
@@ -457,8 +513,98 @@ func cmdServe(args []string) error {
 		fmt.Println("results endpoints enabled for", *resultsDir)
 	}
 	fmt.Printf("pos controller API on http://%s/api/v1/ (nodes: %s)\n", srv.Addr(), *nodes)
+	fmt.Println("telemetry on /metrics (Prometheus) and /api/v1/metrics (JSON)")
+	if *debug {
+		fmt.Println("pprof on /debug/pprof/")
+	}
 	fmt.Println("press Ctrl-C to stop")
-	select {} // serve until killed
+	return awaitShutdown(srv.Shutdown)
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "", "controller API address host:port (required)")
+	raw := fs.Bool("raw", false, "print the Prometheus text exposition verbatim")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("metrics: -addr required (the host:port printed by posctl serve)")
+	}
+	c := pos.NewAPIClient(*addr)
+	if *raw {
+		text, err := c.MetricsText()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(text)
+		return nil
+	}
+	snap, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	for _, m := range snap.Metrics {
+		fmt.Printf("%s (%s)\n", m.Name, m.Type)
+		for _, v := range m.Values {
+			var labels string
+			if len(v.Labels) > 0 {
+				parts := make([]string, 0, len(v.Labels))
+				for _, k := range sortedKeys(v.Labels) {
+					parts = append(parts, k+"="+v.Labels[k])
+				}
+				labels = "{" + strings.Join(parts, ",") + "}"
+			}
+			if m.Type == "histogram" {
+				mean := 0.0
+				if v.Count > 0 {
+					mean = v.Sum / float64(v.Count)
+				}
+				fmt.Printf("  %-50s count %d  sum %.6g  mean %.6g\n", labels, v.Count, v.Sum, mean)
+			} else {
+				fmt.Printf("  %-50s %g\n", labels, v.Value)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cmdSpans(args []string) error {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	file := fs.String("file", "", "spans.json artifact (required)")
+	out := fs.String("out", "", "Chrome trace-event output path (default: stdout)")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("spans: -file required (a spans.json archived next to experiment results)")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	recs, err := pos.ParseSpans(data)
+	if err != nil {
+		return err
+	}
+	chrome, err := pos.ChromeTrace(recs)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		os.Stdout.Write(chrome)
+		return nil
+	}
+	if err := os.WriteFile(*out, chrome, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d spans) — load in chrome://tracing or https://ui.perfetto.dev\n", *out, len(recs))
+	return nil
 }
 
 func cmdResults(args []string) error {

@@ -23,10 +23,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"pos/internal/node"
 	"pos/internal/results"
+	"pos/internal/telemetry"
 	"pos/internal/testbed"
 )
 
@@ -98,38 +101,110 @@ type Server struct {
 //	GET /api/v1/results/{user}/{exp}/{id}/runs      list runs with metadata
 func (s *Server) SetResults(store *results.Store) { s.store = store }
 
+// ServerOption configures Serve.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	debug bool
+}
+
+// WithDebug mounts net/http/pprof under /debug/pprof/ — profiling a live
+// controller without a rebuild. Off by default: the profile endpoints can
+// stall the process and do not belong on an unattended testbed API.
+func WithDebug() ServerOption {
+	return func(c *serverConfig) { c.debug = true }
+}
+
 // Serve starts the API on a loopback TCP port.
-func Serve(tb *testbed.Testbed) (*Server, error) {
+func Serve(tb *testbed.Testbed, opts ...ServerOption) (*Server, error) {
+	var cfg serverConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("api: %w", err)
 	}
 	s := &Server{tb: tb, ln: ln}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/nodes", s.listNodes)
-	mux.HandleFunc("GET /api/v1/nodes/{name}", s.getNode)
-	mux.HandleFunc("POST /api/v1/nodes/{name}/boot", s.setBoot)
-	mux.HandleFunc("POST /api/v1/nodes/{name}/power", s.power)
-	mux.HandleFunc("POST /api/v1/nodes/{name}/exec", s.exec)
-	mux.HandleFunc("GET /api/v1/images", s.listImages)
-	mux.HandleFunc("GET /api/v1/allocations", s.listAllocations)
-	mux.HandleFunc("POST /api/v1/allocations", s.allocate)
-	mux.HandleFunc("DELETE /api/v1/allocations/{id}", s.release)
-	mux.HandleFunc("GET /api/v1/results/{user}/{exp}", s.listResults)
-	mux.HandleFunc("GET /api/v1/results/{user}/{exp}/{id}/runs", s.listRuns)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(pattern, h))
+	}
+	handle("GET /api/v1/nodes", s.listNodes)
+	handle("GET /api/v1/nodes/{name}", s.getNode)
+	handle("POST /api/v1/nodes/{name}/boot", s.setBoot)
+	handle("POST /api/v1/nodes/{name}/power", s.power)
+	handle("POST /api/v1/nodes/{name}/exec", s.exec)
+	handle("GET /api/v1/images", s.listImages)
+	handle("GET /api/v1/allocations", s.listAllocations)
+	handle("POST /api/v1/allocations", s.allocate)
+	handle("DELETE /api/v1/allocations/{id}", s.release)
+	handle("GET /api/v1/results/{user}/{exp}", s.listResults)
+	handle("GET /api/v1/results/{user}/{exp}/{id}/runs", s.listRuns)
+	// The exposition endpoints are deliberately uninstrumented: scraping
+	// metrics should not move the metrics.
+	mux.HandleFunc("GET /metrics", s.metricsText)
+	mux.HandleFunc("GET /api/v1/metrics", s.metricsJSON)
+	if cfg.debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.http = &http.Server{Handler: mux}
 	go s.http.Serve(ln)
 	return s, nil
 }
 
+// statusWriter captures the response code a handler writes, defaulting to
+// 200 when the handler never calls WriteHeader explicitly.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint latency and status counting.
+// The histogram child is resolved once at mux construction, off the hot path.
+func instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	latency := requestSeconds.With(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		latency.Observe(time.Since(start).Seconds())
+		requestsTotal.With(pattern, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+func (s *Server) metricsText(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.Default.WritePrometheus(w)
+}
+
+func (s *Server) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, telemetry.Default.Snapshot())
+}
+
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight handlers drain until they finish or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// Close shuts the server down with a short drain window.
 func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	return s.http.Shutdown(ctx)
+	return s.Shutdown(ctx)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -530,4 +605,35 @@ func (c *Client) Runs(user, exp, id string) ([]RunView, error) {
 	var out []RunView
 	err := c.do(http.MethodGet, fmt.Sprintf("/api/v1/results/%s/%s/%s/runs", user, exp, id), nil, &out)
 	return out, err
+}
+
+// Metrics fetches the server's telemetry as a structured JSON snapshot.
+func (c *Client) Metrics() (telemetry.Snapshot, error) {
+	var out telemetry.Snapshot
+	err := c.do(http.MethodGet, "/api/v1/metrics", nil, &out)
+	return out, err
+}
+
+// MetricsText fetches the server's /metrics in Prometheus text exposition
+// format.
+func (c *Client) MetricsText() ([]byte, error) {
+	ctx := context.Background()
+	if d := c.requestTimeout(0); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("api: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 }

@@ -3,6 +3,9 @@ package api
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -323,5 +326,203 @@ func TestExecContextCancellation(t *testing.T) {
 	cancel()
 	if _, err := c.ExecContext(ctx, "vriga", "echo hi", nil, time.Second); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMetricsEndpointServesPrometheusText: GET /metrics serves valid
+// Prometheus text exposition — parse it line by line over real HTTP.
+func TestMetricsEndpointServesPrometheusText(t *testing.T) {
+	_, c := setup(t)
+	// Generate traffic so the api families have samples: one 200 and one 404.
+	if _, err := c.Nodes(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node("ghost"); err == nil {
+		t.Fatal("missing node succeeded")
+	}
+
+	resp, err := http.Get("http://" + c.base[len("http://"):] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Label values may themselves contain braces (route patterns like
+	// {name}), so the label block match is greedy to the final brace.
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (NaN|[-+]?[0-9.eE+-]+|[-+]Inf)$`)
+	typed := map[string]string{}
+	var samples int
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			typed[fields[2]] = fields[3]
+		default:
+			if !sampleRe.MatchString(line) {
+				t.Fatalf("line %d: malformed sample: %q", i+1, line)
+			}
+			samples++
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples exposed")
+	}
+	if typed["pos_api_requests_total"] != "counter" {
+		t.Errorf("pos_api_requests_total type = %q", typed["pos_api_requests_total"])
+	}
+	if typed["pos_api_request_seconds"] != "histogram" {
+		t.Errorf("pos_api_request_seconds type = %q", typed["pos_api_request_seconds"])
+	}
+	text := string(body)
+	for _, want := range []string{
+		`pos_api_requests_total{endpoint="GET /api/v1/nodes",code="200"}`,
+		`pos_api_requests_total{endpoint="GET /api/v1/nodes/{name}",code="404"}`,
+		`pos_api_request_seconds_bucket{endpoint="GET /api/v1/nodes",le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestMetricsJSONSnapshot: GET /api/v1/metrics is a decodable structured
+// snapshot carrying the per-endpoint counters.
+func TestMetricsJSONSnapshot(t *testing.T) {
+	_, c := setup(t)
+	if _, err := c.Nodes(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, m := range snap.Metrics {
+		if m.Name != "pos_api_requests_total" {
+			continue
+		}
+		for _, v := range m.Values {
+			if v.Labels["endpoint"] == "GET /api/v1/nodes" && v.Labels["code"] == "200" && v.Value >= 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("snapshot missing GET /api/v1/nodes sample: %+v", snap.Metrics)
+	}
+}
+
+// TestDebugPprofBehindOption: pprof mounts only when WithDebug is given.
+func TestDebugPprofBehindOption(t *testing.T) {
+	tb := testbed.New()
+	t.Cleanup(tb.Close)
+
+	plain, err := Serve(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { plain.Close() })
+	resp, err := http.Get("http://" + plain.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without WithDebug: HTTP %d", resp.StatusCode)
+	}
+
+	debug, err := Serve(tb, WithDebug())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { debug.Close() })
+	resp, err = http.Get("http://" + debug.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with WithDebug: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestShutdownDrainsInflightHandlers: Shutdown refuses new connections but
+// lets a handler already executing finish.
+func TestShutdownDrainsInflightHandlers(t *testing.T) {
+	tb := testbed.New()
+	t.Cleanup(tb.Close)
+	if err := tb.Images.Add(image.DefaultDebianBuster()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddNode("vriga"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv.Addr())
+	if err := c.SetBoot("vriga", "debian-buster", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Power("vriga", "on"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.Handle("vriga")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	err = h.Node.RegisterCommand("slow", func(ctx context.Context, _ *node.Node, _ []string, stdout, _ node.ErrWriter) error {
+		close(started)
+		select {
+		case <-time.After(100 * time.Millisecond):
+			stdout.Write([]byte("drained\n"))
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type execResult struct {
+		res ExecResponse
+		err error
+	}
+	done := make(chan execResult, 1)
+	go func() {
+		res, err := c.Exec("vriga", "slow", nil)
+		done <- execResult{res, err}
+	}()
+	<-started
+
+	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight exec killed by shutdown: %v", r.err)
+	}
+	if !strings.Contains(r.res.Output, "drained") {
+		t.Errorf("output = %q", r.res.Output)
+	}
+	// The listener is closed: new requests fail.
+	if _, err := c.Nodes(); err == nil {
+		t.Error("request after shutdown succeeded")
 	}
 }

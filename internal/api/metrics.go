@@ -1,0 +1,13 @@
+package api
+
+import "pos/internal/telemetry"
+
+// API telemetry: per-endpoint request counts (by status code) and latency.
+// The endpoint label is the route pattern, not the raw URL, so cardinality
+// stays bounded by the mux table.
+var (
+	requestsTotal = telemetry.Default.CounterVec("pos_api_requests_total",
+		"API requests served, by route pattern and status code.", "endpoint", "code")
+	requestSeconds = telemetry.Default.HistogramVec("pos_api_request_seconds",
+		"API request latency by route pattern.", telemetry.DurationBuckets(), "endpoint")
+)

@@ -1,0 +1,19 @@
+package core
+
+import "pos/internal/telemetry"
+
+// Runner hot-path telemetry: one histogram family for the workflow phases and
+// an outcome-labelled run counter, shared by every Runner in the process.
+var (
+	phaseSeconds = telemetry.Default.HistogramVec("pos_runner_phase_seconds",
+		"Wall time of runner workflow phases (boot, setup, measurement run, re-setup).",
+		telemetry.DurationBuckets(), "phase")
+	bootSeconds        = phaseSeconds.With("boot")
+	setupSeconds       = phaseSeconds.With(PhaseSetup)
+	measurementSeconds = phaseSeconds.With(PhaseMeasurement)
+	resetupSeconds     = phaseSeconds.With("re-setup")
+
+	runsTotal  = telemetry.Default.CounterVec("pos_runner_runs_total", "Measurement runs executed, by outcome.", "outcome")
+	runsOK     = runsTotal.With("ok")
+	runsFailed = runsTotal.With("failed")
+)

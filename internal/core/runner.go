@@ -11,6 +11,7 @@ import (
 	"pos/internal/calendar"
 	"pos/internal/hosttools"
 	"pos/internal/results"
+	"pos/internal/telemetry"
 )
 
 // Host is the runner's view of one experiment host. The testbed package
@@ -47,6 +48,9 @@ type ProgressEvent struct {
 	Host string
 	// Message is a human-readable note.
 	Message string
+	// Error carries the failure text on failure and retry events, so trace
+	// artifacts record why a run misbehaved, not just that it did.
+	Error string
 }
 
 // RunRecord summarizes one measurement run.
@@ -145,6 +149,30 @@ func (r *Runner) progress(ev ProgressEvent) {
 	}
 }
 
+// ensureTrace installs a span trace on ctx when telemetry is enabled and the
+// caller did not bring one. The returned trace is non-nil only when this call
+// owns it — the owner finishes it and archives the spans.json artifact.
+func (r *Runner) ensureTrace(ctx context.Context, name string) (context.Context, *telemetry.Trace) {
+	if telemetry.SpanFromContext(ctx) != nil || !telemetry.Default.Enabled() {
+		return ctx, nil
+	}
+	tr := telemetry.NewTrace(name)
+	tr.SetClock(r.now)
+	return telemetry.ContextWithTrace(ctx, tr), tr
+}
+
+// archiveSpans finishes an owned trace and records it as the experiment's
+// spans.json artifact, next to experiment-trace.json. Best effort: a failed
+// span archive never fails the experiment that produced it.
+func archiveSpans(tr *telemetry.Trace, exp *results.Experiment) {
+	tr.Finish()
+	data, err := tr.RenderJSON()
+	if err != nil {
+		return
+	}
+	exp.AddExperimentArtifact("spans.json", data)
+}
+
 // Run executes the full experiment workflow of Fig. 2 — allocate, configure,
 // boot, setup, measurement sweep — recording every artifact into exp's
 // results experiment. The evaluation phase is performed separately on the
@@ -152,11 +180,16 @@ func (r *Runner) progress(ev ProgressEvent) {
 // results directory is complete and self-describing.
 func (r *Runner) Run(ctx context.Context, e *Experiment, store *results.Store) (*Summary, error) {
 	started := r.now()
+	ctx, tr := r.ensureTrace(ctx, "experiment:"+e.Name)
 	sess, err := r.Prepare(ctx, e, store)
 	if err != nil {
 		return nil, err
 	}
 	defer sess.Close()
+	if tr != nil {
+		// Runs before the deferred Close above, so the artifact is synced.
+		defer archiveSpans(tr, sess.Results())
+	}
 
 	combos, err := CrossProduct(e.LoopVars)
 	if err != nil {
@@ -339,31 +372,50 @@ func (r *Runner) prepare(ctx context.Context, e *Experiment, exp *results.Experi
 
 	// Boot all hosts in parallel, then deploy the utility tools.
 	r.progress(ProgressEvent{Phase: PhaseSetup, Host: replica, Message: "booting hosts"})
+	bootStart := r.now()
+	bctx, bootSpan := telemetry.StartSpan(ctx, "boot", "replica", replica)
 	if err := r.forEachHost(hosts, func(h Host) error {
-		if err := h.Reboot(); err != nil {
-			return err
+		_, hs := telemetry.StartSpan(bctx, "boot:"+h.Name())
+		err := h.Reboot()
+		if err == nil {
+			err = h.DeployTools()
 		}
-		return h.DeployTools()
+		hs.SetError(err)
+		hs.End()
+		return err
 	}); err != nil {
+		bootSpan.SetError(err)
+		bootSpan.End()
 		sess.scope.Close()
 		return nil, fmt.Errorf("core: boot: %w", err)
 	}
+	bootSpan.End()
+	bootSeconds.Observe(r.now().Sub(bootStart).Seconds())
 
 	// Execute setup scripts in parallel; pos waits for every host to
 	// finish its setup before the first measurement run starts.
+	setupStart := r.now()
+	sctx, setupSpan := telemetry.StartSpan(ctx, "setup", "replica", replica)
 	setupOutputs := make([]string, len(hosts))
 	if err := r.forEachHostIndexed(hosts, func(i int, h Host) error {
 		spec := e.Hosts[i]
 		r.progress(ProgressEvent{Phase: PhaseSetup, Host: spec.Node, Message: "running setup script"})
 		env := r.runEnv(e, spec, nil)
-		out, err := h.Exec(ctx, spec.Setup, env)
+		_, hs := telemetry.StartSpan(sctx, "setup:"+spec.Node)
+		out, err := h.Exec(sctx, spec.Setup, env)
+		hs.SetError(err)
+		hs.End()
 		setupOutputs[i] = out
 		return err
 	}); err != nil {
+		setupSpan.SetError(err)
+		setupSpan.End()
 		sess.archiveSetupOutputs(setupOutputs)
 		sess.scope.Close()
 		return nil, fmt.Errorf("core: setup phase: %w", err)
 	}
+	setupSpan.End()
+	setupSeconds.Observe(r.now().Sub(setupStart).Seconds())
 	if err := sess.archiveSetupOutputs(setupOutputs); err != nil {
 		sess.scope.Close()
 		return nil, err
@@ -397,6 +449,9 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 	r.progress(ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total, Host: s.replica, Message: combo.Key()})
 	rec := RunRecord{Run: runIdx, Combo: combo, Attempts: 1}
 	runStart := r.now()
+	ctx, runSpan := telemetry.StartSpan(ctx, fmt.Sprintf("run %d", runIdx),
+		"combo", combo.Key(), "replica", s.replica)
+	defer runSpan.End()
 
 	// The per-run handle: loop variables and upload routing for exactly
 	// this run. The deferred rebind runs before the deferred Close, so a
@@ -439,7 +494,10 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 		spec := s.e.Hosts[i]
 		env := r.runEnv(s.e, spec, combo)
 		env["RUN"] = fmt.Sprintf("%d", runIdx)
+		_, es := telemetry.StartSpan(ctx, "exec:"+spec.Node, "phase", PhaseMeasurement)
 		out, err := h.Exec(ctx, spec.Measurement, env)
+		es.SetError(err)
+		es.End()
 		mu.Lock()
 		outputs[i] = out
 		mu.Unlock()
@@ -475,6 +533,15 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 			runErr = err
 		}
 	}
+	measurementSeconds.Observe(rec.Duration.Seconds())
+	if runErr != nil {
+		runsFailed.Inc()
+		runSpan.SetError(runErr)
+		r.progress(ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total,
+			Host: s.replica, Message: "run failed: " + combo.Key(), Error: rec.Error})
+	} else {
+		runsOK.Inc()
+	}
 	return rec, runErr
 }
 
@@ -485,7 +552,13 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 // executes on exactly the state a fresh experiment would see.
 func (s *Session) Recover(ctx context.Context) error {
 	s.r.progress(ProgressEvent{Phase: PhaseSetup, Host: s.replica, Message: "clean-slate re-setup"})
-	return s.r.rebootAndResetup(ctx, s.e, s.hosts)
+	start := s.r.now()
+	ctx, span := telemetry.StartSpan(ctx, "re-setup", "replica", s.replica)
+	err := s.r.rebootAndResetup(ctx, s.e, s.hosts)
+	span.SetError(err)
+	span.End()
+	resetupSeconds.Observe(s.r.now().Sub(start).Seconds())
+	return err
 }
 
 func (s *Session) writeMeta(runIdx int, combo Combination, start time.Time, rec RunRecord) error {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"pos/internal/calendar"
 	"pos/internal/hosttools"
 	"pos/internal/results"
+	"pos/internal/telemetry"
 )
 
 // fakeHost is an in-memory core.Host that records the control sequence.
@@ -700,5 +702,85 @@ func TestSessionRecoverCleanSlate(t *testing.T) {
 	lg.mu.Unlock()
 	if err := sess.Recover(context.Background()); err == nil {
 		t.Error("failing setup script did not fail Recover")
+	}
+}
+
+func TestRunArchivesSpans(t *testing.T) {
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	sum, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := store.OpenExperiment("user", "linux-router", idFromDir(t, sum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := exp.ReadExperimentArtifact("spans.json")
+	if err != nil {
+		t.Fatalf("spans.json not archived: %v", err)
+	}
+	recs, err := telemetry.ParseSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, rec := range recs {
+		if rec.End.Before(rec.Start) {
+			t.Errorf("span %q ends before it starts", rec.Name)
+		}
+		byName[rec.Name]++
+	}
+	if byName["experiment:linux-router"] != 1 || byName["boot"] != 1 || byName["setup"] != 1 {
+		t.Errorf("phase spans = %v", byName)
+	}
+	if byName["boot:vriga"] != 1 || byName["setup:vtartu"] != 1 {
+		t.Errorf("per-host phase spans = %v", byName)
+	}
+	if byName["exec:vriga"] != 6 || byName["exec:vtartu"] != 6 {
+		t.Errorf("exec spans = %v", byName)
+	}
+	runSpans := 0
+	for name, n := range byName {
+		if strings.HasPrefix(name, "run ") {
+			runSpans += n
+		}
+	}
+	if runSpans != 6 {
+		t.Errorf("run spans = %d, want 6", runSpans)
+	}
+	// The archived spans must round-trip through the Chrome converter.
+	chrome, err := telemetry.ChromeTrace(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []telemetry.ChromeEvent
+	if err := json.Unmarshal(chrome, &events); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	if len(events) != len(recs) {
+		t.Errorf("chrome events = %d, want %d", len(events), len(recs))
+	}
+}
+
+func TestRunSkipsSpansWhenTelemetryDisabled(t *testing.T) {
+	telemetry.Default.SetEnabled(false)
+	defer telemetry.Default.SetEnabled(true)
+	lg := &fakeHost{name: "vriga"}
+	dut := &fakeHost{name: "vtartu"}
+	r, _ := newRunner(lg, dut)
+	store := storeAt(t)
+	sum, err := r.Run(context.Background(), caseStudyExperiment(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := store.OpenExperiment("user", "linux-router", idFromDir(t, sum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.ReadExperimentArtifact("spans.json"); err == nil {
+		t.Error("disabled telemetry still archived spans.json")
 	}
 }

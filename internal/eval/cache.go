@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"pos/internal/results"
+	"pos/internal/telemetry"
 )
 
 // Warm evaluation cache. Interactive evaluation (plot iteration, posctl
@@ -43,6 +44,16 @@ var cache = struct {
 	misses  uint64
 }{entries: make(map[cacheKey]*cacheEntry)}
 
+// Scrape-visible mirrors of the cache counters above (the struct counters
+// stay authoritative for Stats and are resettable; telemetry counters are
+// cumulative for the life of the process).
+var (
+	cacheHits = telemetry.Default.Counter("pos_eval_cache_hits_total",
+		"Warm evaluation cache lookups served from memory.")
+	cacheMisses = telemetry.Default.Counter("pos_eval_cache_misses_total",
+		"Warm evaluation cache lookups that fell through to a cold parse.")
+)
+
 // cacheLookup returns the entry for key at generation gen, or nil.
 func cacheLookup(key cacheKey, gen uint64) *cacheEntry {
 	cache.Lock()
@@ -53,11 +64,13 @@ func cacheLookup(key cacheKey, gen uint64) *cacheEntry {
 			delete(cache.entries, key)
 		}
 		cache.misses++
+		cacheMisses.Inc()
 		return nil
 	}
 	cache.clock++
 	e.lastUse = cache.clock
 	cache.hits++
+	cacheHits.Inc()
 	return e
 }
 

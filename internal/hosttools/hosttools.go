@@ -302,7 +302,13 @@ func (s *Service) Barrier(ctx context.Context, name string, parties int) error {
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	return b.wait(ctx)
+	start := time.Now()
+	err := b.wait(ctx)
+	barrierWaitSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		barrierTimeouts.Inc()
+	}
+	return err
 }
 
 // Upload forwards a result artifact to the uploading node's scope when it is
@@ -323,16 +329,24 @@ func (s *Service) Upload(nodeName, artifact string, data []byte) error {
 	s.mu.Unlock()
 	if hook != nil {
 		if err := hook(nodeName, artifact); err != nil {
+			uploadsRefused.Inc()
 			return err
 		}
 	}
 	if u == nil {
+		uploadsRefused.Inc()
 		if scopeID != "" {
 			return fmt.Errorf("hosttools: scope %s accepts no uploads (artifact %s from %s)", scopeID, artifact, nodeName)
 		}
 		return fmt.Errorf("hosttools: no uploader configured (artifact %s from %s)", artifact, nodeName)
 	}
-	return u.Upload(nodeName, artifact, data)
+	if err := u.Upload(nodeName, artifact, data); err != nil {
+		uploadsRefused.Inc()
+		return err
+	}
+	uploadsTotal.Inc()
+	uploadBytes.Add(float64(len(data)))
+	return nil
 }
 
 // Install deploys the pos utility commands onto a running node. It must be

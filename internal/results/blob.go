@@ -48,6 +48,8 @@ func (s *Store) writeFileDedup(path string, data []byte) error {
 	// Fast path: the content already exists — link it into place without
 	// writing a byte.
 	if err := s.linkInto(blob, path); err == nil {
+		dedupHits.Inc()
+		dedupBytesSaved.Add(float64(len(data)))
 		return nil
 	} else if !os.IsNotExist(err) {
 		// The blob exists but cannot be linked (EXDEV, EMLINK, EPERM,
@@ -58,6 +60,7 @@ func (s *Store) writeFileDedup(path string, data []byte) error {
 	// Slow path: write the content once, publish it as the blob, then
 	// move it into place. The blob gains its first link from the temp
 	// file, so the data hits the disk exactly once.
+	dedupMisses.Inc()
 	tmp, err := os.CreateTemp(filepath.Dir(path), tmpPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("results: %w", err)

@@ -340,6 +340,7 @@ func (e *Experiment) mutateOp(path string, op func() error, apply func(*index)) 
 	apply(e.idx)
 	e.idx.gen++
 	e.pending++
+	manifestPending.Inc()
 	if op != nil {
 		if i, ok := e.opIdx[path]; ok {
 			e.ops[i] = op
@@ -373,6 +374,7 @@ func (e *Experiment) flushLoop() {
 		e.ops = nil
 		e.opIdx = nil
 		data, err := e.idx.encode()
+		manifestPending.Add(-float64(e.pending))
 		e.pending = 0
 		e.cond.Broadcast() // wake writers blocked on backpressure
 		e.mu.Unlock()
@@ -387,6 +389,9 @@ func (e *Experiment) flushLoop() {
 		}
 		if err == nil {
 			err = e.writeManifest(data)
+			if err == nil {
+				manifestFlushes.Inc()
+			}
 		}
 		e.mu.Lock()
 		if err != nil && e.flushErr == nil {

@@ -35,6 +35,7 @@ import (
 	"pos/internal/core"
 	"pos/internal/hosttools"
 	"pos/internal/results"
+	"pos/internal/telemetry"
 )
 
 // Replica is one testbed instance participating in a campaign: a runner over
@@ -357,6 +358,14 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	}
 
 	started := c.now()
+	// A campaign roots its own span trace (replica lanes, per-run children)
+	// unless the caller brought one; owned traces land in spans.json.
+	var tr *telemetry.Trace
+	if telemetry.SpanFromContext(ctx) == nil && telemetry.Default.Enabled() {
+		tr = telemetry.NewTrace("campaign:" + logical.Name)
+		tr.SetClock(c.now)
+		ctx = telemetry.ContextWithTrace(ctx, tr)
+	}
 	exp, err := store.CreateExperiment(logical.User, logical.Name, started)
 	if err != nil {
 		return nil, err
@@ -378,7 +387,10 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 		go func(i int) {
 			defer wg.Done()
 			rep := c.Replicas[i]
-			sessions[i], prepErrs[i] = rep.Runner.PrepareShared(ctx, rep.Experiment, exp, rep.Name)
+			pctx, ps := telemetry.StartSpan(ctx, "prepare:"+rep.Name, "replica", rep.Name)
+			sessions[i], prepErrs[i] = rep.Runner.PrepareShared(pctx, rep.Experiment, exp, rep.Name)
+			ps.SetError(prepErrs[i])
+			ps.End()
 		}(i)
 	}
 	wg.Wait()
@@ -427,6 +439,7 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	for i := range combos {
 		st.queue <- workItem{run: i, attempt: 1}
 	}
+	queueDepth.Add(float64(len(combos)))
 
 	sem := make(chan struct{}, parallel)
 	for wi, sess := range sessions {
@@ -476,6 +489,17 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 		names[i] = rep.Name
 	}
 	sort.Strings(names)
+	// Cancelled or failed-fast campaigns leave undispatched items behind;
+	// the queue gauge must not drift across campaigns.
+	queueDepth.Add(-float64(drainQueue(st)))
+
+	if tr != nil {
+		tr.Finish()
+		if data, err := tr.RenderJSON(); err == nil {
+			exp.AddExperimentArtifact("spans.json", data)
+		}
+	}
+
 	m, err := json.MarshalIndent(manifest{
 		Replicas: names, Parallel: parallel, TotalRuns: len(combos), Schedule: schedule,
 	}, "", "  ")
@@ -517,6 +541,23 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	return sum, nil
 }
 
+// drainQueue empties whatever the workers left behind (closed or abandoned
+// queue) and reports the count, so the shared depth gauge returns to level.
+func drainQueue(st *campaignState) int {
+	n := 0
+	for {
+		select {
+		case _, ok := <-st.queue:
+			if !ok {
+				return n
+			}
+			n++
+		default:
+			return n
+		}
+	}
+}
+
 func countNil(recs []*core.RunRecord) int {
 	n := 0
 	for _, r := range recs {
@@ -533,6 +574,10 @@ func countNil(recs []*core.RunRecord) int {
 // QuarantineAfter consecutive dispatches drains itself from the campaign.
 func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi int, sess *core.Session, st *campaignState, sem chan struct{}, combos []core.Combination, maxAttempts int) {
 	name := c.Replicas[wi].Name
+	// The worker's lane span groups everything this replica executes — one
+	// flamegraph row per replica in the Chrome trace rendering.
+	runCtx, lane := telemetry.StartSpan(runCtx, "replica:"+name, "replica", name)
+	defer lane.End()
 	dirty := false // a failed run leaves the replica's state suspect
 	consec := 0
 	for {
@@ -546,6 +591,7 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 				return
 			}
 		}
+		queueDepth.Dec()
 
 		// Backoff before a retry happens outside the parallelism
 		// bound: a waiting run must not block a healthy replica's slot.
@@ -563,13 +609,16 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 		case sem <- struct{}{}:
 		}
 
+		inflightRuns.Inc()
 		rec, err := c.dispatch(runCtx, sess, st, wi, item, combos, dirty, backoff)
+		inflightRuns.Dec()
 		<-sem
 
 		// Collateral damage: the run failed only because the campaign
 		// was being torn down around it. Resolve it as cancelled — it
 		// neither consumes attempts nor counts against the replica.
 		if rec.Failed && runCtx.Err() != nil && errors.Is(err, context.Canceled) {
+			dispatchesCancelled.Inc()
 			rec.Cancelled = true
 			st.mu.Lock()
 			st.perWorker[wi]++
@@ -583,6 +632,7 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 		st.mu.Unlock()
 
 		if !rec.Failed {
+			dispatchesOK.Inc()
 			dirty = false
 			consec = 0
 			st.resolve(item.run, &rec)
@@ -590,6 +640,7 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 		}
 
 		// Genuine failure: the replica is suspect until re-set-up.
+		dispatchesFailed.Inc()
 		dirty = true
 		consec++
 		terminal := item.attempt >= maxAttempts
@@ -597,8 +648,11 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 			c.progress(core.ProgressEvent{
 				Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
 				Host: name, Message: fmt.Sprintf("attempt %d failed, requeueing: %s", item.attempt, rec.Error),
+				Error: rec.Error,
 			})
+			retriesTotal.Inc()
 			st.queue <- workItem{run: item.run, attempt: item.attempt + 1}
+			queueDepth.Inc()
 		} else {
 			st.resolve(item.run, &rec)
 		}
@@ -607,7 +661,10 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 			c.progress(core.ProgressEvent{
 				Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
 				Host: name, Message: fmt.Sprintf("replica quarantined after %d consecutive failures", consec),
+				Error: rec.Error,
 			})
+			quarantinesTotal.Inc()
+			lane.SetAttr("quarantined", "true")
 			st.mu.Lock()
 			st.quarantined = append(st.quarantined, name)
 			st.active--
@@ -657,6 +714,10 @@ func (c *Campaign) dispatch(runCtx context.Context, sess *core.Session, st *camp
 			st.record(item.run, attempt{
 				Attempt: item.attempt, Replica: name, Phase: phaseResetup,
 				Failed: true, Error: err.Error(), BackoffMS: backoff.Milliseconds(),
+			})
+			c.progress(core.ProgressEvent{
+				Phase: core.PhaseSetup, Run: item.run, TotalRuns: len(combos),
+				Host: name, Message: "clean-slate re-setup failed", Error: err.Error(),
 			})
 			return rec, err
 		}

@@ -11,10 +11,13 @@ import (
 	"testing"
 	"time"
 
+	"path/filepath"
+
 	"pos/internal/core"
 	"pos/internal/hosttools"
 	"pos/internal/results"
 	"pos/internal/sim"
+	"pos/internal/telemetry"
 )
 
 // fakeHost is an in-memory core.Host; measurement behaviour is scripted per
@@ -865,5 +868,118 @@ func TestCampaignFailFastAccounting(t *testing.T) {
 	}
 	if casualty == nil || !casualty.Cancelled {
 		t.Errorf("casualty record = %+v", casualty)
+	}
+}
+
+func TestCampaignArchivesSpansWithReplicaLanes(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, _ := newReplica("alpha", "nodeA", svc)
+	repB, _ := newReplica("beta", "nodeB", svc)
+	store := storeAt(t)
+	c := &Campaign{Replicas: []Replica{repA, repB}}
+	sum, err := c.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := store.OpenExperiment("user", "sweep", filepath.Base(sum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := exp.ReadExperimentArtifact("spans.json")
+	if err != nil {
+		t.Fatalf("spans.json not archived: %v", err)
+	}
+	recs, err := telemetry.ParseSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, rec := range recs {
+		byName[rec.Name]++
+	}
+	if byName["campaign:sweep"] != 1 {
+		t.Errorf("campaign root span missing: %v", byName)
+	}
+	for _, want := range []string{"prepare:alpha", "prepare:beta", "replica:alpha", "replica:beta"} {
+		if byName[want] != 1 {
+			t.Errorf("span %q count = %d, want 1 (%v)", want, byName[want], byName)
+		}
+	}
+	runSpans := 0
+	for name, n := range byName {
+		if strings.HasPrefix(name, "run ") {
+			runSpans += n
+		}
+	}
+	if runSpans != 6 {
+		t.Errorf("run spans = %d, want 6 (%v)", runSpans, byName)
+	}
+	// Round-trip through the Chrome converter: every replica gets a lane.
+	chrome, err := telemetry.ChromeTrace(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []telemetry.ChromeEvent
+	if err := json.Unmarshal(chrome, &events); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	laneOf := map[string]int{}
+	for _, ev := range events {
+		if strings.HasPrefix(ev.Name, "replica:") {
+			laneOf[ev.Name] = ev.Tid
+		}
+	}
+	if len(laneOf) != 2 || laneOf["replica:alpha"] == laneOf["replica:beta"] {
+		t.Errorf("replica lanes = %v, want distinct", laneOf)
+	}
+}
+
+func TestCampaignRetryEventsCarryError(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	rep, h := newReplica("alpha", "nodeA", svc)
+	var failed atomic.Bool
+	h.onMeasure = func(ctx context.Context, env map[string]string) error {
+		if env["pkt_sz"] == "1500" && env["pkt_rate"] == "20000" && !failed.Swap(true) {
+			return errors.New("loadgen wedged")
+		}
+		return nil
+	}
+	store := storeAt(t)
+	var mu sync.Mutex
+	var withError []core.ProgressEvent
+	c := &Campaign{
+		Replicas:    []Replica{rep},
+		MaxAttempts: 2,
+		Progress: func(ev core.ProgressEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Error != "" {
+				withError = append(withError, ev)
+			}
+		},
+	}
+	sum, err := c.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.FailedRuns != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(withError) == 0 {
+		t.Fatal("no progress events carried the failure error")
+	}
+	requeued := false
+	for _, ev := range withError {
+		if !strings.Contains(ev.Error, "loadgen wedged") {
+			t.Errorf("event error = %q, want the measurement failure", ev.Error)
+		}
+		if strings.Contains(ev.Message, "requeueing") {
+			requeued = true
+		}
+	}
+	if !requeued {
+		t.Error("retry event with Error not observed")
 	}
 }

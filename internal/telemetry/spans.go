@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is one hierarchical span tree — a campaign or experiment execution.
+// It is exported per experiment as a spans.json artifact next to
+// experiment-trace.json, and convertible to Chrome trace-event format.
+type Trace struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	next  int
+	spans []*Span
+	root  *Span
+}
+
+// Span is one timed region of a trace (campaign → run → phase → exec). All
+// methods are safe on a nil receiver, so un-traced code paths pay nothing.
+type Span struct {
+	tr *Trace
+
+	// The fields below are guarded by tr.mu.
+	id     int
+	parent int // 0 for the root
+	name   string
+	start  time.Time
+	end    time.Time
+	attrs  map[string]string
+}
+
+// SpanRecord is the serialized form of a span in spans.json.
+type SpanRecord struct {
+	ID     int               `json:"id"`
+	Parent int               `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// NewTrace starts a trace whose root span carries the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{clock: time.Now, next: 1}
+	t.root = t.start(0, name, nil)
+	return t
+}
+
+// SetClock overrides the timestamp source (tests, simulated time). Call
+// before spans are started; the root span's start is rewritten.
+func (t *Trace) SetClock(clock func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = clock
+	t.root.start = clock()
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span { return t.root }
+
+func (t *Trace) start(parent int, name string, attrs []string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, id: t.next, parent: parent, name: name, start: t.clock()}
+	t.next++
+	for i := 0; i+1 < len(attrs); i += 2 {
+		if s.attrs == nil {
+			s.attrs = make(map[string]string)
+		}
+		s.attrs[attrs[i]] = attrs[i+1]
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Finish ends the root span (and any spans still open, so a trace cut short
+// by a failure still renders with sane durations).
+func (t *Trace) Finish() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	for _, s := range t.spans {
+		if s.end.IsZero() {
+			s.end = now
+		}
+	}
+}
+
+// StartChild opens a child span directly on a parent span, for call sites
+// that don't thread a context. Nil-safe.
+func (s *Span) StartChild(name string, attrs ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(s.id, name, attrs)
+}
+
+// End closes the span. Nil-safe; ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = s.tr.clock()
+	}
+}
+
+// SetAttr attaches a key/value to the span. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// SetError marks the span failed with the error's text. Nil-safe, nil-error-safe.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.SetAttr("error", err.Error())
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span as the current parent
+// for StartSpan.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// ContextWithTrace installs the trace's root span into the context.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return ContextWithSpan(ctx, t.root)
+}
+
+// SpanFromContext returns the current span, or nil if the context is untraced.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// TraceFromContext returns the trace the context's span belongs to, if any.
+func TraceFromContext(ctx context.Context) *Trace {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.tr
+	}
+	return nil
+}
+
+// StartSpan opens a child of the context's current span and returns a context
+// carrying the child. On an untraced context it returns (ctx, nil) — the nil
+// span's methods are no-ops, so instrumented code needs no branches.
+func StartSpan(ctx context.Context, name string, attrs ...string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.tr.start(parent.id, name, attrs)
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// Records returns the trace's spans as serializable records, ordered by id
+// (creation order). Open spans report their start time as end.
+func (t *Trace) Records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.spans))
+	for _, s := range t.spans {
+		end := s.end
+		if end.IsZero() {
+			end = s.start
+		}
+		var attrs map[string]string
+		if len(s.attrs) > 0 {
+			attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				attrs[k] = v
+			}
+		}
+		out = append(out, SpanRecord{
+			ID: s.id, Parent: s.parent, Name: s.name,
+			Start: s.start, End: end, Attrs: attrs,
+		})
+	}
+	return out
+}
+
+// RenderJSON serializes the trace for the spans.json artifact: one JSON
+// object per line, ordered by span id, diff-friendly like the other archived
+// artifacts.
+func (t *Trace) RenderJSON() ([]byte, error) {
+	var buf []byte
+	for _, rec := range t.Records() {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	return buf, nil
+}
+
+// ParseSpans decodes a spans.json artifact produced by RenderJSON.
+func ParseSpans(data []byte) ([]SpanRecord, error) {
+	var out []SpanRecord
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("telemetry: parse spans: %w", err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// ChromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), loadable in chrome://tracing or Perfetto.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds since trace start
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace converts span records to a Chrome trace-event JSON array.
+// Lanes (tid) are assigned per depth-1 subtree — each replica or top-level
+// phase gets its own row in the flamegraph; the root is lane 0.
+func ChromeTrace(recs []SpanRecord) ([]byte, error) {
+	if len(recs) == 0 {
+		return []byte("[]"), nil
+	}
+	byID := make(map[int]SpanRecord, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	// lane(id): 0 for the root, else the id of the span's ancestor that is a
+	// direct child of the root — one flamegraph row per replica / phase.
+	var lane func(id int) int
+	lane = func(id int) int {
+		r, ok := byID[id]
+		if !ok {
+			return id
+		}
+		if r.Parent == 0 {
+			return 0
+		}
+		if p, ok := byID[r.Parent]; !ok || p.Parent == 0 {
+			return id
+		}
+		return lane(r.Parent)
+	}
+	epoch := recs[0].Start
+	for _, r := range recs {
+		if r.Start.Before(epoch) {
+			epoch = r.Start
+		}
+	}
+	events := make([]ChromeEvent, 0, len(recs))
+	for _, r := range recs {
+		events = append(events, ChromeEvent{
+			Name: r.Name,
+			Ph:   "X",
+			Ts:   float64(r.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  float64(r.End.Sub(r.Start)) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  lane(r.ID),
+			Args: r.Attrs,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	return json.MarshalIndent(events, "", "  ")
+}

@@ -25,10 +25,14 @@ type Event struct {
 	Total int       `json:"total,omitempty"`
 	Host  string    `json:"host,omitempty"`
 	Msg   string    `json:"msg,omitempty"`
+	// Error carries the failure text of failure and retry events, so the
+	// archived timeline records a campaign's attempt history, not just its
+	// happy path.
+	Error string `json:"error,omitempty"`
 }
 
 // Recorder collects workflow events; plug its Observe method into
-// core.Runner.Progress.
+// core.Runner.Progress or sched.Campaign.Progress (same signature).
 type Recorder struct {
 	// Clock supplies timestamps; nil defaults to time.Now.
 	Clock func() time.Time
@@ -60,6 +64,7 @@ func (r *Recorder) Observe(ev core.ProgressEvent) {
 		Total: ev.TotalRuns,
 		Host:  ev.Host,
 		Msg:   ev.Message,
+		Error: ev.Error,
 	})
 	fwd := r.Forward
 	r.mu.Unlock()
@@ -116,6 +121,9 @@ func (r *Recorder) RenderText() []byte {
 		}
 		if ev.Msg != "" {
 			fmt.Fprintf(&b, "  %s", ev.Msg)
+		}
+		if ev.Error != "" {
+			fmt.Fprintf(&b, "  !! %s", ev.Error)
 		}
 		b.WriteByte('\n')
 	}

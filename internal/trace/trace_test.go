@@ -2,7 +2,10 @@ package trace
 
 import (
 	"context"
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -130,5 +133,76 @@ func TestArchiveIntoExperiment(t *testing.T) {
 	}
 	if measured != sum.TotalRuns {
 		t.Errorf("measurement events = %d, want %d", measured, sum.TotalRuns)
+	}
+}
+
+func TestEventErrorRoundTrips(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(core.ProgressEvent{
+		Phase: core.PhaseMeasurement, Run: 3, TotalRuns: 6, Host: "alpha",
+		Message: "attempt 1 failed, requeueing: loadgen wedged",
+		Error:   "loadgen wedged",
+	})
+	r.Observe(core.ProgressEvent{Phase: core.PhaseMeasurement, Run: 3, TotalRuns: 6, Host: "alpha", Message: "ok"})
+	jsonl, err := r.RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseJSON(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Error != "loadgen wedged" || events[1].Error != "" {
+		t.Errorf("events = %+v", events)
+	}
+	if !strings.Contains(string(r.RenderText()), "!! loadgen wedged") {
+		t.Error("text rendering drops the error")
+	}
+}
+
+// TestRecorderConcurrent hammers Observe from concurrent replicas while
+// renderers read; meaningful under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var fwd atomic.Int64
+	r.Forward = func(core.ProgressEvent) { fwd.Add(1) }
+	const replicas, events = 8, 300
+	var wg sync.WaitGroup
+	for rep := 0; rep < replicas; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			host := fmt.Sprintf("replica%d", rep)
+			for i := 0; i < events; i++ {
+				ev := core.ProgressEvent{Phase: core.PhaseMeasurement, Run: i, TotalRuns: events, Host: host}
+				if i%7 == 0 {
+					ev.Error = "transient fault"
+				}
+				r.Observe(ev)
+				if i%50 == 0 {
+					r.Events()
+					if _, err := r.RenderJSON(); err != nil {
+						t.Error(err)
+					}
+					r.RenderText()
+				}
+			}
+		}(rep)
+	}
+	wg.Wait()
+	if r.Len() != replicas*events {
+		t.Errorf("recorded %d events, want %d", r.Len(), replicas*events)
+	}
+	if fwd.Load() != replicas*events {
+		t.Errorf("forwarded %d events, want %d", fwd.Load(), replicas*events)
+	}
+	withErr := 0
+	for _, ev := range r.Events() {
+		if ev.Error != "" {
+			withErr++
+		}
+	}
+	if want := replicas * ((events + 6) / 7); withErr != want {
+		t.Errorf("events with error = %d, want %d", withErr, want)
 	}
 }

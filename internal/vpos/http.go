@@ -73,11 +73,17 @@ func Serve(mgr *Manager) (*Server, error) {
 // Addr returns the service's address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the service down.
+// Shutdown gracefully stops the service: no new connections, in-flight
+// experiment runs drain until they finish or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// Close shuts the service down with a short drain window.
 func (s *Server) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	return s.http.Shutdown(ctx)
+	return s.Shutdown(ctx)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

@@ -21,6 +21,7 @@ import (
 	"pos/internal/core"
 	"pos/internal/results"
 	"pos/internal/sim"
+	"pos/internal/trace"
 )
 
 // Status of an instance.
@@ -227,12 +228,23 @@ func (m *Manager) Run(ctx context.Context, id string, cfg RunConfig) (*RunInfo, 
 	if len(cfg.Faults) > 0 {
 		runner.InjectFaults(sim.NewFaultInjector(cfg.Faults))
 	}
+	// Every instance execution archives its workflow timeline: the service
+	// hands researchers results that carry their own execution log.
+	rec := trace.NewRecorder()
+	rec.Clock = m.clock
+	rec.Forward = runner.Progress
+	runner.Progress = rec.Observe
 	sum, runErr := runner.Run(ctx, exp, store)
 	info.FinishedAt = m.clock()
 	if sum != nil {
 		info.TotalRuns = sum.TotalRuns
 		info.FailedRuns = sum.FailedRuns
 		info.ResultsDir = sum.ResultsDir
+		if rexp, err := store.OpenExperiment(exp.User, exp.Name, filepath.Base(sum.ResultsDir)); err == nil {
+			if rec.Archive(rexp) == nil {
+				rexp.Sync()
+			}
+		}
 	}
 	if runErr != nil {
 		info.Error = runErr.Error()

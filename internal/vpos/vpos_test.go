@@ -4,6 +4,9 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
+
+	"pos/internal/trace"
 
 	"pos/internal/casestudy"
 	"pos/internal/eval"
@@ -233,5 +236,77 @@ func TestRunWithFaultSchedule(t *testing.T) {
 	}
 	if info.FailedRuns != 0 || info.TotalRuns != 2 {
 		t.Errorf("info = %+v", info)
+	}
+}
+
+// TestRunArchivesExecutionTrace: every instance execution ships its workflow
+// timeline (experiment-trace.json / experiment.log) and its span tree
+// (spans.json) next to the measurement results.
+func TestRunArchivesExecutionTrace(t *testing.T) {
+	m := newManager(t)
+	inst, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(context.Background(), inst.ID, RunConfig{Sweep: quickSweep()}); err != nil {
+		t.Fatal(err)
+	}
+	store, err := m.Results(inst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := store.ListExperiments("user", "linux-router-vpos")
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("experiments = %v, %v", ids, err)
+	}
+	exp, err := store.OpenExperiment("user", "linux-router-vpos", ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := exp.ReadExperimentArtifact("experiment-trace.json")
+	if err != nil {
+		t.Fatalf("experiment-trace.json: %v", err)
+	}
+	events, err := trace.ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var measured int
+	for _, ev := range events {
+		if ev.Phase == "measurement" {
+			measured++
+		}
+	}
+	if measured == 0 {
+		t.Errorf("no measurement events in archived trace (%d events)", len(events))
+	}
+	logData, err := exp.ReadExperimentArtifact("experiment.log")
+	if err != nil || len(logData) == 0 {
+		t.Errorf("experiment.log: %d bytes, %v", len(logData), err)
+	}
+	spans, err := exp.ReadExperimentArtifact("spans.json")
+	if err != nil || len(spans) == 0 {
+		t.Errorf("spans.json: %d bytes, %v", len(spans), err)
+	}
+}
+
+// TestServerShutdownGraceful: Shutdown stops the listener and returns.
+func TestServerShutdownGraceful(t *testing.T) {
+	m := newManager(t)
+	srv, err := Serve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv.Addr())
+	if _, err := c.Create(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := c.List(); err == nil {
+		t.Error("request after shutdown succeeded")
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"pos/internal/router"
 	"pos/internal/sched"
 	"pos/internal/sim"
+	"pos/internal/telemetry"
 	"pos/internal/testbed"
 	"pos/internal/topo"
 	"pos/internal/trace"
@@ -272,10 +273,18 @@ type (
 	APIServer = api.Server
 	// APIClient is the typed client for the controller API.
 	APIClient = api.Client
+	// APIServerOption configures ServeAPI.
+	APIServerOption = api.ServerOption
 )
 
+// WithAPIDebug mounts net/http/pprof under /debug/pprof/ on the controller
+// API — live profiling of a serving controller.
+func WithAPIDebug() APIServerOption { return api.WithDebug() }
+
 // ServeAPI starts the controller HTTP API on a loopback port.
-func ServeAPI(tb *Testbed) (*APIServer, error) { return api.Serve(tb) }
+func ServeAPI(tb *Testbed, opts ...APIServerOption) (*APIServer, error) {
+	return api.Serve(tb, opts...)
+}
 
 // NewAPIClient returns a client for a controller API at addr.
 func NewAPIClient(addr string) *APIClient { return api.NewClient(addr) }
@@ -445,8 +454,38 @@ type (
 )
 
 // NewTraceRecorder returns an empty execution-trace recorder; plug its
-// Observe method into Runner.Progress and Archive it into the results.
+// Observe method into Runner.Progress or Campaign.Progress and Archive it
+// into the results.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// Telemetry (internal/telemetry): the process-wide metrics registry and the
+// hierarchical span trees archived as spans.json.
+type (
+	// TelemetrySnapshot is a point-in-time JSON view of every registered
+	// metric — what GET /api/v1/metrics serves.
+	TelemetrySnapshot = telemetry.Snapshot
+	// SpanRecord is one archived span of an execution's span tree.
+	SpanRecord = telemetry.SpanRecord
+)
+
+// MetricsSnapshot captures the process's metrics registry as a structured
+// snapshot.
+func MetricsSnapshot() TelemetrySnapshot { return telemetry.Default.Snapshot() }
+
+// WriteMetrics writes the process's metrics in Prometheus text exposition
+// format — what GET /metrics serves.
+func WriteMetrics(w io.Writer) error { return telemetry.Default.WritePrometheus(w) }
+
+// SetTelemetryEnabled toggles all metric recording and span creation in the
+// process. Enabled by default; disabling makes instrumentation free.
+func SetTelemetryEnabled(on bool) { telemetry.Default.SetEnabled(on) }
+
+// ParseSpans reads a spans.json artifact back into span records.
+func ParseSpans(data []byte) ([]SpanRecord, error) { return telemetry.ParseSpans(data) }
+
+// ChromeTrace converts span records to Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto.
+func ChromeTrace(recs []SpanRecord) ([]byte, error) { return telemetry.ChromeTrace(recs) }
 
 // CheckArtifact verifies an experiment's result tree is complete enough to
 // publish (the mechanical part of artifact evaluation).
