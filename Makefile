@@ -20,7 +20,8 @@ race:
 verify-race:
 	go build ./...
 	go test -race ./internal/sched/ ./internal/core/ ./internal/hosttools/ \
-		./internal/casestudy/ ./internal/vpos/ ./internal/api/
+		./internal/casestudy/ ./internal/vpos/ ./internal/api/ \
+		./internal/eventlog/
 
 # Performance tier: the speedup benchmarks added with the campaign
 # scheduler (sequential vs. 2-replica sweep, regexp vs. scanner parsing).
@@ -53,12 +54,28 @@ bench-telemetry:
 	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_telemetry.json \
 	go test -run NONE -bench BenchmarkTelemetryOverhead -benchtime 3x .
 
-# Static hygiene: vet plus a clean gofmt tree.
+# Eventlog-overhead tier: the 60-run vpos sweep with the full event
+# pipeline armed (publish + JSONL journal + one live subscriber) against
+# the same sweep bare. The median ratio is recorded in BENCH_eventlog.json;
+# the budget is 5% — watching an experiment must not change the experiment.
+.PHONY: bench-eventlog
+bench-eventlog:
+	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_eventlog.json \
+	go test -run NONE -bench BenchmarkEventlogOverhead -benchtime 3x .
+
+# Static hygiene: vet, a clean gofmt tree, and no raw log/print logging in
+# library code — internal/ packages log through the structured eventlog
+# spine (log/slog into the event pipeline), never stdout/stderr directly.
 .PHONY: lint
 lint:
 	go vet ./...
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rnE 'log\.(Print|Fatal|Panic)|fmt\.Print' internal \
+		--include='*.go' | grep -v _test.go; true); \
+	if [ -n "$$out" ]; then \
+		echo "raw logging in internal/ (use the eventlog slog spine):"; \
+		echo "$$out"; exit 1; fi
 	@echo "lint clean"
 
 .PHONY: all

@@ -14,6 +14,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -25,6 +26,7 @@ import (
 	"pos/internal/compare"
 	"pos/internal/core"
 	"pos/internal/eval"
+	"pos/internal/eventlog"
 	"pos/internal/hosttools"
 	"pos/internal/loadgen"
 	"pos/internal/moonparse"
@@ -1067,5 +1069,111 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		"instrumented_ms_op": tInstrumented.Seconds() * 1000 / float64(b.N*rounds),
 		"bare_ms_op":         tBare.Seconds() * 1000 / float64(b.N*rounds),
 		"runs":               60,
+	})
+}
+
+// BenchmarkEventlogOverhead prices live observability: the Appendix A sweep
+// (60 measurement runs, vpos platform) once bare and once with the full
+// event pipeline armed — every progress/exec event stamped and published,
+// appended to an on-disk JSONL journal, and drained by one live subscriber.
+// Paired rounds with a median ratio, like BenchmarkTelemetryOverhead;
+// `make bench-eventlog` records the ratio into BENCH_eventlog.json. The
+// budget is 5%: watching an experiment must not change the experiment.
+func BenchmarkEventlogOverhead(b *testing.B) {
+	runSweep := func(b *testing.B, withEvents bool) time.Duration {
+		topo, err := casestudy.New(casestudy.Virtual, casestudy.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := results.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		runner := topo.Testbed.Runner()
+		var drained chan struct{}
+		var sub *eventlog.Subscription
+		var p *eventlog.Pipeline
+		var j *eventlog.Journal
+		if withEvents {
+			p = eventlog.NewPipeline()
+			if j, err = eventlog.OpenJournal(b.TempDir(), 0); err != nil {
+				b.Fatal(err)
+			}
+			p.AttachJournal(j)
+			sub = p.Subscribe(0)
+			drained = make(chan struct{})
+			go func() {
+				defer close(drained)
+				for {
+					if _, ok := sub.Next(context.Background()); !ok {
+						return
+					}
+				}
+			}()
+			runner.Events = p
+		}
+		sweep := casestudy.PaperSweep()
+		sweep.RuntimeSec = 1
+		start := time.Now()
+		sum, err := runner.Run(context.Background(), topo.Experiment(sweep), store)
+		wall := time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.TotalRuns != 60 || sum.FailedRuns != 0 {
+			b.Fatalf("summary = %+v", sum)
+		}
+		if withEvents {
+			sub.Close()
+			<-drained
+			if sub.Dropped() != 0 {
+				b.Fatalf("live subscriber dropped %d events", sub.Dropped())
+			}
+			p.DetachJournal()
+			j.Close()
+		}
+		topo.Close()
+		return wall
+	}
+	// Unrecorded warm-up pair: first-use costs stay off round one.
+	runSweep(b, true)
+	runSweep(b, false)
+	const rounds = 5
+	var ratios []float64
+	var tEvents, tBare time.Duration
+	pair := 0
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rounds; r++ {
+			// Alternate which side runs first and collect garbage between
+			// sides: otherwise whichever sweep runs second pays the first
+			// one's GC debt and the ratio measures allocator drift, not
+			// event cost.
+			var tE, tB time.Duration
+			if pair%2 == 0 {
+				runtime.GC()
+				tE = runSweep(b, true)
+				runtime.GC()
+				tB = runSweep(b, false)
+			} else {
+				runtime.GC()
+				tB = runSweep(b, false)
+				runtime.GC()
+				tE = runSweep(b, true)
+			}
+			pair++
+			ratios = append(ratios, tE.Seconds()/tB.Seconds())
+			tEvents += tE
+			tBare += tB
+		}
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2]
+	b.ReportMetric(overhead, "overhead_x")
+	b.ReportMetric(0, "ns/op")
+	recordBenchResults(b, "EventlogOverhead", map[string]float64{
+		"overhead_x":   overhead,
+		"events_ms_op": tEvents.Seconds() * 1000 / float64(b.N*rounds),
+		"bare_ms_op":   tBare.Seconds() * 1000 / float64(b.N*rounds),
+		"runs":         60,
 	})
 }

@@ -4,6 +4,8 @@
 //	posctl table                          print Table 1 (testbed comparison)
 //	posctl expand -vars "a=1,2;b=x,y"     show the cross-product of loop vars
 //	posctl run [flags]                    run the case-study sweep end to end
+//	posctl watch -addr HOST:PORT          stream a controller's live events
+//	posctl events -dir DIR                replay a finished experiment's journal
 //	posctl results -dir DIR [flags]       inspect a results tree
 //	posctl publish -dir DIR [flags]       bundle an experiment for release
 //
@@ -67,6 +69,10 @@ func main() {
 		err = cmdVposd(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
+	case "events":
+		err = cmdEvents(os.Args[2:])
 	case "spans":
 		err = cmdSpans(os.Args[2:])
 	case "-h", "--help", "help":
@@ -94,6 +100,8 @@ commands:
   serve      expose the controller HTTP API for a demo testbed
   vposd      run the virtual-testbed-as-a-service endpoint
   metrics    scrape a controller's telemetry (/metrics or JSON snapshot)
+  watch      stream a controller's live experiment events (SSE)
+  events     replay a finished experiment's event journal
   spans      convert an archived spans.json to Chrome trace-event format
   results    inspect a results tree
   index      inspect or rebuild an experiment's run manifest and dedup pool
@@ -227,16 +235,22 @@ func cmdRun(args []string) error {
 			Progress:        rec.Observe,
 		}
 		sum, err := c.Run(context.Background(), store)
+		// Archive the execution trace on EVERY outcome — an aborted
+		// campaign's timeline is the one worth reading.
+		if sum != nil {
+			archiveTrace(rec, store, sum.ResultsDir)
+		}
 		if err != nil {
 			return err
 		}
-		archiveTrace(rec, store, sum.ResultsDir)
 		fmt.Printf("%d runs complete (%d failed, %d cancelled) across %d replicas\n",
 			sum.TotalRuns, sum.FailedRuns, sum.CancelledRuns, *parallel)
 		if len(sum.Quarantined) > 0 {
 			fmt.Printf("quarantined replicas: %s\n", strings.Join(sum.Quarantined, ", "))
 		}
 		fmt.Printf("results: %s\n", sum.ResultsDir)
+		fmt.Printf("event journal: %s (replay with posctl events -dir %s)\n",
+			filepath.Join(sum.ResultsDir, "events"), sum.ResultsDir)
 		return nil
 	}
 
@@ -255,10 +269,12 @@ func cmdRun(args []string) error {
 	}
 	runner.Progress = rec.Observe
 	sum, err := runner.Run(context.Background(), exp, store)
+	if sum != nil {
+		archiveTrace(rec, store, sum.ResultsDir)
+	}
 	if err != nil {
 		return err
 	}
-	archiveTrace(rec, store, sum.ResultsDir)
 	fmt.Printf("%d runs complete (%d failed)\nresults: %s\n", sum.TotalRuns, sum.FailedRuns, sum.ResultsDir)
 	return nil
 }
@@ -485,7 +501,12 @@ func cmdServe(args []string) error {
 	nodes := fs.String("nodes", "vriga,vtartu,vvilnius", "node names to create")
 	resultsDir := fs.String("results", "", "results root to expose read-only (optional)")
 	debug := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	campaign := fs.Int("campaign", 0, "also run a demo campaign across this many vpos replicas, streaming its events")
+	seed := fs.Uint64("seed", 1, "vpos jitter seed for the demo campaign")
 	fs.Parse(args)
+	if *campaign < 0 {
+		return fmt.Errorf("serve: -campaign must be >= 0, got %d", *campaign)
+	}
 	tb := pos.NewTestbed()
 	defer tb.Close()
 	if err := tb.Images.Add(pos.DebianBusterImage()); err != nil {
@@ -504,16 +525,55 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	events := pos.NewEventPipeline()
+	srv.SetEvents(events)
+	var store *pos.ResultsStore
 	if *resultsDir != "" {
-		store, err := pos.NewResultsStore(*resultsDir)
-		if err != nil {
+		if store, err = pos.NewResultsStore(*resultsDir); err != nil {
 			return err
 		}
 		srv.SetResults(store)
 		fmt.Println("results endpoints enabled for", *resultsDir)
 	}
+	if *campaign > 0 {
+		if store == nil {
+			root, err := os.MkdirTemp("", "posctl-serve-*")
+			if err != nil {
+				return err
+			}
+			if store, err = pos.NewResultsStore(root); err != nil {
+				return err
+			}
+			fmt.Println("demo campaign results under", root)
+		}
+		topos, err := pos.NewCaseStudyReplicas(pos.Virtual, *campaign, pos.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer func() {
+				for _, t := range topos {
+					t.Close()
+				}
+			}()
+			c := &pos.Campaign{
+				Replicas:          pos.CaseStudyReplicas(topos, pos.PaperSweep()),
+				Events:            events,
+				HeartbeatInterval: 2 * time.Second,
+			}
+			sum, err := c.Run(context.Background(), store)
+			if err != nil {
+				fmt.Println("demo campaign failed:", err)
+				return
+			}
+			fmt.Printf("demo campaign done: %d runs (%d failed), results %s\n",
+				sum.TotalRuns, sum.FailedRuns, sum.ResultsDir)
+		}()
+		fmt.Printf("demo campaign: %d vpos replicas sweeping the paper's 60 runs\n", *campaign)
+	}
 	fmt.Printf("pos controller API on http://%s/api/v1/ (nodes: %s)\n", srv.Addr(), *nodes)
 	fmt.Println("telemetry on /metrics (Prometheus) and /api/v1/metrics (JSON)")
+	fmt.Printf("live events on /api/v1/events (SSE) — posctl watch -addr %s\n", srv.Addr())
 	if *debug {
 		fmt.Println("pprof on /debug/pprof/")
 	}
@@ -525,12 +585,33 @@ func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	addr := fs.String("addr", "", "controller API address host:port (required)")
 	raw := fs.Bool("raw", false, "print the Prometheus text exposition verbatim")
+	interval := fs.Duration("interval", 0, "re-scrape every interval until interrupted (0: one-shot)")
 	fs.Parse(args)
 	if *addr == "" {
 		return fmt.Errorf("metrics: -addr required (the host:port printed by posctl serve)")
 	}
 	c := pos.NewAPIClient(*addr)
-	if *raw {
+	if *interval <= 0 {
+		return scrapeMetrics(c, *raw)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for {
+		fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
+		if err := scrapeMetrics(c, *raw); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// scrapeMetrics fetches and prints one telemetry snapshot.
+func scrapeMetrics(c *pos.APIClient, raw bool) error {
+	if raw {
 		text, err := c.MetricsText()
 		if err != nil {
 			return err

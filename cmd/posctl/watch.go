@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+
+	"pos"
+)
+
+// replicaState is what watch has learned about one replica from its events.
+type replicaState struct {
+	phase       string
+	run, total  int
+	message     string
+	retries     int
+	quarantined bool
+	alive       bool
+	events      int
+}
+
+// applyEvent folds one event into the per-replica status board.
+func applyEvent(states map[string]*replicaState, ev pos.ExperimentEvent) {
+	if ev.Replica == "" {
+		return
+	}
+	st := states[ev.Replica]
+	if st == nil {
+		st = &replicaState{alive: true}
+		states[ev.Replica] = st
+	}
+	st.events++
+	switch ev.Typ {
+	case "heartbeat":
+		st.alive = ev.Message == "up"
+	case "progress":
+		if ev.Phase != "" {
+			st.phase = ev.Phase
+		}
+		if ev.TotalRuns > 0 {
+			st.run, st.total = ev.Run, ev.TotalRuns
+		}
+		st.message = ev.Message
+		if strings.Contains(ev.Message, "requeueing") {
+			st.retries++
+		}
+		if strings.Contains(ev.Message, "quarantined") {
+			st.quarantined = true
+			st.alive = false
+		}
+	}
+}
+
+// renderEvent formats one event as a log line for humans.
+func renderEvent(ev pos.ExperimentEvent) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  ", ev.At.Format("15:04:05.000"))
+	if ev.Replica != "" {
+		fmt.Fprintf(&b, "%-10s ", ev.Replica)
+	}
+	if ev.Phase != "" {
+		fmt.Fprintf(&b, "%-12s ", ev.Phase)
+	}
+	if ev.TotalRuns > 0 {
+		fmt.Fprintf(&b, "run %3d/%d  ", ev.Run, ev.TotalRuns)
+	}
+	switch ev.Typ {
+	case "exec":
+		bytes := ev.Attrs["bytes"]
+		fmt.Fprintf(&b, "[output %s bytes", bytes)
+		if ev.Attrs["truncated"] == "true" {
+			b.WriteString(", truncated")
+		}
+		b.WriteString("]")
+	case "heartbeat":
+		fmt.Fprintf(&b, "[heartbeat %s]", ev.Message)
+	case "log":
+		if ev.Level != "" {
+			fmt.Fprintf(&b, "%s: ", ev.Level)
+		}
+		b.WriteString(ev.Message)
+	default:
+		b.WriteString(ev.Message)
+	}
+	if ev.Attempt > 1 {
+		fmt.Fprintf(&b, "  (attempt %d)", ev.Attempt)
+	}
+	if ev.Error != "" {
+		fmt.Fprintf(&b, "  ERR: %s", ev.Error)
+	}
+	return b.String()
+}
+
+// renderBoard prints the final per-replica status table.
+func renderBoard(states map[string]*replicaState) string {
+	var b strings.Builder
+	b.WriteString("\nreplica     phase         run      retries  quarantined  alive  events\n")
+	for _, name := range replicaNames(states) {
+		st := states[name]
+		run := "-"
+		if st.total > 0 {
+			run = fmt.Sprintf("%d/%d", st.run, st.total)
+		}
+		fmt.Fprintf(&b, "%-11s %-13s %-8s %-8d %-12v %-6v %d\n",
+			name, st.phase, run, st.retries, st.quarantined, st.alive, st.events)
+	}
+	return b.String()
+}
+
+func replicaNames(m map[string]*replicaState) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cmdWatch streams a controller's live experiment events over SSE and keeps
+// a per-replica status board, printed when the stream ends.
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	addr := fs.String("addr", "", "controller API address host:port (required)")
+	replica := fs.String("replica", "", "only this replica's events")
+	phase := fs.String("phase", "", "only this phase's events (setup, measurement)")
+	jsonOut := fs.Bool("json", false, "emit raw event JSON lines for piping")
+	last := fs.Uint64("last", 0, "resume after this sequence number (journal catch-up)")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("watch: -addr required (the host:port printed by posctl serve)")
+	}
+	c := pos.NewAPIClient(*addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	states := map[string]*replicaState{}
+	enc := json.NewEncoder(os.Stdout)
+	err := c.StreamEvents(ctx, pos.EventStreamOptions{
+		LastID: *last, Replica: *replica, Phase: *phase,
+	}, func(ev pos.ExperimentEvent) error {
+		if *jsonOut {
+			return enc.Encode(ev)
+		}
+		applyEvent(states, ev)
+		fmt.Println(renderEvent(ev))
+		return nil
+	})
+	if !*jsonOut && len(states) > 0 {
+		fmt.Print(renderBoard(states))
+	}
+	if ctx.Err() != nil {
+		return nil // Ctrl-C is the normal way to leave a watch
+	}
+	return err
+}
+
+// cmdEvents replays a finished experiment's journal — the same sequence a
+// live watcher saw, reconstructed from disk.
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	dir := fs.String("dir", "", "experiment directory (the results dir printed by posctl run)")
+	replica := fs.String("replica", "", "only this replica's events")
+	jsonOut := fs.Bool("json", false, "emit raw event JSON lines for piping")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("events: -dir required (an experiment directory with an events/ journal)")
+	}
+	journalDir := *dir
+	if fi, err := os.Stat(filepath.Join(journalDir, "events")); err == nil && fi.IsDir() {
+		journalDir = filepath.Join(journalDir, "events")
+	}
+	evs, err := pos.ReplayEvents(journalDir)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("events: no journal under %s", journalDir)
+	}
+	states := map[string]*replicaState{}
+	enc := json.NewEncoder(os.Stdout)
+	for _, ev := range evs {
+		if *replica != "" && ev.Replica != *replica {
+			continue
+		}
+		if *jsonOut {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+			continue
+		}
+		applyEvent(states, ev)
+		fmt.Println(renderEvent(ev))
+	}
+	if !*jsonOut && len(states) > 0 {
+		fmt.Print(renderBoard(states))
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"time"
 
+	"pos/internal/eventlog"
 	"pos/internal/node"
 	"pos/internal/results"
 	"pos/internal/telemetry"
@@ -88,10 +89,11 @@ type errorBody struct {
 
 // Server serves the controller API for one testbed.
 type Server struct {
-	tb    *testbed.Testbed
-	http  *http.Server
-	ln    net.Listener
-	store *results.Store
+	tb     *testbed.Testbed
+	http   *http.Server
+	ln     net.Listener
+	store  *results.Store
+	events *eventlog.Pipeline
 }
 
 // SetResults attaches a results store, enabling the read-only results
@@ -142,9 +144,11 @@ func Serve(tb *testbed.Testbed, opts ...ServerOption) (*Server, error) {
 	handle("GET /api/v1/results/{user}/{exp}", s.listResults)
 	handle("GET /api/v1/results/{user}/{exp}/{id}/runs", s.listRuns)
 	// The exposition endpoints are deliberately uninstrumented: scraping
-	// metrics should not move the metrics.
+	// metrics should not move the metrics. The event stream joins them —
+	// a long-lived SSE connection would wreck the latency histogram.
 	mux.HandleFunc("GET /metrics", s.metricsText)
 	mux.HandleFunc("GET /api/v1/metrics", s.metricsJSON)
+	mux.HandleFunc("GET /api/v1/events", s.streamEvents)
 	if cfg.debug {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

@@ -10,4 +10,6 @@ var (
 		"API requests served, by route pattern and status code.", "endpoint", "code")
 	requestSeconds = telemetry.Default.HistogramVec("pos_api_request_seconds",
 		"API request latency by route pattern.", telemetry.DurationBuckets(), "endpoint")
+	eventSubscribers = telemetry.Default.Gauge("pos_api_event_subscribers",
+		"SSE clients currently attached to /api/v1/events.")
 )

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"pos/internal/calendar"
+	"pos/internal/eventlog"
 	"pos/internal/hosttools"
 	"pos/internal/results"
 	"pos/internal/telemetry"
@@ -128,6 +130,11 @@ type Runner struct {
 	BatchUploads int
 	// Clock supplies timestamps (defaults to time.Now); tests pin it.
 	Clock func() time.Time
+	// Events, when non-nil, receives the live event stream: every progress
+	// event as a typed eventlog event plus captured host command output.
+	// Publication never blocks on consumers (see eventlog.Broker), so the
+	// measurement hot path is indifferent to stalled observers.
+	Events *eventlog.Pipeline
 
 	// progressMu serializes Progress callbacks: per-host events fire
 	// from concurrent goroutines, but observers see a serial stream.
@@ -147,6 +154,59 @@ func (r *Runner) progress(ev ProgressEvent) {
 		defer r.progressMu.Unlock()
 		r.Progress(ev)
 	}
+}
+
+// event reports one workflow event to the Progress observer and, when an
+// event pipeline is attached, publishes it on the live stream. replica is
+// the executing replica's name ("" outside campaigns); ProgressEvent.Host
+// stays whatever the observer historically saw (node or replica name).
+func (r *Runner) event(replica string, ev ProgressEvent) {
+	r.progress(ev)
+	if r.Events == nil {
+		return
+	}
+	node := ev.Host
+	if node == replica {
+		node = ""
+	}
+	run := eventlog.NoRun
+	if ev.TotalRuns > 0 {
+		run = ev.Run
+	}
+	r.Events.Publish(eventlog.Event{
+		Typ: eventlog.TypeProgress, Phase: ev.Phase,
+		Run: run, TotalRuns: ev.TotalRuns,
+		Replica: replica, Node: node,
+		Message: ev.Message, Error: ev.Error,
+	})
+}
+
+// execEventLimit bounds how much captured command output is inlined into one
+// exec event; the complete output always lands in the results store.
+const execEventLimit = 2048
+
+// publishExec streams one host command's captured stdout+stderr. Pass
+// total == 0 for setup-phase executions (no run attached).
+func (r *Runner) publishExec(replica, node, phase string, runIdx, total int, out string) {
+	if r.Events == nil {
+		return
+	}
+	msg := out
+	attrs := map[string]string{"bytes": strconv.Itoa(len(out))}
+	if len(msg) > execEventLimit {
+		msg = msg[:execEventLimit]
+		attrs["truncated"] = "true"
+	}
+	run := runIdx
+	if total == 0 {
+		run = eventlog.NoRun
+	}
+	r.Events.Publish(eventlog.Event{
+		Typ: eventlog.TypeExec, Phase: phase,
+		Run: run, TotalRuns: total,
+		Replica: replica, Node: node,
+		Message: msg, Attrs: attrs,
+	})
 }
 
 // ensureTrace installs a span trace on ctx when telemetry is enabled and the
@@ -371,7 +431,7 @@ func (r *Runner) prepare(ctx context.Context, e *Experiment, exp *results.Experi
 	}
 
 	// Boot all hosts in parallel, then deploy the utility tools.
-	r.progress(ProgressEvent{Phase: PhaseSetup, Host: replica, Message: "booting hosts"})
+	r.event(replica, ProgressEvent{Phase: PhaseSetup, Host: replica, Message: "booting hosts"})
 	bootStart := r.now()
 	bctx, bootSpan := telemetry.StartSpan(ctx, "boot", "replica", replica)
 	if err := r.forEachHost(hosts, func(h Host) error {
@@ -391,6 +451,9 @@ func (r *Runner) prepare(ctx context.Context, e *Experiment, exp *results.Experi
 	}
 	bootSpan.End()
 	bootSeconds.Observe(r.now().Sub(bootStart).Seconds())
+	eventlog.Logger(ctx).Info("hosts booted",
+		"replica", replica, "phase", PhaseSetup,
+		"hosts", len(hosts), "elapsed", r.now().Sub(bootStart).String())
 
 	// Execute setup scripts in parallel; pos waits for every host to
 	// finish its setup before the first measurement run starts.
@@ -399,7 +462,7 @@ func (r *Runner) prepare(ctx context.Context, e *Experiment, exp *results.Experi
 	setupOutputs := make([]string, len(hosts))
 	if err := r.forEachHostIndexed(hosts, func(i int, h Host) error {
 		spec := e.Hosts[i]
-		r.progress(ProgressEvent{Phase: PhaseSetup, Host: spec.Node, Message: "running setup script"})
+		r.event(replica, ProgressEvent{Phase: PhaseSetup, Host: spec.Node, Message: "running setup script"})
 		env := r.runEnv(e, spec, nil)
 		_, hs := telemetry.StartSpan(sctx, "setup:"+spec.Node)
 		out, err := h.Exec(sctx, spec.Setup, env)
@@ -416,6 +479,9 @@ func (r *Runner) prepare(ctx context.Context, e *Experiment, exp *results.Experi
 	}
 	setupSpan.End()
 	setupSeconds.Observe(r.now().Sub(setupStart).Seconds())
+	eventlog.Logger(ctx).Info("setup phase complete",
+		"replica", replica, "phase", PhaseSetup,
+		"elapsed", r.now().Sub(setupStart).String())
 	if err := sess.archiveSetupOutputs(setupOutputs); err != nil {
 		sess.scope.Close()
 		return nil, err
@@ -446,7 +512,7 @@ func (s *Session) Close() {
 // have runs in flight concurrently without sharing any mutable state.
 func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combination) (RunRecord, error) {
 	r := s.r
-	r.progress(ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total, Host: s.replica, Message: combo.Key()})
+	r.event(s.replica, ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total, Host: s.replica, Message: combo.Key()})
 	rec := RunRecord{Run: runIdx, Combo: combo, Attempts: 1}
 	runStart := r.now()
 	ctx, runSpan := telemetry.StartSpan(ctx, fmt.Sprintf("run %d", runIdx),
@@ -509,6 +575,7 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 	// would be invisible to evaluation and unreproducible.
 	var recordErr error
 	for i, spec := range s.e.Hosts {
+		r.publishExec(s.replica, spec.Node, PhaseMeasurement, runIdx, total, outputs[i])
 		if err := s.exp.AddRunArtifact(runIdx, spec.Node, "measurement.out", []byte(outputs[i])); err != nil && recordErr == nil {
 			recordErr = err
 		}
@@ -537,8 +604,11 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 	if runErr != nil {
 		runsFailed.Inc()
 		runSpan.SetError(runErr)
-		r.progress(ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total,
+		r.event(s.replica, ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total,
 			Host: s.replica, Message: "run failed: " + combo.Key(), Error: rec.Error})
+		eventlog.Logger(ctx).Error("measurement run failed",
+			"replica", s.replica, "phase", PhaseMeasurement,
+			"run", runIdx, "combo", combo.Key(), "err", rec.Error)
 	} else {
 		runsOK.Inc()
 	}
@@ -551,7 +621,7 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 // campaign scheduler calls it before re-dispatching a failed run, so a retry
 // executes on exactly the state a fresh experiment would see.
 func (s *Session) Recover(ctx context.Context) error {
-	s.r.progress(ProgressEvent{Phase: PhaseSetup, Host: s.replica, Message: "clean-slate re-setup"})
+	s.r.event(s.replica, ProgressEvent{Phase: PhaseSetup, Host: s.replica, Message: "clean-slate re-setup"})
 	start := s.r.now()
 	ctx, span := telemetry.StartSpan(ctx, "re-setup", "replica", s.replica)
 	err := s.r.rebootAndResetup(ctx, s.e, s.hosts)
@@ -648,6 +718,7 @@ func (s *Session) archiveSetupOutputs(outputs []string) error {
 		prefix = "setup/" + s.replica + "/"
 	}
 	for i, spec := range s.e.Hosts {
+		s.r.publishExec(s.replica, spec.Node, PhaseSetup, 0, 0, outputs[i])
 		if err := s.exp.AddExperimentArtifact(prefix+spec.Node+".out", []byte(outputs[i])); err != nil {
 			return err
 		}

@@ -1,0 +1,146 @@
+package eventlog
+
+import (
+	"context"
+	"sync"
+)
+
+// DefaultSubscriberBuffer is the ring capacity handed to subscribers that do
+// not choose their own.
+const DefaultSubscriberBuffer = 1024
+
+// Broker fans published events out to subscribers. Publication never blocks:
+// each subscriber owns a bounded ring buffer, and when a consumer falls
+// behind, its oldest buffered events are dropped and counted instead of the
+// publisher (the measurement hot path) waiting. A stalled SSE client
+// therefore costs the campaign nothing but that client's own completeness.
+type Broker struct {
+	mu   sync.Mutex
+	subs map[*Subscription]struct{}
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{subs: make(map[*Subscription]struct{})}
+}
+
+// Subscribe registers a consumer with a ring buffer of the given capacity
+// (DefaultSubscriberBuffer when <= 0). The caller must Close the
+// subscription when done.
+func (b *Broker) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = DefaultSubscriberBuffer
+	}
+	s := &Subscription{
+		broker: b,
+		buf:    make([]Event, buffer),
+		notify: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Publish delivers ev to every live subscriber without blocking.
+func (b *Broker) Publish(ev Event) {
+	b.mu.Lock()
+	subs := make([]*Subscription, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.push(ev)
+	}
+}
+
+func (b *Broker) remove(s *Subscription) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// Subscription is one consumer's bounded view of the stream.
+type Subscription struct {
+	broker *Broker
+
+	mu      sync.Mutex
+	buf     []Event // ring
+	head    int     // index of the oldest buffered event
+	n       int     // buffered count
+	dropped uint64
+	closed  bool
+	notify  chan struct{}
+}
+
+// push appends ev, evicting the oldest buffered event when full.
+func (s *Subscription) push(ev Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.buf) {
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+		eventsDropped.Inc()
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until an event is buffered, the subscription is closed, or ctx
+// ends. It returns ok=false once the subscription is closed and drained.
+func (s *Subscription) Next(ctx context.Context) (Event, bool) {
+	for {
+		s.mu.Lock()
+		if s.n > 0 {
+			ev := s.buf[s.head]
+			s.head = (s.head + 1) % len(s.buf)
+			s.n--
+			s.mu.Unlock()
+			return ev, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, false
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, false
+		case <-s.notify:
+		}
+	}
+}
+
+// Dropped reports how many events this subscriber lost to backpressure.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscription from the broker. Buffered events remain
+// readable via Next until drained.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.broker.remove(s)
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,375 @@
+package eventlog
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testClock() func() time.Time {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	n := 0
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return base.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "events")
+	j, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Event, 0, 10)
+	for i := 1; i <= 10; i++ {
+		ev := Event{
+			Seq: uint64(i), At: time.Unix(int64(1000+i), 0).UTC(),
+			Typ: TypeProgress, Phase: "measurement", Run: i - 1, TotalRuns: 10,
+			Replica: "replica0", Message: fmt.Sprintf("run %d", i-1),
+		}
+		if err := j.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ev)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalRotation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "events")
+	j, err := OpenJournal(dir, 256) // tiny segments force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 50
+	for i := 1; i <= total; i++ {
+		ev := Event{Seq: uint64(i), At: time.Unix(int64(i), 0).UTC(), Typ: TypeLog,
+			Run: NoRun, Message: fmt.Sprintf("event number %d with some padding text", i)}
+		if err := j.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", len(segs))
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("replayed %d events across %d segments, want %d", len(got), len(segs), total)
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	// ReplaySince skips the prefix exactly.
+	tail, err := ReplaySince(dir, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 10 || tail[0].Seq != 41 {
+		t.Fatalf("ReplaySince(40) = %d events starting at %d, want 10 starting at 41", len(tail), tail[0].Seq)
+	}
+}
+
+func TestJournalTornTailRecovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "events")
+	j, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := j.Append(Event{Seq: uint64(i), At: time.Unix(int64(i), 0).UTC(), Typ: TypeLog, Run: NoRun}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: tear the final line.
+	seg := filepath.Join(dir, "events-00000.jsonl")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay on the damaged journal drops only the torn line.
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("replayed %d events from torn journal, want 4", len(got))
+	}
+
+	// Reopen truncates the tail and continues the sequence.
+	j2, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := j2.LastSeq(); last != 4 {
+		t.Fatalf("recovered LastSeq = %d, want 4", last)
+	}
+	if err := j2.Append(Event{Seq: 5, At: time.Unix(5, 0).UTC(), Typ: TypeLog, Run: NoRun}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	got, err = Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[4].Seq != 5 {
+		t.Fatalf("after recovery replay has %d events (last seq %d), want 5 ending at 5", len(got), got[len(got)-1].Seq)
+	}
+}
+
+func TestBrokerSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBroker()
+	slow := b.Subscribe(4) // never read until the end
+	fast := b.Subscribe(64)
+	defer slow.Close()
+	defer fast.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= 32; i++ {
+			b.Publish(Event{Seq: uint64(i), Typ: TypeLog, Run: NoRun})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a stalled subscriber")
+	}
+
+	if d := slow.Dropped(); d != 32-4 {
+		t.Fatalf("slow subscriber dropped %d events, want %d", d, 32-4)
+	}
+	// The slow subscriber still sees the newest events, in order.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	for want := uint64(29); want <= 32; want++ {
+		ev, ok := slow.Next(ctx)
+		if !ok || ev.Seq != want {
+			t.Fatalf("slow.Next = %v/%v, want seq %d", ev.Seq, ok, want)
+		}
+	}
+	// The fast subscriber lost nothing.
+	if d := fast.Dropped(); d != 0 {
+		t.Fatalf("fast subscriber dropped %d events", d)
+	}
+	for want := uint64(1); want <= 32; want++ {
+		ev, ok := fast.Next(ctx)
+		if !ok || ev.Seq != want {
+			t.Fatalf("fast.Next = %v/%v, want seq %d", ev.Seq, ok, want)
+		}
+	}
+}
+
+func TestSubscriptionNextUnblocksOnClose(t *testing.T) {
+	b := NewBroker()
+	sub := b.Subscribe(4)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		sub.Close()
+	}()
+	if _, ok := sub.Next(context.Background()); ok {
+		t.Fatal("Next returned an event from an empty closed subscription")
+	}
+}
+
+func TestPipelinePublishJournalsAndBroadcasts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "events")
+	j, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline()
+	p.SetClock(testClock())
+	p.AttachJournal(j)
+	sub := p.Subscribe(16)
+	defer sub.Close()
+
+	for i := 0; i < 5; i++ {
+		p.Publish(Event{Typ: TypeProgress, Phase: "measurement", Run: i, Message: "go"})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		ev, ok := sub.Next(ctx)
+		if !ok {
+			t.Fatal("subscriber starved")
+		}
+		if ev.Seq != uint64(i+1) || ev.Run != i || ev.At.IsZero() {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+	}
+	if p.DetachJournal() != j {
+		t.Fatal("DetachJournal did not return the attached journal")
+	}
+	j.Close()
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("journal holds %d events, want 5", len(got))
+	}
+	// Replay through the pipeline after detach: no journal, no history.
+	if evs, err := p.ReplaySince(0); err != nil || evs != nil {
+		t.Fatalf("ReplaySince on journal-less pipeline = %v, %v", evs, err)
+	}
+}
+
+func TestPipelineResumesSequenceFromJournal(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "events")
+	j, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline()
+	p.AttachJournal(j)
+	for i := 0; i < 3; i++ {
+		p.Publish(Event{Typ: TypeLog, Run: NoRun})
+	}
+	p.DetachJournal()
+	j.Close()
+
+	// A fresh controller (crash restart) reopens the same journal: the new
+	// pipeline continues at seq 4, never reissuing ids.
+	j2, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	p2 := NewPipeline()
+	p2.AttachJournal(j2)
+	ev := p2.Publish(Event{Typ: TypeLog, Run: NoRun})
+	if ev.Seq != 4 {
+		t.Fatalf("resumed pipeline published seq %d, want 4", ev.Seq)
+	}
+}
+
+func TestSlogHandlerTeesIntoPipeline(t *testing.T) {
+	p := NewPipeline()
+	p.SetClock(testClock())
+	sub := p.Subscribe(16)
+	defer sub.Close()
+
+	lg := NewLogger(p, slog.LevelInfo)
+	lg.Debug("dropped below level")
+	lg.Info("boot complete", "replica", "replica1", "node", "vriga", "run", 7, "elapsed", "1.2s")
+	lg.With("phase", "setup").Warn("barrier timeout", "err", "deadline exceeded")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	ev, ok := sub.Next(ctx)
+	if !ok {
+		t.Fatal("no event for Info record")
+	}
+	if ev.Typ != TypeLog || ev.Level != "INFO" || ev.Message != "boot complete" {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+	if ev.Replica != "replica1" || ev.Node != "vriga" || ev.Run != 7 {
+		t.Fatalf("reserved keys not promoted: %+v", ev)
+	}
+	if ev.Attrs["elapsed"] != "1.2s" {
+		t.Fatalf("attrs not carried: %+v", ev.Attrs)
+	}
+	ev, ok = sub.Next(ctx)
+	if !ok {
+		t.Fatal("no event for Warn record")
+	}
+	if ev.Level != "WARN" || ev.Phase != "setup" || ev.Error != "deadline exceeded" {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+	// Only the two >= Info records were published.
+	cctx, ccancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer ccancel()
+	if extra, ok := sub.Next(cctx); ok {
+		t.Fatalf("unexpected extra event %+v", extra)
+	}
+}
+
+func TestContextLoggerDefaultsToDiscard(t *testing.T) {
+	lg := Logger(context.Background())
+	if lg == nil {
+		t.Fatal("Logger returned nil")
+	}
+	lg.Info("goes nowhere") // must not panic
+	p := NewPipeline()
+	attached := NewLogger(p, slog.LevelInfo)
+	ctx := WithLogger(context.Background(), attached)
+	if Logger(ctx) != attached {
+		t.Fatal("WithLogger/Logger round trip failed")
+	}
+}
+
+func TestPublishConcurrentSequenceUnique(t *testing.T) {
+	p := NewPipeline()
+	sub := p.Subscribe(4096)
+	defer sub.Close()
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				p.Publish(Event{Typ: TypeLog, Run: NoRun})
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	for i := 0; i < goroutines*each; i++ {
+		ev, ok := sub.Next(ctx)
+		if !ok {
+			t.Fatalf("starved after %d events", i)
+		}
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	if p.LastSeq() != goroutines*each {
+		t.Fatalf("LastSeq = %d, want %d", p.LastSeq(), goroutines*each)
+	}
+}

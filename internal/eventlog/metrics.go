@@ -1,0 +1,20 @@
+package eventlog
+
+import "pos/internal/telemetry"
+
+// Event-pipeline telemetry: publication volume, subscriber backpressure, and
+// journal health. Drops count per-subscriber ring evictions — a rising value
+// with a flat published count points at one stalled consumer, not at the
+// campaign.
+var (
+	eventsPublished = telemetry.Default.Counter("pos_events_published_total",
+		"Events published into the experiment event pipeline.")
+	eventsDropped = telemetry.Default.Counter("pos_events_dropped_total",
+		"Events evicted from slow subscribers' ring buffers.")
+	journalBytes = telemetry.Default.Counter("pos_events_journal_bytes_total",
+		"Bytes appended to event journals.")
+	journalRotations = telemetry.Default.Counter("pos_events_journal_rotations_total",
+		"Journal segment rotations.")
+	journalErrors = telemetry.Default.Counter("pos_events_journal_errors_total",
+		"Failed journal appends (events still reached live subscribers).")
+)

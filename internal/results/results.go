@@ -27,13 +27,17 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"pos/internal/eventlog"
 )
 
 // Store is the root of the results tree, the emulated
@@ -53,6 +57,28 @@ type Store struct {
 	// a writer's queue is still draining gets the writer's in-memory state,
 	// not a stale disk scan.
 	exps sync.Map
+
+	// logger receives operational warnings (background flush failures,
+	// which otherwise only surface at the next Sync); discard by default.
+	logger atomic.Pointer[slog.Logger]
+}
+
+// SetLogger installs the structured logger for store-level warnings. The
+// write-behind flusher fails in the background; without a logger its first
+// error waits silently for the next Sync. nil restores the discard default.
+func (s *Store) SetLogger(lg *slog.Logger) {
+	if lg == nil {
+		s.logger.Store(nil)
+		return
+	}
+	s.logger.Store(lg)
+}
+
+func (s *Store) log() *slog.Logger {
+	if lg := s.logger.Load(); lg != nil {
+		return lg
+	}
+	return eventlog.Discard()
 }
 
 // Option configures a Store.

@@ -19,4 +19,6 @@ var (
 	dispatchesOK        = dispatchesTotal.With("ok")
 	dispatchesFailed    = dispatchesTotal.With("failed")
 	dispatchesCancelled = dispatchesTotal.With("cancelled")
+	replicaUp           = telemetry.Default.GaugeVec("pos_replica_up",
+		"1 while a replica's campaign worker is pulling work, 0 once it finished or was quarantined.", "replica")
 )

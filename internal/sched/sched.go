@@ -27,12 +27,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"pos/internal/core"
+	"pos/internal/eventlog"
 	"pos/internal/hosttools"
 	"pos/internal/results"
 	"pos/internal/telemetry"
@@ -85,8 +87,19 @@ type Campaign struct {
 	// replica is quarantined the campaign aborts.
 	QuarantineAfter int
 	// Progress, when non-nil, observes campaign-level measurement events
-	// (Host carries the executing replica's name). Serialized.
+	// (Host carries the executing replica's name) plus every replica
+	// runner's own workflow events. All callbacks — campaign-level and
+	// runner-level from concurrently dispatching replicas — are serialized
+	// through one mutex, so the observer never needs its own locking.
 	Progress func(core.ProgressEvent)
+	// Events, when non-nil, receives the campaign's live event stream. The
+	// campaign journals it under <results>/events/ for replay, forwards it
+	// to the replicas' runners, and publishes replica heartbeats on it.
+	Events *eventlog.Pipeline
+	// HeartbeatInterval is the period of per-replica liveness events on
+	// the Events pipeline (and the pos_replica_up gauge). Zero disables
+	// heartbeat probes; the gauge still tracks worker start/exit.
+	HeartbeatInterval time.Duration
 	// Sleep, when non-nil, replaces the context-aware timer wait used
 	// for retry backoff (tests pin it).
 	Sleep func(ctx context.Context, d time.Duration)
@@ -128,6 +141,85 @@ func (c *Campaign) progress(ev core.ProgressEvent) {
 		c.progressMu.Lock()
 		defer c.progressMu.Unlock()
 		c.Progress(ev)
+	}
+}
+
+// event reports one campaign-level event to the Progress observer and, when
+// an event pipeline is attached, publishes it on the live stream with the
+// dispatch attempt recorded (0 for events outside the retry machinery).
+func (c *Campaign) event(ev core.ProgressEvent, attempt int) {
+	c.progress(ev)
+	if c.Events == nil {
+		return
+	}
+	run := eventlog.NoRun
+	if ev.TotalRuns > 0 {
+		run = ev.Run
+	}
+	c.Events.Publish(eventlog.Event{
+		Typ: eventlog.TypeProgress, Phase: ev.Phase,
+		Run: run, TotalRuns: ev.TotalRuns, Attempt: attempt,
+		Replica: ev.Host, Message: ev.Message, Error: ev.Error,
+	})
+}
+
+// wireReplicas funnels every replica runner's workflow events through the
+// campaign: runner-level Progress callbacks (boot, setup, per-run events,
+// fired from concurrently dispatching replicas) are forwarded to
+// c.Progress under the campaign's single progress mutex, and runners
+// without their own pipeline inherit c.Events. The returned function
+// restores the runners' original wiring.
+func (c *Campaign) wireReplicas() func() {
+	prevProgress := make([]func(core.ProgressEvent), len(c.Replicas))
+	prevEvents := make([]*eventlog.Pipeline, len(c.Replicas))
+	for i := range c.Replicas {
+		r := c.Replicas[i].Runner
+		prevProgress[i], prevEvents[i] = r.Progress, r.Events
+		prev := r.Progress
+		r.Progress = func(ev core.ProgressEvent) {
+			c.progressMu.Lock()
+			defer c.progressMu.Unlock()
+			if prev != nil {
+				prev(ev)
+			}
+			if c.Progress != nil {
+				c.Progress(ev)
+			}
+		}
+		if r.Events == nil {
+			r.Events = c.Events
+		}
+	}
+	return func() {
+		for i := range c.Replicas {
+			c.Replicas[i].Runner.Progress = prevProgress[i]
+			c.Replicas[i].Runner.Events = prevEvents[i]
+		}
+	}
+}
+
+// heartbeat publishes periodic liveness events for one replica until ctx
+// ends, then a final down event. The pos_replica_up gauge itself follows the
+// worker lifecycle (see worker), so a hung worker shows up as a stale
+// heartbeat while the gauge still reads 1 — exactly the signal that
+// distinguishes "slow" from "gone".
+func (c *Campaign) heartbeat(ctx context.Context, name string) {
+	t := time.NewTicker(c.HeartbeatInterval)
+	defer t.Stop()
+	beat := func(msg string) {
+		c.Events.Publish(eventlog.Event{
+			Typ: eventlog.TypeHeartbeat, Replica: name, Run: eventlog.NoRun, Message: msg,
+		})
+	}
+	beat("up")
+	for {
+		select {
+		case <-ctx.Done():
+			beat("down")
+			return
+		case <-t.C:
+			beat("up")
+		}
 	}
 }
 
@@ -373,6 +465,46 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	// Best-effort drain on every exit path; the success path checks the
 	// flush error explicitly below.
 	defer exp.Sync()
+	// Span traces archive on EVERY exit path — a failed or aborted
+	// campaign is precisely the one whose timeline gets post-mortemed.
+	// Registered after the Sync defer, so the artifact drains to disk.
+	if tr != nil {
+		defer func() {
+			tr.Finish()
+			if data, err := tr.RenderJSON(); err == nil {
+				exp.AddExperimentArtifact("spans.json", data)
+			}
+		}()
+	}
+	// The event journal lives directly under the experiment directory
+	// (like .posindex, it is controller state, not a run artifact): every
+	// published event is replayable after the campaign via posctl events.
+	// A campaign without an attached pipeline still journals — a private
+	// pipeline with no subscribers costs only the appends.
+	if c.Events == nil {
+		c.Events = eventlog.NewPipeline()
+		defer func() { c.Events = nil }()
+	}
+	{
+		if j, jerr := eventlog.OpenJournal(filepath.Join(exp.Dir(), "events"), 0); jerr == nil {
+			c.Events.AttachJournal(j)
+			defer func() {
+				c.Events.DetachJournal()
+				j.Close()
+			}()
+		}
+		c.Events.Publish(eventlog.Event{
+			Typ: eventlog.TypeLog, Level: "INFO", Run: eventlog.NoRun,
+			Message: fmt.Sprintf("campaign started: %s, %d replicas", logical.Name, len(c.Replicas)),
+		})
+		defer c.Events.Publish(eventlog.Event{
+			Typ: eventlog.TypeLog, Level: "INFO", Run: eventlog.NoRun,
+			Message: "campaign finished: " + logical.Name,
+		})
+	}
+	// Serialize runner-level events from all replicas through the campaign
+	// progress mutex before any replica starts booting.
+	defer c.wireReplicas()()
 	if err := core.ArchiveDefinition(logical, exp); err != nil {
 		return nil, err
 	}
@@ -441,6 +573,22 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	}
 	queueDepth.Add(float64(len(combos)))
 
+	// Liveness probes: one heartbeat goroutine per replica for the
+	// campaign's duration.
+	if c.Events != nil && c.HeartbeatInterval > 0 {
+		hbCtx, hbCancel := context.WithCancel(context.Background())
+		var hbWg sync.WaitGroup
+		defer hbWg.Wait()
+		defer hbCancel()
+		for i := range c.Replicas {
+			hbWg.Add(1)
+			go func(name string) {
+				defer hbWg.Done()
+				c.heartbeat(hbCtx, name)
+			}(c.Replicas[i].Name)
+		}
+	}
+
 	sem := make(chan struct{}, parallel)
 	for wi, sess := range sessions {
 		wg.Add(1)
@@ -492,13 +640,6 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 	// Cancelled or failed-fast campaigns leave undispatched items behind;
 	// the queue gauge must not drift across campaigns.
 	queueDepth.Add(-float64(drainQueue(st)))
-
-	if tr != nil {
-		tr.Finish()
-		if data, err := tr.RenderJSON(); err == nil {
-			exp.AddExperimentArtifact("spans.json", data)
-		}
-	}
 
 	m, err := json.MarshalIndent(manifest{
 		Replicas: names, Parallel: parallel, TotalRuns: len(combos), Schedule: schedule,
@@ -578,6 +719,11 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 	// flamegraph row per replica in the Chrome trace rendering.
 	runCtx, lane := telemetry.StartSpan(runCtx, "replica:"+name, "replica", name)
 	defer lane.End()
+	// The up gauge follows the worker: a quarantined or finished replica
+	// reads 0 even while its heartbeat goroutine keeps ticking.
+	up := replicaUp.With(name)
+	up.Set(1)
+	defer up.Set(0)
 	dirty := false // a failed run leaves the replica's state suspect
 	consec := 0
 	for {
@@ -597,10 +743,10 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 		// bound: a waiting run must not block a healthy replica's slot.
 		backoff := c.backoffFor(item.attempt)
 		if backoff > 0 {
-			c.progress(core.ProgressEvent{
+			c.event(core.ProgressEvent{
 				Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
 				Host: name, Message: fmt.Sprintf("backing off %v before attempt %d", backoff, item.attempt),
-			})
+			}, item.attempt)
 			c.sleep(runCtx, backoff)
 		}
 		select {
@@ -645,11 +791,11 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 		consec++
 		terminal := item.attempt >= maxAttempts
 		if !terminal {
-			c.progress(core.ProgressEvent{
+			c.event(core.ProgressEvent{
 				Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
 				Host: name, Message: fmt.Sprintf("attempt %d failed, requeueing: %s", item.attempt, rec.Error),
 				Error: rec.Error,
-			})
+			}, item.attempt)
 			retriesTotal.Inc()
 			st.queue <- workItem{run: item.run, attempt: item.attempt + 1}
 			queueDepth.Inc()
@@ -658,11 +804,11 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 		}
 
 		if c.QuarantineAfter > 0 && consec >= c.QuarantineAfter {
-			c.progress(core.ProgressEvent{
+			c.event(core.ProgressEvent{
 				Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
 				Host: name, Message: fmt.Sprintf("replica quarantined after %d consecutive failures", consec),
 				Error: rec.Error,
-			})
+			}, item.attempt)
 			quarantinesTotal.Inc()
 			lane.SetAttr("quarantined", "true")
 			st.mu.Lock()
@@ -715,18 +861,17 @@ func (c *Campaign) dispatch(runCtx context.Context, sess *core.Session, st *camp
 				Attempt: item.attempt, Replica: name, Phase: phaseResetup,
 				Failed: true, Error: err.Error(), BackoffMS: backoff.Milliseconds(),
 			})
-			c.progress(core.ProgressEvent{
+			c.event(core.ProgressEvent{
 				Phase: core.PhaseSetup, Run: item.run, TotalRuns: len(combos),
 				Host: name, Message: "clean-slate re-setup failed", Error: err.Error(),
-			})
+			}, item.attempt)
 			return rec, err
 		}
 	}
 
-	c.progress(core.ProgressEvent{
-		Phase: core.PhaseMeasurement, Run: item.run, TotalRuns: len(combos),
-		Host: name, Message: combos[item.run].Key(),
-	})
+	// The run-start event is emitted by RunOne itself and forwarded through
+	// the campaign's serialized progress wiring (wireReplicas), so dispatch
+	// does not duplicate it.
 	rec, err := sess.RunOne(rctx, item.run, len(combos), combos[item.run])
 	if err != nil && !rec.Failed {
 		// Recording errors (artifact or metadata writes) that RunOne

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"pos/internal/core"
+	"pos/internal/eventlog"
 	"pos/internal/hosttools"
 	"pos/internal/results"
 	"pos/internal/sim"
@@ -981,5 +982,125 @@ func TestCampaignRetryEventsCarryError(t *testing.T) {
 	}
 	if !requeued {
 		t.Error("retry event with Error not observed")
+	}
+}
+
+// TestCampaignProgressSerialized: the Progress contract says callbacks are
+// serialized through one mutex, including runner-level events forwarded from
+// concurrently executing replicas. The callback therefore mutates shared
+// state WITHOUT its own lock — under -race this fails if any event path
+// bypasses the campaign mutex.
+func TestCampaignProgressSerialized(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, _ := newReplica("alpha", "nodeA", svc)
+	repB, _ := newReplica("beta", "nodeB", svc)
+	store := storeAt(t)
+	counts := map[string]int{} // deliberately unsynchronized
+	var total int
+	c := &Campaign{
+		Replicas: []Replica{repA, repB},
+		Progress: func(ev core.ProgressEvent) {
+			counts[ev.Host]++
+			total++
+		},
+	}
+	if _, err := c.Run(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("no progress events observed")
+	}
+	if counts["nodeA"] == 0 || counts["nodeB"] == 0 {
+		t.Errorf("runner-level events not forwarded from both replicas: %v", counts)
+	}
+}
+
+// TestCampaignArchivesSpansOnFailure: an aborted campaign's span trace is
+// precisely the one worth post-morteming, so spans.json must land in the
+// results tree on the failure exit path too.
+func TestCampaignArchivesSpansOnFailure(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, hostA := newReplica("alpha", "nodeA", svc)
+	repB, hostB := newReplica("beta", "nodeB", svc)
+	fail := func(ctx context.Context, env map[string]string) error {
+		return errors.New("loadgen crashed")
+	}
+	hostA.onMeasure = fail
+	hostB.onMeasure = fail
+	store := storeAt(t)
+	c := &Campaign{Replicas: []Replica{repA, repB}}
+	sum, err := c.Run(context.Background(), store)
+	if err == nil {
+		t.Fatal("campaign succeeded, want fail-fast abort")
+	}
+	if sum == nil || sum.ResultsDir == "" {
+		t.Fatalf("aborted campaign returned no summary/results dir: %+v", sum)
+	}
+	exp, err := store.OpenExperiment("user", "sweep", filepath.Base(sum.ResultsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := exp.ReadExperimentArtifact("spans.json")
+	if err != nil {
+		t.Fatalf("spans.json not archived on abort: %v", err)
+	}
+	recs, err := telemetry.ParseSpans(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("spans.json empty on abort")
+	}
+}
+
+// TestCampaignJournalsEvents: every campaign journals its events under the
+// experiment directory — even without a caller-attached pipeline — and the
+// replayed sequence is complete and ordered.
+func TestCampaignJournalsEvents(t *testing.T) {
+	svc := hosttools.NewService(nil)
+	repA, _ := newReplica("alpha", "nodeA", svc)
+	repB, _ := newReplica("beta", "nodeB", svc)
+	store := storeAt(t)
+	c := &Campaign{Replicas: []Replica{repA, repB}}
+	sum, err := c.Run(context.Background(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Events != nil {
+		t.Error("private pipeline leaked out of Run")
+	}
+	evs, err := eventlog.Replay(filepath.Join(sum.ResultsDir, "events"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no journaled events")
+	}
+	if got := evs[0].Message; !strings.Contains(got, "campaign started") {
+		t.Errorf("first event = %q, want campaign start", got)
+	}
+	if got := evs[len(evs)-1].Message; !strings.Contains(got, "campaign finished") {
+		t.Errorf("last event = %q, want campaign finish", got)
+	}
+	var last uint64
+	replicas := map[string]bool{}
+	runs := map[int]bool{}
+	for _, ev := range evs {
+		if ev.Seq <= last {
+			t.Fatalf("sequence not strictly increasing: %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+		if ev.Replica != "" {
+			replicas[ev.Replica] = true
+		}
+		if ev.Typ == eventlog.TypeProgress && ev.TotalRuns > 0 {
+			runs[ev.Run] = true
+		}
+	}
+	if !replicas["alpha"] || !replicas["beta"] {
+		t.Errorf("journal missing replica events: %v", replicas)
+	}
+	if len(runs) != 6 {
+		t.Errorf("journaled run starts = %d, want 6 (%v)", len(runs), runs)
 	}
 }

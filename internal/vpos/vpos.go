@@ -11,6 +11,7 @@ package vpos
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -19,6 +20,7 @@ import (
 
 	"pos/internal/casestudy"
 	"pos/internal/core"
+	"pos/internal/eventlog"
 	"pos/internal/results"
 	"pos/internal/sim"
 	"pos/internal/trace"
@@ -89,6 +91,34 @@ type Manager struct {
 	seq       int
 	instances map[string]*Instance
 	clock     func() time.Time
+	events    *eventlog.Pipeline
+	logger    *slog.Logger
+}
+
+// SetEvents attaches the live event pipeline: every instance execution's
+// runner publishes its workflow events there, so a vposd operator can watch
+// instance experiments the same way campaign observers do.
+func (m *Manager) SetEvents(p *eventlog.Pipeline) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = p
+}
+
+// SetLogger installs the structured logger for instance lifecycle events;
+// nil restores the discard default.
+func (m *Manager) SetLogger(lg *slog.Logger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logger = lg
+}
+
+func (m *Manager) log() *slog.Logger {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.logger == nil {
+		return eventlog.Discard()
+	}
+	return m.logger
 }
 
 // NewManager returns a manager storing instance results under baseDir.
@@ -135,6 +165,7 @@ func (m *Manager) Create() (*Instance, error) {
 	m.mu.Lock()
 	m.instances[id] = inst
 	m.mu.Unlock()
+	m.log().Info("vpos instance created", "instance", id, "nodes", len(inst.Nodes))
 	return inst, nil
 }
 
@@ -185,6 +216,7 @@ func (m *Manager) Destroy(id string) error {
 	}
 	inst.status = StatusDestroyed
 	inst.topo.Close()
+	m.log().Info("vpos instance destroyed", "instance", id)
 	return nil
 }
 
@@ -234,6 +266,14 @@ func (m *Manager) Run(ctx context.Context, id string, cfg RunConfig) (*RunInfo, 
 	rec.Clock = m.clock
 	rec.Forward = runner.Progress
 	runner.Progress = rec.Observe
+	m.mu.Lock()
+	runner.Events = m.events
+	lg := m.logger
+	m.mu.Unlock()
+	if lg != nil {
+		ctx = eventlog.WithLogger(ctx, lg)
+	}
+	m.log().Info("vpos experiment started", "instance", id, "experiment", exp.Name)
 	sum, runErr := runner.Run(ctx, exp, store)
 	info.FinishedAt = m.clock()
 	if sum != nil {
@@ -254,8 +294,12 @@ func (m *Manager) Run(ctx context.Context, id string, cfg RunConfig) (*RunInfo, 
 	inst.lastRun = info
 	inst.mu.Unlock()
 	if runErr != nil {
+		m.log().Error("vpos experiment failed", "instance", id,
+			"experiment", exp.Name, "err", runErr.Error())
 		return info, fmt.Errorf("vpos: %w", runErr)
 	}
+	m.log().Info("vpos experiment finished", "instance", id,
+		"experiment", exp.Name, "runs", info.TotalRuns)
 	return info, nil
 }
 

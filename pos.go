@@ -3,6 +3,7 @@ package pos
 import (
 	"context"
 	"io"
+	"log/slog"
 
 	"pos/internal/api"
 	"pos/internal/calendar"
@@ -10,6 +11,7 @@ import (
 	"pos/internal/compare"
 	"pos/internal/core"
 	"pos/internal/eval"
+	"pos/internal/eventlog"
 	"pos/internal/expfile"
 	"pos/internal/hosttools"
 	"pos/internal/image"
@@ -457,6 +459,55 @@ type (
 // Observe method into Runner.Progress or Campaign.Progress and Archive it
 // into the results.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// Live observability (internal/eventlog): the structured event journal and
+// in-process broker behind GET /api/v1/events and `posctl watch`. Runners
+// and campaigns publish typed events into a pipeline; the pipeline appends
+// them to a crash-safe JSONL journal and fans them out to subscribers whose
+// ring buffers never block the publisher.
+type (
+	// EventPipeline stamps, journals, and broadcasts experiment events.
+	EventPipeline = eventlog.Pipeline
+	// ExperimentEvent is one stamped observability event.
+	ExperimentEvent = eventlog.Event
+	// EventSubscription is a live, non-blocking event feed.
+	EventSubscription = eventlog.Subscription
+	// EventJournal is the append-only on-disk event log.
+	EventJournal = eventlog.Journal
+	// EventStreamOptions selects what an APIClient event stream receives.
+	EventStreamOptions = api.EventStreamOptions
+)
+
+// NewEventPipeline returns an empty pipeline; assign it to Runner.Events or
+// Campaign.Events and hand it to APIServer.SetEvents to stream it.
+func NewEventPipeline() *EventPipeline { return eventlog.NewPipeline() }
+
+// OpenEventJournal opens (or creates) an event journal rooted at dir,
+// recovering from a torn final write.
+func OpenEventJournal(dir string) (*EventJournal, error) {
+	return eventlog.OpenJournal(dir, 0)
+}
+
+// ReplayEvents reads every event a finished experiment journaled under
+// dir (the experiment's events/ directory), in sequence order.
+func ReplayEvents(dir string) ([]ExperimentEvent, error) { return eventlog.Replay(dir) }
+
+// NewEventLogger returns a slog.Logger whose records become events on the
+// pipeline — the structured-logging spine of the toolchain.
+func NewEventLogger(p *EventPipeline, level slog.Leveler) *slog.Logger {
+	return eventlog.NewLogger(p, level)
+}
+
+// WithEventLogger carries a structured logger in the context; library code
+// retrieves it with eventlog.Logger and logs into the experiment's event
+// stream.
+func WithEventLogger(ctx context.Context, lg *slog.Logger) context.Context {
+	return eventlog.WithLogger(ctx, lg)
+}
+
+// ErrStopEventStream, returned from an APIClient.StreamEvents callback,
+// ends the stream cleanly.
+var ErrStopEventStream = api.ErrStopStream
 
 // Telemetry (internal/telemetry): the process-wide metrics registry and the
 // hierarchical span trees archived as spans.json.
