@@ -15,13 +15,17 @@ race:
 # Fault-tolerance tier: the retry/quarantine/fault-injection paths under
 # the race detector — workers re-enqueueing failed runs, quarantine
 # draining, and the fault-injection hooks all synchronize across
-# goroutines, so -race is the honest way to run them.
+# goroutines, so -race is the honest way to run them. internal/sim covers
+# the sharded-timeline synchronizer; the root-package Batched/Sharded
+# differential tests hold the parallel data plane to byte-identical
+# results while racing.
 .PHONY: verify-race
 verify-race:
 	go build ./...
 	go test -race ./internal/sched/ ./internal/core/ ./internal/hosttools/ \
 		./internal/casestudy/ ./internal/vpos/ ./internal/api/ \
-		./internal/eventlog/
+		./internal/eventlog/ ./internal/sim/
+	go test -race -run 'TestBatchedMatchesScalar|TestShardedSweepMatchesSequential' .
 
 # Performance tier: the speedup benchmarks added with the campaign
 # scheduler (sequential vs. 2-replica sweep, regexp vs. scanner parsing).
@@ -37,6 +41,16 @@ bench:
 bench-results:
 	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_results.json \
 	go test -run NONE -bench 'BenchmarkStoreIngest|BenchmarkEvalWarmCache|BenchmarkAppendixWorkflow' \
+		-benchmem -benchtime 5x .
+
+# Data-plane tier: the batched zero-alloc engine against the scalar
+# event-per-hop oracle — one plateau-rate run (allocs/op, allocs/train)
+# and the sharded sim-bound sweep (speedup_x, one shard per core).
+# Headline numbers are recorded next to the code in BENCH_dataplane.json.
+.PHONY: bench-dataplane
+bench-dataplane:
+	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_dataplane.json \
+	go test -run NONE -bench 'BenchmarkDataPlane$$|BenchmarkDataPlaneSweep' \
 		-benchmem -benchtime 5x .
 
 # Retry-overhead tier: fault-free vs. faulty campaign wall clock. The

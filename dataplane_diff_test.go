@@ -1,0 +1,223 @@
+package pos_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pos"
+	"pos/internal/compare"
+	"pos/internal/telemetry"
+)
+
+// The batched cut-through data plane is a pure performance optimization: its
+// contract is byte-identical results against the scalar event-per-hop engine
+// it replaced. These differential tests hold it to that contract across the
+// paper's workloads — Fig. 3a (bare metal), Fig. 3b (seeded virtual), the
+// latency CDF samples, the full Appendix A workflow artifact tree, and the
+// sharded parallel sweep.
+
+// diffSweep runs the same measurement points on both topologies and fails on
+// the first field that differs.
+func diffSweep(t *testing.T, batched, scalar *pos.CaseStudy, sizes []int, rates []float64) {
+	t.Helper()
+	for _, size := range sizes {
+		for _, rate := range rates {
+			got, err := batched.DirectRun(size, rate, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := scalar.DirectRun(size, rate, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("size=%d rate=%g: batched %+v != scalar %+v", size, rate, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchedMatchesScalarFigure3a sweeps the bare-metal router (Fig. 3a:
+// the 1.75 Mpps CPU plateau and the 1500 B line-rate ceiling) through both
+// engines.
+func TestBatchedMatchesScalarFigure3a(t *testing.T) {
+	batched, err := pos.NewCaseStudy(pos.BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+	scalar, err := pos.NewCaseStudy(pos.BareMetal, pos.WithScalarEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scalar.Close()
+	diffSweep(t, batched, scalar,
+		[]int{64, 1500},
+		[]float64{10_000, 150_000, 300_000, 1_000_000, 1_800_000, 2_200_000})
+}
+
+// TestBatchedMatchesScalarFigure3b sweeps the seeded virtual testbed
+// (Fig. 3b): jittered links keep the scalar delivery path, the software
+// clock adds timestamp noise, and overload sheds packets — all of it must
+// still agree bit for bit.
+func TestBatchedMatchesScalarFigure3b(t *testing.T) {
+	batched, err := pos.NewCaseStudy(pos.Virtual, pos.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+	scalar, err := pos.NewCaseStudy(pos.Virtual, pos.WithSeed(7), pos.WithScalarEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scalar.Close()
+	diffSweep(t, batched, scalar,
+		[]int{64, 1500},
+		[]float64{20_000, 120_000, 250_000, 400_000})
+}
+
+// TestBatchedMatchesScalarLatencySamples compares the raw latency sample
+// streams — order and value — behind the paper's latency CDF.
+func TestBatchedMatchesScalarLatencySamples(t *testing.T) {
+	batched, err := pos.NewCaseStudy(pos.BareMetal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+	scalar, err := pos.NewCaseStudy(pos.BareMetal, pos.WithScalarEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scalar.Close()
+	got, err := batched.LatencySamples(64, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scalar.LatencySamples(64, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sample counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchedMatchesScalarWorkflowArtifacts executes the Appendix A workflow
+// end to end — control plane, measurement scripts, artifact uploads — on
+// both engines with a pinned wall clock, then diffs the two experiment
+// result trees byte for byte: metadata.json, moongen.log, router.stats,
+// every run directory.
+func TestBatchedMatchesScalarWorkflowArtifacts(t *testing.T) {
+	cfg := pos.SweepConfig{
+		Sizes:      []int{64, 1500},
+		RatesPPS:   []int{10_000, 300_000},
+		RuntimeSec: 1,
+	}
+	epoch := time.Date(2021, 10, 12, 11, 20, 32, 230471000, time.UTC)
+	// Span archiving is off for this test: spans.json records the order in
+	// which concurrent per-host goroutines opened spans — host scheduling,
+	// not measurement results — so it is legitimately run-to-run volatile.
+	telemetry.Default.SetEnabled(false)
+	defer telemetry.Default.SetEnabled(true)
+	runTree := func(opts ...pos.CaseStudyOption) string {
+		topo, err := pos.NewCaseStudy(pos.Virtual, append([]pos.CaseStudyOption{pos.WithSeed(3)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer topo.Close()
+		store, err := pos.NewResultsStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := topo.Experiment(cfg)
+		runner := topo.Testbed.Runner()
+		runner.Clock = func() time.Time { return epoch }
+		if _, err := runner.Run(context.Background(), exp, store); err != nil {
+			t.Fatal(err)
+		}
+		ids, err := store.ListExperiments(exp.User, exp.Name)
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("experiments = %v, %v", ids, err)
+		}
+		rec, err := store.OpenExperiment(exp.User, exp.Name, ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Dir()
+	}
+	batchedDir := runTree()
+	scalarDir := runTree(pos.WithScalarEngine())
+	diffs, err := compare.DiffExperiments(batchedDir, scalarDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		t.Errorf("artifact differs: %s", d)
+	}
+}
+
+// TestShardedSweepMatchesSequential runs the same sweep once through the
+// parallel sharded executor and once sequentially on identically built
+// replicas, asserting point-for-point equality in campaign order.
+func TestShardedSweepMatchesSequential(t *testing.T) {
+	cfg := pos.SweepConfig{
+		Sizes:      []int{64, 1500},
+		RatesPPS:   []int{20_000, 120_000, 250_000},
+		RuntimeSec: 1,
+	}
+	const n = 3
+	build := func() []*pos.CaseStudy {
+		topos, err := pos.NewCaseStudyReplicas(pos.Virtual, n, pos.WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topos
+	}
+	sharded := build()
+	got, err := pos.ShardedSweep(sharded, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range sharded {
+		topo.Close()
+	}
+
+	// Sequential oracle: each replica runs its round-robin subsequence of
+	// the campaign-order point list, exactly as the shard driver does.
+	seq := build()
+	defer func() {
+		for _, topo := range seq {
+			topo.Close()
+		}
+	}()
+	var pts [][2]float64
+	for _, size := range cfg.Sizes {
+		for _, rate := range cfg.RatesPPS {
+			pts = append(pts, [2]float64{float64(size), float64(rate)})
+		}
+	}
+	want := make([]pos.RunPoint, len(pts))
+	for i, topo := range seq {
+		for p := i; p < len(pts); p += n {
+			pt, err := topo.DirectRun(int(pts[p][0]), pts[p][1], cfg.RuntimeSec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[p] = pt
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("point counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("point %d differs: sharded %+v != sequential %+v", i, got[i], want[i])
+		}
+	}
+}

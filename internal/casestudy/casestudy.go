@@ -77,6 +77,7 @@ type options struct {
 	switchDelay sim.Duration
 	profile     *loadgen.Profile
 	faults      map[string]sim.FaultPlan
+	scalar      bool
 }
 
 // WithSeed pins the VM jitter seed (default 1).
@@ -97,6 +98,14 @@ func WithSwitch(delay sim.Duration) Option {
 // hardware terms.
 func WithGenerator(p loadgen.Profile) Option {
 	return func(o *options) { o.profile = &p }
+}
+
+// WithScalarEngine disables the batched cut-through data plane and runs the
+// topology on the scalar event-per-hop engine. The scalar path is the
+// differential-test oracle: it produces byte-identical results to the
+// batched default and exists so tests (and suspicious users) can prove it.
+func WithScalarEngine() Option {
+	return func(o *options) { o.scalar = true }
 }
 
 // WithFaults arms the topology with a deterministic fault schedule, keyed
@@ -161,6 +170,7 @@ func newTopology(flavor Flavor, seedOffset uint64, opts ...Option) (*Topology, e
 	}
 
 	engine := sim.NewEngine()
+	engine.SetBatching(!o.scalar)
 	hw := flavor == BareMetal
 	var model perfmodel.Model
 	if hw {

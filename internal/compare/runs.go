@@ -1,0 +1,77 @@
+package compare
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DiffExperiments walks two experiment result directories and reports every
+// path whose bytes differ, exists only on one side, or differs in kind
+// (file vs directory). An empty slice means the trees are byte-identical —
+// the reproducibility bar the paper sets for rerun experiments, and the one
+// the differential tests hold the batched data plane to against the scalar
+// oracle.
+func DiffExperiments(dirA, dirB string) ([]string, error) {
+	filesA, err := listFiles(dirA)
+	if err != nil {
+		return nil, err
+	}
+	filesB, err := listFiles(dirB)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(filesA)+len(filesB))
+	var diffs []string
+	for rel := range filesA {
+		seen[rel] = true
+		if !filesB[rel] {
+			diffs = append(diffs, fmt.Sprintf("%s: only in %s", rel, dirA))
+			continue
+		}
+		a, err := os.ReadFile(filepath.Join(dirA, rel))
+		if err != nil {
+			return nil, err
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, rel))
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(a, b) {
+			diffs = append(diffs, fmt.Sprintf("%s: %d vs %d bytes, contents differ", rel, len(a), len(b)))
+		}
+	}
+	for rel := range filesB {
+		if !seen[rel] {
+			diffs = append(diffs, fmt.Sprintf("%s: only in %s", rel, dirB))
+		}
+	}
+	sort.Strings(diffs)
+	return diffs, nil
+}
+
+// listFiles returns the set of regular-file paths under root, relative to it.
+func listFiles(root string) (map[string]bool, error) {
+	out := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -5,17 +5,32 @@
 // forwarding latency. Its report format mirrors MoonGen's statistics output
 // closely enough that the moonparse package plays the role of the paper's
 // "parser for MoonGen's output".
+//
+// The generator has two emission paths. The scalar path pre-schedules one
+// heap event per tick — the original engine, kept verbatim as the
+// differential-test oracle. The batched path (engine in Batching mode) emits
+// one packet train per tick from a sim.Ticker lane and lets the network
+// deliver cut-through, which removes every per-tick heap operation and
+// closure allocation; its emission schedule and per-second bucketing are
+// computed so the two paths produce byte-identical results.
 package loadgen
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pos/internal/netem"
 	"pos/internal/packet"
 	"pos/internal/pcap"
 	"pos/internal/sim"
 )
+
+// tsNoiseSeedOffset derives the RX timestamp-noise stream from the profile
+// seed. TX jitter and RX noise draw from separate streams so that emission
+// scheduling can be precomputed without perturbing the per-arrival noise
+// sequence.
+const tsNoiseSeedOffset = 0x9E3779B97F4A7C15
 
 // Generator is a dual-port traffic source/sink: it transmits on port TX and
 // counts what returns on port RX, exactly like the case study's MoonGen host
@@ -29,6 +44,7 @@ type Generator struct {
 
 	// run state
 	active        bool
+	batched       bool
 	runEnd        sim.Time
 	rxPackets     int64
 	rxBytes       int64
@@ -42,10 +58,22 @@ type Generator struct {
 	sampleCounter int
 	sampleEvery   int
 
+	// batched-path state, all buffers reused across runs.
+	emit      []int64    // per-tick emission counts, precomputed at Start
+	rotations []sim.Time // per-second rotation instants (tick times)
+	rxBuckets []int64    // RX counts per bucket, indexed by rxBucket walk
+	rxBucket  int
+	tickIdx   int
+
+	frames   [][]byte
+	frameIdx int
+	frame    []byte // cached synthesized template frame
+
 	// profile models the generator implementation's fidelity; noise
-	// drives its burst and timestamp jitter.
+	// drives its burst jitter, tsNoise its software-timestamp error.
 	profile Profile
 	noise   *sim.Rand
+	tsNoise *sim.Rand
 }
 
 // New returns a generator whose ports are named <name>.tx / <name>.rx.
@@ -62,6 +90,7 @@ func New(e *sim.Engine, name string, hardwareTimestamps bool) *Generator {
 	// fidelity models of concrete generator implementations.
 	g.profile = Profile{Name: "moongen", TickInterval: DefaultTickInterval, HardwareTimestamps: hardwareTimestamps}
 	g.noise = sim.NewRand(1)
+	g.tsNoise = sim.NewRand(1 + tsNoiseSeedOffset)
 	return g
 }
 
@@ -163,18 +192,44 @@ func (r RunResult) LatencyStats() (avg, min, max float64) {
 	return avg, min, max
 }
 
+// ActiveRun is a measurement run that has been scheduled on the engine but
+// not yet finalized. External drivers (sharded sweeps) start runs, advance
+// the engine themselves, and collect the result once the engine is idle.
+type ActiveRun struct {
+	g         *Generator
+	cfg       RunConfig
+	frameSize int
+	txBefore  netem.Counters
+	finalized bool
+}
+
 // Run executes one measurement run to completion on the generator's engine
 // and returns the measured result. It drives the engine itself; the caller
 // must not be inside an engine callback.
 func (g *Generator) Run(cfg RunConfig) (RunResult, error) {
+	ar, err := g.Start(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := g.engine.Run(); err != nil {
+		g.active = false
+		return RunResult{}, err
+	}
+	return ar.Result()
+}
+
+// Start validates the configuration and schedules the run's transmit
+// activity on the engine without driving it. The caller runs the engine to
+// quiescence (directly or through a sim.ShardGroup) and then calls Result.
+func (g *Generator) Start(cfg RunConfig) (*ActiveRun, error) {
 	if g.active {
-		return RunResult{}, fmt.Errorf("loadgen %s: run already active", g.Name)
+		return nil, fmt.Errorf("loadgen %s: run already active", g.Name)
 	}
 	if cfg.RatePPS <= 0 {
-		return RunResult{}, fmt.Errorf("loadgen %s: non-positive rate %v", g.Name, cfg.RatePPS)
+		return nil, fmt.Errorf("loadgen %s: non-positive rate %v", g.Name, cfg.RatePPS)
 	}
 	if cfg.Duration <= 0 {
-		return RunResult{}, fmt.Errorf("loadgen %s: non-positive duration %v", g.Name, cfg.Duration)
+		return nil, fmt.Errorf("loadgen %s: non-positive duration %v", g.Name, cfg.Duration)
 	}
 	tick := cfg.TickInterval
 	if tick <= 0 {
@@ -187,20 +242,22 @@ func (g *Generator) Run(cfg RunConfig) (RunResult, error) {
 		tick = cfg.Duration
 	}
 
-	var frames [][]byte
+	g.frames = g.frames[:0]
 	if len(cfg.Replay) > 0 {
 		for _, p := range cfg.Replay {
-			frames = append(frames, p.Data)
+			g.frames = append(g.frames, p.Data)
 		}
 	} else {
-		data, err := cfg.Template.Build()
+		data, err := cfg.Template.BuildReuse(g.frame)
 		if err != nil {
-			return RunResult{}, fmt.Errorf("loadgen %s: %w", g.Name, err)
+			return nil, fmt.Errorf("loadgen %s: %w", g.Name, err)
 		}
-		frames = [][]byte{data}
+		g.frame = data
+		g.frames = append(g.frames, data)
 	}
 
 	g.active = true
+	g.batched = g.engine.Batching()
 	start := g.engine.Now()
 	grace := cfg.DrainGrace
 	if grace == 0 {
@@ -213,7 +270,7 @@ func (g *Generator) Run(cfg RunConfig) (RunResult, error) {
 	g.rxPackets, g.rxBytes = 0, 0
 	g.latencies = g.latencies[:0]
 	g.latencyOK = g.tx.HardwareTimestamps && g.rx.HardwareTimestamps
-	g.perSecondTx, g.perSecondRx = nil, nil
+	g.perSecondTx, g.perSecondRx = g.perSecondTx[:0], g.perSecondRx[:0]
 	g.curSecTx, g.curSecRx = 0, 0
 	g.latencyCap = cfg.MaxLatencySamples
 	if g.latencyCap <= 0 {
@@ -224,13 +281,23 @@ func (g *Generator) Run(cfg RunConfig) (RunResult, error) {
 		g.sampleEvery = 1
 	}
 	g.sampleCounter = 0
+	g.frameIdx = 0
 
-	txBefore := g.tx.Stats()
+	ar := &ActiveRun{g: g, cfg: cfg, frameSize: len(g.frames[0]), txBefore: g.tx.Stats()}
+	if g.batched {
+		g.startBatched(cfg, start, tick)
+	} else {
+		g.startScalar(cfg, start, tick)
+	}
+	return ar, nil
+}
 
+// startScalar pre-schedules one heap event per tick — the original emission
+// engine, preserved as the differential-test oracle.
+func (g *Generator) startScalar(cfg RunConfig, start sim.Time, tick sim.Duration) {
 	// Schedule transmit ticks with fractional-packet carry so any rate is
 	// hit exactly on average.
 	var carry float64
-	frameIdx := 0
 	perTickExact := cfg.RatePPS * tick.Seconds()
 	var secMark sim.Time = start.Add(sim.Second)
 	for at := sim.Duration(0); at < cfg.Duration; at += tick {
@@ -256,8 +323,8 @@ func (g *Generator) Run(cfg RunConfig) (RunResult, error) {
 				g.rotateSecond()
 				secMark = secMark.Add(sim.Second)
 			}
-			frame := frames[frameIdx]
-			frameIdx = (frameIdx + 1) % len(frames)
+			frame := g.frames[g.frameIdx]
+			g.frameIdx = (g.frameIdx + 1) % len(g.frames)
 			g.tx.Send(now, netem.Batch{
 				Data:        frame,
 				FrameSize:   len(frame),
@@ -268,29 +335,146 @@ func (g *Generator) Run(cfg RunConfig) (RunResult, error) {
 			g.curSecTx += n
 		})
 	}
+}
 
-	// Let in-flight traffic land: run the engine until quiescent. RX
-	// accounting in HandleBatch ignores anything after runEnd.
-	if err := g.engine.Run(); err != nil {
-		g.active = false
-		return RunResult{}, err
+// startBatched precomputes the whole emission schedule — per-tick train
+// sizes, per-second TX buckets and the rotation instants that delimit RX
+// buckets — and registers a single ticker lane to emit it. The arithmetic is
+// tick-for-tick the scalar handler's, so the schedule (and with it every
+// derived statistic) is identical; only the heap events disappear.
+func (g *Generator) startBatched(cfg RunConfig, start sim.Time, tick sim.Duration) {
+	g.emit = g.emit[:0]
+	g.rotations = g.rotations[:0]
+	var carry float64
+	var curSecTx int64
+	perTickExact := cfg.RatePPS * tick.Seconds()
+	secMark := start.Add(sim.Second)
+	nTicks := 0
+	for at := sim.Duration(0); at < cfg.Duration; at += tick {
+		now := start.Add(at)
+		nTicks++
+		emit := perTickExact
+		if g.profile.BurstJitter > 0 {
+			f := 1 + g.profile.BurstJitter*g.noise.NormFloat64()
+			if f < 0 {
+				f = 0
+			}
+			emit *= f
+		}
+		carry += emit
+		n := int64(carry)
+		carry -= float64(n)
+		g.emit = append(g.emit, n)
+		if n == 0 {
+			continue
+		}
+		// The scalar handler rotates lazily: buckets close at the first
+		// emitting tick past the boundary, and an RX batch delivered at
+		// exactly that instant lands in the new bucket because the tick
+		// event carries a lower sequence number. Recording the instant
+		// (repeated when one tick closes several empty seconds) lets
+		// HandleBatch reproduce that assignment from timestamps alone.
+		for now >= secMark {
+			g.perSecondTx = append(g.perSecondTx, float64(curSecTx))
+			g.rotations = append(g.rotations, now)
+			curSecTx = 0
+			secMark = secMark.Add(sim.Second)
+		}
+		curSecTx += n
 	}
-	g.rotateSecond()
+	g.curSecTx = curSecTx
+	g.rxBuckets = g.rxBuckets[:0]
+	for i := 0; i <= len(g.rotations); i++ {
+		g.rxBuckets = append(g.rxBuckets, 0)
+	}
+	g.rxBucket = 0
+	g.tickIdx = 0
+	// Train telemetry flushes here, once per run: the schedule is known in
+	// full, so a single aggregation pass replaces three atomics per tick in
+	// the emission hot path. Distinct train sizes are few (carry keeps them
+	// within one packet of each other; jitter widens the set a little).
+	sizes := make(map[int64]uint64, 4)
+	var trains uint64
+	for _, n := range g.emit {
+		if n > 0 {
+			sizes[n]++
+			trains++
+		}
+	}
+	order := make([]int64, 0, len(sizes))
+	for v := range sizes {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, v := range order {
+		trainPackets.ObserveN(float64(v), sizes[v])
+	}
+	trainsTotal.Add(float64(trains))
+	g.engine.Ticks(start, tick, nTicks, g.batchedTick)
+}
+
+// batchedTick emits one precomputed packet train. No RNG, no heap events,
+// no allocations: the hot path is a slice read and a cut-through Send.
+func (g *Generator) batchedTick(now sim.Time) {
+	n := g.emit[g.tickIdx]
+	g.tickIdx++
+	if n == 0 {
+		return
+	}
+	frame := g.frames[g.frameIdx]
+	if g.frameIdx++; g.frameIdx == len(g.frames) {
+		g.frameIdx = 0
+	}
+	g.tx.Send(now, netem.Batch{
+		Data:        frame,
+		FrameSize:   len(frame),
+		Count:       n,
+		SentAt:      now,
+		Timestamped: true,
+	})
+}
+
+// Result finalizes the run and assembles its statistics. The engine must
+// have gone quiescent (all scheduled ticks fired, all deliveries landed)
+// since Start.
+func (ar *ActiveRun) Result() (RunResult, error) {
+	g := ar.g
+	if ar.finalized {
+		return RunResult{}, fmt.Errorf("loadgen %s: run already finalized", g.Name)
+	}
+	if g.batched && g.tickIdx < len(g.emit) {
+		return RunResult{}, fmt.Errorf("loadgen %s: %d of %d ticks still pending; run the engine to quiescence before Result", g.Name, len(g.emit)-g.tickIdx, len(g.emit))
+	}
+	ar.finalized = true
 	g.active = false
+	cfg := ar.cfg
+
+	var perSecTx, perSecRx []float64
+	if g.batched {
+		perSecTx = append([]float64(nil), g.perSecondTx...)
+		perSecTx = append(perSecTx, float64(g.curSecTx))
+		perSecRx = make([]float64, len(g.rxBuckets))
+		for i, n := range g.rxBuckets {
+			perSecRx[i] = float64(n)
+		}
+	} else {
+		g.rotateSecond()
+		perSecTx = append([]float64(nil), g.perSecondTx...)
+		perSecRx = append([]float64(nil), g.perSecondRx...)
+	}
 
 	txAfter := g.tx.Stats()
-	frameSize := len(frames[0])
 	res := RunResult{
-		FrameSize:        frameSize,
+		FrameSize:        ar.frameSize,
 		OfferedPPS:       cfg.RatePPS,
 		Duration:         cfg.Duration,
-		TxPackets:        txAfter.TxPackets - txBefore.TxPackets,
-		TxBytes:          txAfter.TxBytes - txBefore.TxBytes,
-		TxDropped:        txAfter.TxDropped - txBefore.TxDropped,
+		TxPackets:        txAfter.TxPackets - ar.txBefore.TxPackets,
+		TxBytes:          txAfter.TxBytes - ar.txBefore.TxBytes,
+		TxDropped:        txAfter.TxDropped - ar.txBefore.TxDropped,
 		RxPackets:        g.rxPackets,
 		RxBytes:          g.rxBytes,
-		PerSecondTx:      append([]float64(nil), g.perSecondTx...),
-		PerSecondRx:      append([]float64(nil), g.perSecondRx...),
+		PerSecondTx:      perSecTx,
+		PerSecondRx:      perSecRx,
 		LatencyAvailable: len(g.latencies) > 0,
 		Latencies:        append([]sim.Duration(nil), g.latencies...),
 	}
@@ -317,7 +501,19 @@ func (g *Generator) HandleBatch(now sim.Time, in netem.Batch, rx *netem.Port) {
 	}
 	g.rxPackets += in.Count
 	g.rxBytes += in.Bytes()
-	g.curSecRx += in.Count
+	if g.batched {
+		// Timestamp-based bucketing: cut-through deliveries arrive in
+		// timestamp order per flow, so a monotone walk over the
+		// precomputed rotation instants reproduces the scalar engine's
+		// event-ordered bucket assignment (ties go to the new bucket,
+		// as the rotating tick fires first in the scalar engine).
+		for g.rxBucket < len(g.rotations) && now >= g.rotations[g.rxBucket] {
+			g.rxBucket++
+		}
+		g.rxBuckets[g.rxBucket] += in.Count
+	} else {
+		g.curSecRx += in.Count
+	}
 	if !in.Timestamped {
 		// A hop without hardware timestamps breaks hardware latency
 		// measurement for the whole run — the paper's vpos limitation.
@@ -335,8 +531,10 @@ func (g *Generator) HandleBatch(now sim.Time, in netem.Batch, rx *netem.Port) {
 	d := in.Delay
 	if swSample {
 		// Host-clock timestamping: the true delay plus scheduling and
-		// clock-read noise, never negative.
-		d += sim.Duration(float64(g.profile.TimestampNoise) * g.noise.NormFloat64())
+		// clock-read noise, never negative. Drawn from a stream
+		// separate from the TX jitter so arrival-order noise is
+		// independent of how emission was scheduled.
+		d += sim.Duration(float64(g.profile.TimestampNoise) * g.tsNoise.NormFloat64())
 		if d < 0 {
 			d = 0
 		}

@@ -1,0 +1,14 @@
+package loadgen
+
+import "pos/internal/telemetry"
+
+// Batched data-plane telemetry: how many packet trains the generators emit
+// and how large they are. The histogram's buckets span a 1 pps trickle to
+// line-rate 64 B trains at millisecond ticks.
+var (
+	trainsTotal = telemetry.Default.Counter("pos_loadgen_trains_total",
+		"Packet trains emitted by batched generators.")
+	trainPackets = telemetry.Default.Histogram("pos_loadgen_train_packets",
+		"Packets per emitted train.",
+		[]float64{1, 10, 100, 1000, 10000, 100000})
+)

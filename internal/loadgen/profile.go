@@ -83,5 +83,6 @@ func NewWithProfile(e *sim.Engine, name string, p Profile) *Generator {
 	g := New(e, name, p.HardwareTimestamps)
 	g.profile = p
 	g.noise = sim.NewRand(p.Seed)
+	g.tsNoise = sim.NewRand(p.Seed + tsNoiseSeedOffset)
 	return g
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"pos/internal/packet"
 	"pos/internal/sim"
@@ -72,11 +73,14 @@ type Port struct {
 	link *Link
 	side int
 
-	// statsMu guards the counters: the data plane increments them on the
-	// engine goroutine while management agents (SNMP, HTTP) read them
-	// from their own goroutines.
-	statsMu sync.Mutex
-	stats   Counters
+	// Counters are lock-free: the data plane increments them on the
+	// engine goroutine every tick, while management agents (SNMP, HTTP)
+	// read them from their own goroutines. Atomics make the hot path a
+	// handful of uncontended adds instead of mutex round-trips.
+	txPackets, txBytes atomic.Int64
+	rxPackets, rxBytes atomic.Int64
+	txDropped          atomic.Int64
+	rxDropped          atomic.Int64
 }
 
 // NewPort returns a port owned by dev.
@@ -86,24 +90,29 @@ func NewPort(name string, dev Device) *Port {
 
 // Stats returns a snapshot of the port's counters.
 func (p *Port) Stats() Counters {
-	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	return p.stats
+	return Counters{
+		TxPackets: p.txPackets.Load(),
+		TxBytes:   p.txBytes.Load(),
+		RxPackets: p.rxPackets.Load(),
+		RxBytes:   p.rxBytes.Load(),
+		TxDropped: p.txDropped.Load(),
+		RxDropped: p.rxDropped.Load(),
+	}
 }
 
 // ResetStats zeroes the port's counters.
 func (p *Port) ResetStats() {
-	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	p.stats = Counters{}
+	p.txPackets.Store(0)
+	p.txBytes.Store(0)
+	p.rxPackets.Store(0)
+	p.rxBytes.Store(0)
+	p.txDropped.Store(0)
+	p.rxDropped.Store(0)
 }
 
-// account applies a counter mutation under the stats lock.
-func (p *Port) account(fn func(*Counters)) {
-	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	fn(&p.stats)
-}
+// DropRx accounts packets discarded on ingress (bad frames, disabled
+// ports).
+func (p *Port) DropRx(n int64) { p.rxDropped.Add(n) }
 
 // Connected reports whether the port is wired to a link.
 func (p *Port) Connected() bool { return p.link != nil }
@@ -119,26 +128,30 @@ func (p *Port) Peer() *Port {
 // Send transmits a batch out of this port. Packets that do not fit in the
 // link's queue are dropped and accounted as TxDropped.
 func (p *Port) Send(now sim.Time, b Batch) {
+	// In cut-through mode a Send may carry a logical timestamp ahead of
+	// the engine clock (the caller computed it synchronously); witness it
+	// so the clock still ends the run at the scalar engine's final time.
+	if p.link != nil {
+		p.link.engine.Witness(now)
+	}
 	if p.link == nil {
-		p.account(func(c *Counters) { c.TxDropped += b.Count })
+		p.txDropped.Add(b.Count)
 		return
 	}
 	if !p.HardwareTimestamps {
 		b.Timestamped = false
 	}
 	sent, dropped := p.link.transmit(now, p.side, b)
-	p.account(func(c *Counters) {
-		c.TxPackets += sent
-		c.TxBytes += sent * int64(b.FrameSize)
-		c.TxDropped += dropped
-	})
+	p.txPackets.Add(sent)
+	p.txBytes.Add(sent * int64(b.FrameSize))
+	if dropped != 0 {
+		p.txDropped.Add(dropped)
+	}
 }
 
 func (p *Port) deliver(now sim.Time, b Batch) {
-	p.account(func(c *Counters) {
-		c.RxPackets += b.Count
-		c.RxBytes += b.Bytes()
-	})
+	p.rxPackets.Add(b.Count)
+	p.rxBytes.Add(b.Bytes())
 	if p.dev != nil {
 		p.dev.HandleBatch(now, b, p)
 	}
@@ -193,6 +206,11 @@ type Link struct {
 	// busyUntil tracks, per direction, when the virtual transmitter
 	// finishes serializing everything accepted so far.
 	busyUntil [2]sim.Time
+	// perPacket caches the serialization time for ppFrameSize-byte frames;
+	// within a measurement run every batch has the same frame size, so the
+	// hot path skips the float division.
+	perPacket   sim.Duration
+	ppFrameSize int
 	// rng drives the loss process when LossRatio > 0.
 	rng *sim.Rand
 }
@@ -228,9 +246,13 @@ func (l *Link) transmit(now sim.Time, side int, b Batch) (accepted, dropped int6
 	if b.Count <= 0 {
 		return 0, 0
 	}
-	perPacket := sim.Duration(float64(packet.WireSize(b.FrameSize)*8) / l.cfg.RateBitsPerSec * float64(sim.Second))
-	if perPacket <= 0 {
-		perPacket = 1
+	perPacket := l.perPacket
+	if perPacket == 0 || b.FrameSize != l.ppFrameSize {
+		perPacket = sim.Duration(float64(packet.WireSize(b.FrameSize)*8) / l.cfg.RateBitsPerSec * float64(sim.Second))
+		if perPacket <= 0 {
+			perPacket = 1
+		}
+		l.perPacket, l.ppFrameSize = perPacket, b.FrameSize
 	}
 	busy := l.busyUntil[side]
 	if busy < now {
@@ -273,11 +295,46 @@ func (l *Link) transmit(now sim.Time, side int, b Batch) (accepted, dropped int6
 		}
 		out.Delay += backlog + txTime/2 + extra
 		dst := l.ports[1-side]
-		l.engine.At(l.busyUntil[side].Add(extra), func(t sim.Time) {
-			dst.deliver(t, out)
-		})
+		deliverAt := l.busyUntil[side].Add(extra)
+		if l.engine.Batching() && l.cfg.DelayJitterStd == 0 {
+			// Cut-through: deliver synchronously with the future
+			// logical timestamp instead of scheduling a heap event.
+			// Valid because per-direction delivery times are monotone
+			// (busyUntil only grows and extra is constant without
+			// jitter), so the receiver still observes batches in
+			// timestamp order. Jittered links fall back to events to
+			// preserve time-ordered delivery.
+			l.engine.Witness(deliverAt)
+			dst.deliver(deliverAt, out)
+		} else {
+			deliveryPoolGets.Inc()
+			d := deliveryPool.Get().(*delivery)
+			d.dst, d.b = dst, out
+			l.engine.AtArg(deliverAt, runDelivery, d)
+		}
 	}
 	return accepted, dropped
+}
+
+// delivery is the pooled argument of a link's delivery event; recycling it
+// keeps the scalar event path free of per-batch allocations.
+type delivery struct {
+	dst *Port
+	b   Batch
+}
+
+var deliveryPool = sync.Pool{New: func() any {
+	deliveryPoolMisses.Inc()
+	return new(delivery)
+}}
+
+// runDelivery is the shared ArgHandler for link deliveries.
+func runDelivery(now sim.Time, arg any) {
+	d := arg.(*delivery)
+	dst, b := d.dst, d.b
+	d.dst, d.b = nil, Batch{}
+	deliveryPool.Put(d)
+	dst.deliver(now, b)
 }
 
 // thin draws the binomial survival of count packets under the loss ratio.

@@ -122,13 +122,13 @@ func (s *Switch) portIndex(p *Port) int {
 func (s *Switch) HandleBatch(now sim.Time, in Batch, rx *Port) {
 	var eth packet.Ethernet
 	if _, err := eth.DecodeFromBytes(in.Data); err != nil {
-		rx.account(func(c *Counters) { c.RxDropped += in.Count })
+		rx.DropRx(in.Count)
 		return
 	}
 	s.mu.Lock()
 	if idx := s.portIndex(rx); idx >= 0 && !s.enabled[idx] {
 		s.mu.Unlock()
-		rx.account(func(c *Counters) { c.RxDropped += in.Count })
+		rx.DropRx(in.Count)
 		return
 	}
 	s.fdb[eth.Src] = rx
@@ -151,11 +151,26 @@ func (s *Switch) HandleBatch(now sim.Time, in Batch, rx *Port) {
 	out := in
 	out.Delay += s.ForwardingDelay
 	for _, p := range targets {
-		p := p
-		s.engine.At(now.Add(s.ForwardingDelay), func(t sim.Time) {
-			p.Send(t, out)
-		})
+		d := switchSendPool.Get().(*switchSend)
+		d.p, d.b = p, out
+		s.engine.AtArg(now.Add(s.ForwardingDelay), runSwitchSend, d)
 	}
+}
+
+// switchSend is the pooled argument of a switch forwarding event.
+type switchSend struct {
+	p *Port
+	b Batch
+}
+
+var switchSendPool = sync.Pool{New: func() any { return new(switchSend) }}
+
+func runSwitchSend(now sim.Time, arg any) {
+	d := arg.(*switchSend)
+	p, b := d.p, d.b
+	d.p, d.b = nil, Batch{}
+	switchSendPool.Put(d)
+	p.Send(now, b)
 }
 
 // Sink is a Device that records everything it receives; tests and capture

@@ -1,6 +1,9 @@
 package packet
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // UDPTemplate describes a synthetic UDP frame for the load generator, in the
 // way MoonGen scripts describe their packet prototypes.
@@ -37,6 +40,21 @@ func (t UDPTemplate) Build() ([]byte, error) {
 		&UDP{SrcPort: t.SrcPort, DstPort: t.DstPort},
 		&pay,
 	)
+}
+
+// BuildReuse serializes the template, returning prev unchanged when it
+// already holds exactly these bytes. Callers running many measurement runs
+// from one prototype keep a single frame allocation — and, as important, a
+// stable pointer identity, which downstream rewrite memoization keys on.
+func (t UDPTemplate) BuildReuse(prev []byte) ([]byte, error) {
+	data, err := t.Build()
+	if err != nil {
+		return nil, err
+	}
+	if bytes.Equal(prev, data) {
+		return prev, nil
+	}
+	return data, nil
 }
 
 // WireSize returns the time-on-the-wire size of a frame of the given length,

@@ -66,6 +66,13 @@ type CycleModel struct {
 	lastDraw    sim.Time
 	currentMult float64
 	drawn       bool
+
+	// nomPPS caches nominalPPS for nomFrameSize: within a measurement run
+	// every batch has one frame size, and the cycle parameters are fixed at
+	// construction, so the per-batch hot path skips the float division.
+	nomPPS       float64
+	nomFrameSize int
+	nomValid     bool
 }
 
 // Name implements Model.
@@ -80,11 +87,16 @@ func (m *CycleModel) Seed(seed uint64) {
 
 // nominalPPS is the capacity before jitter.
 func (m *CycleModel) nominalPPS(frameSize int) float64 {
-	cost := m.PerPacketCycles + m.PerByteCycles*float64(frameSize)
-	if cost <= 0 {
-		return 0
+	if m.nomValid && frameSize == m.nomFrameSize {
+		return m.nomPPS
 	}
-	return m.BudgetCyclesPerSec / cost
+	cost := m.PerPacketCycles + m.PerByteCycles*float64(frameSize)
+	pps := 0.0
+	if cost > 0 {
+		pps = m.BudgetCyclesPerSec / cost
+	}
+	m.nomPPS, m.nomFrameSize, m.nomValid = pps, frameSize, true
+	return pps
 }
 
 // CapacityPPS implements Model.

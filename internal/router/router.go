@@ -10,6 +10,7 @@ package router
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"pos/internal/netem"
 	"pos/internal/packet"
@@ -120,8 +121,8 @@ func (r *Router) HandleBatch(now sim.Time, in Batch, rx *netem.Port) {
 		r.stats.BadPacket += in.Count
 		return
 	}
-	fwd, ok := r.rewrite(in)
-	if !ok {
+	fwd := in
+	if !r.rewrite(&fwd) {
 		return
 	}
 	// CPU admission: the model's capacity for this interval sets the
@@ -159,9 +160,33 @@ func (r *Router) HandleBatch(now sim.Time, in Batch, rx *netem.Port) {
 	done.Count = accepted
 	done.Delay += backlog + svcTime/2 + r.cfg.Model.SampleLatency(r.Utilization(now))
 	r.stats.Forwarded += accepted
-	r.engine.At(r.busyUntil, func(t sim.Time) {
-		out.Send(t, done)
-	})
+	if r.engine.Batching() {
+		// Cut-through: hand the batch straight to the egress port with
+		// its logical completion time. busyUntil is monotone, so the
+		// downstream link still sees sends in timestamp order.
+		out.Send(r.busyUntil, done)
+		return
+	}
+	d := sendPool.Get().(*egressSend)
+	d.out, d.b = out, done
+	r.engine.AtArg(r.busyUntil, runEgressSend, d)
+}
+
+// egressSend is the pooled argument of the router's completion event in the
+// scalar path.
+type egressSend struct {
+	out *netem.Port
+	b   Batch
+}
+
+var sendPool = sync.Pool{New: func() any { return new(egressSend) }}
+
+func runEgressSend(now sim.Time, arg any) {
+	d := arg.(*egressSend)
+	out, b := d.out, d.b
+	d.out, d.b = nil, Batch{}
+	sendPool.Put(d)
+	out.Send(now, b)
 }
 
 // Batch aliases netem.Batch for readability in this package's signatures.
@@ -179,26 +204,29 @@ func (r *Router) egress(rx *netem.Port) *netem.Port {
 	}
 }
 
-// rewrite performs the IPv4 forwarding transformation on the representative
-// frame: validate, decrement TTL, and update the checksum incrementally
-// (RFC 1624). It returns ok=false when the whole batch is discarded.
-func (r *Router) rewrite(in Batch) (Batch, bool) {
+// rewrite performs the IPv4 forwarding transformation in place on the
+// batch's representative frame: validate, decrement TTL, and update the
+// checksum incrementally (RFC 1624). It returns false when the whole batch
+// is discarded.
+func (r *Router) rewrite(b *Batch) bool {
+	// Memo hit: these exact bytes (same backing array, shared read-only)
+	// already passed validation when the memo was filled — skip the decode
+	// entirely. This keeps the steady-state forwarding path allocation-free.
+	if r.rewriteIn != nil && &r.rewriteIn[0] == &b.Data[0] && len(r.rewriteIn) == len(b.Data) {
+		b.Data = r.rewriteOut
+		return true
+	}
 	var p packet.Packet
-	if err := p.DecodeInto(in.Data); err != nil || !p.Has(packet.LayerTypeIPv4) {
-		r.stats.BadPacket += in.Count
-		return in, false
+	if err := p.DecodeInto(b.Data); err != nil || !p.Has(packet.LayerTypeIPv4) {
+		r.stats.BadPacket += b.Count
+		return false
 	}
 	if p.IP.TTL <= 1 {
-		r.stats.TTLExpired += in.Count
-		return in, false
+		r.stats.TTLExpired += b.Count
+		return false
 	}
-	out := in
-	if r.rewriteIn != nil && &r.rewriteIn[0] == &in.Data[0] && len(r.rewriteIn) == len(in.Data) {
-		out.Data = r.rewriteOut
-		return out, true
-	}
-	rewritten := make([]byte, len(in.Data))
-	copy(rewritten, in.Data)
+	rewritten := make([]byte, len(b.Data))
+	copy(rewritten, b.Data)
 	hdr := rewritten[packet.EthernetHeaderLen:]
 	hdr[8]-- // TTL
 	// Incremental checksum (RFC 1141): decrementing the TTL byte (high
@@ -208,7 +236,7 @@ func (r *Router) rewrite(in Batch) (Batch, bool) {
 	sum := uint32(cs) + 0x0100
 	sum = (sum & 0xffff) + (sum >> 16)
 	binary.BigEndian.PutUint16(hdr[10:12], uint16(sum))
-	r.rewriteIn, r.rewriteOut = in.Data, rewritten
-	out.Data = rewritten
-	return out, true
+	r.rewriteIn, r.rewriteOut = b.Data, rewritten
+	b.Data = rewritten
+	return true
 }

@@ -1,0 +1,20 @@
+package sim
+
+import "pos/internal/telemetry"
+
+// Data-plane telemetry for the batched engine: pool efficiency and shard
+// synchronizer behaviour, exposed at /metrics through the process-wide
+// registry.
+var (
+	eventPoolHits = telemetry.Default.Counter("pos_sim_event_pool_hits_total",
+		"Scheduled events served from the engine's free list.")
+	eventPoolMisses = telemetry.Default.Counter("pos_sim_event_pool_misses_total",
+		"Scheduled events that required a fresh allocation.")
+
+	shardWindows = telemetry.Default.Counter("pos_sim_shard_windows_total",
+		"Synchronization windows executed across all shard groups.")
+	shardStallWindows = telemetry.Default.Counter("pos_sim_shard_stall_windows_total",
+		"Windows in which a shard executed zero events while the group kept running.")
+	shardLateInjections = telemetry.Default.Counter("pos_sim_shard_late_injections_total",
+		"Cross-shard injections that arrived with a timestamp already in the shard's past and were clamped to its current time.")
+)

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardGroup runs several independent engines — separate replica testbeds in
+// a campaign, or independent source→sink flows within one experiment — on
+// their own goroutines under a conservative time-window synchronizer.
+//
+// Each shard advances its virtual clock at most one window per round, then
+// meets the others at a barrier. Work injected into a shard from outside
+// (InjectFrom/Inject) is buffered in a mailbox and drained between barriers,
+// sorted by (time, source, sequence), so the set of events a shard executes
+// in any round is independent of thread scheduling: everything injected
+// while round r ran is visible exactly at the start of round r+1. The
+// conservative lookahead contract is the usual one for distributed
+// simulation: an injector must timestamp work at least one window ahead of
+// the target's clock, otherwise the injection is clamped to the target's
+// current time (counted in pos_sim_shard_late_injections_total) and
+// cross-shard causality is only as good as the clamp.
+//
+// A window of zero runs every shard to quiescence each round — the right
+// mode for fully independent timelines (no cross-shard traffic), where the
+// barrier only delimits driver turns.
+type ShardGroup struct {
+	window Duration
+	shards []*Shard
+
+	windows atomic.Uint64
+	stalls  atomic.Uint64
+}
+
+// Driver is a shard's idle callback: invoked on the shard's goroutine
+// whenever its engine goes quiescent inside a round, it schedules the next
+// unit of work (e.g. the next measurement run of a sweep) and reports
+// whether more work remains.
+type Driver func(s *Shard, now Time) bool
+
+// Shard is one engine registered with a group.
+type Shard struct {
+	engine *Engine
+	group  *ShardGroup
+	idx    int
+	driver Driver
+	done   bool
+	err    error
+
+	mu      sync.Mutex
+	mailbox []injection
+	seqs    map[int]uint64
+}
+
+// injection is buffered cross-shard work; src/seq give drains a total order
+// that does not depend on goroutine interleaving.
+type injection struct {
+	at  Time
+	h   Handler
+	src int
+	seq uint64
+}
+
+// NewShardGroup returns an empty group with the given synchronization
+// window. window <= 0 selects free-running rounds (run to quiescence).
+func NewShardGroup(window Duration) *ShardGroup {
+	return &ShardGroup{window: window}
+}
+
+// AddEngine registers an engine with an optional idle driver and returns its
+// shard handle. All engines must be added before Run.
+func (g *ShardGroup) AddEngine(e *Engine, driver Driver) *Shard {
+	s := &Shard{engine: e, group: g, idx: len(g.shards), driver: driver, seqs: map[int]uint64{}}
+	g.shards = append(g.shards, s)
+	return s
+}
+
+// Engine returns the shard's engine. Outside Run it may be used freely; while
+// the group runs it is owned by the shard's goroutine.
+func (s *Shard) Engine() *Engine { return s.engine }
+
+// Index returns the shard's position in the group.
+func (s *Shard) Index() int { return s.idx }
+
+// Err returns the shard's terminal error, if any, after Run completes.
+func (s *Shard) Err() error { return s.err }
+
+// Windows reports how many shard-rounds the group has executed.
+func (g *ShardGroup) Windows() uint64 { return g.windows.Load() }
+
+// Stalls reports how many of those rounds executed zero events while the
+// group as a whole kept running — shards waiting on others' lookahead.
+func (g *ShardGroup) Stalls() uint64 { return g.stalls.Load() }
+
+// Inject buffers h to run at time t on the shard, from outside the group
+// (management plane, tests). For deterministic replay use a single external
+// injector per shard or distinct timestamps.
+func (s *Shard) Inject(t Time, h Handler) { s.inject(t, h, -1) }
+
+// InjectFrom buffers h to run at time t on the shard, on behalf of src.
+// Injections from a given source are totally ordered; the lookahead
+// contract above governs t.
+func (s *Shard) InjectFrom(src *Shard, t Time, h Handler) { s.inject(t, h, src.idx) }
+
+func (s *Shard) inject(t Time, h Handler, src int) {
+	if h == nil {
+		panic("sim: nil injection handler")
+	}
+	s.mu.Lock()
+	seq := s.seqs[src]
+	s.seqs[src] = seq + 1
+	s.mailbox = append(s.mailbox, injection{at: t, h: h, src: src, seq: seq})
+	s.mu.Unlock()
+}
+
+// drain moves buffered injections into the engine in deterministic order.
+// It runs on the shard's goroutine between barriers, so the engine is not
+// concurrently executing.
+func (s *Shard) drain() {
+	s.mu.Lock()
+	pending := s.mailbox
+	s.mailbox = nil
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		a, b := pending[i], pending[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, in := range pending {
+		at := in.at
+		if at < s.engine.Now() {
+			at = s.engine.Now()
+			shardLateInjections.Inc()
+		}
+		s.engine.At(at, in.h)
+	}
+}
+
+func (s *Shard) pendingInjections() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mailbox) > 0
+}
+
+// Run executes all shards to completion: every engine quiescent, every
+// driver exhausted, every mailbox empty. It returns the join of shard
+// errors.
+func (g *ShardGroup) Run() error {
+	if len(g.shards) == 0 {
+		return nil
+	}
+	bar := newBarrier(len(g.shards))
+	var wg sync.WaitGroup
+	for _, s := range g.shards {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			s.loop(bar)
+		}(s)
+	}
+	wg.Wait()
+	errs := make([]error, 0, len(g.shards))
+	for _, s := range g.shards {
+		if s.err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s.idx, s.err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// loop is one shard's lifetime: rounds of (run window, barrier, drain,
+// vote barrier) until every shard votes finished.
+func (s *Shard) loop(bar *barrier) {
+	base := s.engine.Now()
+	round := 0
+	for {
+		stepsBefore := s.engine.Steps()
+		boundary := MaxTime
+		if s.group.window > 0 {
+			boundary = base.Add(Duration(round+1) * s.group.window)
+		}
+		s.runPhase(boundary)
+		s.group.windows.Add(1)
+		shardWindows.Inc()
+
+		// Barrier 1: every injection produced during this round is now
+		// buffered; no shard is executing.
+		bar.sync(true, true)
+		s.drain()
+		done := s.err != nil || (s.done && s.engine.Len() == 0 && !s.pendingInjections())
+		// A shard is active while it stepped this round or still holds
+		// work; the group terminates when every shard is done — or when
+		// no shard is active, i.e. nothing can ever happen again even
+		// though some drivers are still waiting.
+		active := s.engine.Steps() != stepsBefore || s.engine.Len() > 0 || s.pendingInjections()
+		// Barrier 2: nobody resumes (and so nobody injects) until all
+		// drains finished; the round's verdict combines the votes.
+		finished := bar.sync(done, active)
+		if finished {
+			return
+		}
+		if !s.done && s.engine.Steps() == stepsBefore {
+			s.group.stalls.Add(1)
+			shardStallWindows.Inc()
+		}
+		round++
+	}
+}
+
+// runPhase advances the engine to the window boundary, invoking the driver
+// whenever the shard goes idle with the boundary unreached.
+func (s *Shard) runPhase(boundary Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = fmt.Errorf("panic: %v", r)
+			s.done = true
+		}
+	}()
+	if s.err != nil {
+		return
+	}
+	for {
+		idle, err := s.engine.RunWindow(boundary)
+		if err != nil {
+			s.err = err
+			s.done = true
+			return
+		}
+		if !idle || s.done {
+			return
+		}
+		if s.driver == nil {
+			s.done = true
+			return
+		}
+		if !s.driver(s, s.engine.Now()) {
+			s.done = true
+			return
+		}
+		if s.engine.Len() == 0 {
+			// The driver expects more work but has nothing to run yet
+			// (waiting on a cross-shard injection); yield the round
+			// instead of spinning on an empty engine.
+			return
+		}
+	}
+}
+
+// barrier is a reusable generation barrier that reduces per-round votes:
+// the round is finished when every shard voted done, or when none voted
+// active (global quiescence with drivers still waiting).
+type barrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	n         int
+	arrived   int
+	gen       uint64
+	allDone   bool
+	anyActive bool
+	result    bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n, allDone: true}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// sync blocks until all n participants arrive and returns the round verdict.
+// The barrier recycles: a participant cannot start round r+1 before every
+// participant has left round r, so result reads are race-free.
+func (b *barrier) sync(done, active bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.allDone = b.allDone && done
+	b.anyActive = b.anyActive || active
+	b.arrived++
+	if b.arrived == b.n {
+		b.result = b.allDone || !b.anyActive
+		b.arrived = 0
+		b.allDone = true
+		b.anyActive = false
+		b.gen++
+		b.cond.Broadcast()
+		return b.result
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.result
+}

@@ -6,6 +6,15 @@
 // fully reproducible. Virtual time is measured in nanoseconds and is entirely
 // decoupled from wall-clock time: a three-hour measurement campaign from the
 // paper's appendix completes in milliseconds of real time.
+//
+// Two features serve the batched data plane. A ticker lane (Ticks) runs
+// periodic handlers without occupying the event heap, so a load generator
+// emitting one packet train per tick costs O(1) per tick instead of a heap
+// push/pop over thousands of pre-scheduled events. And a batching mode
+// (SetBatching) lets components deliver work synchronously, carrying future
+// logical timestamps instead of scheduling heap events; the engine's
+// watermark (Witness) records how far such cut-through activity reached so
+// the clock still ends a run at the same instant the scalar engine would.
 package sim
 
 import (
@@ -51,12 +60,22 @@ func (t Time) String() string { return Duration(t).String() }
 // engine's single logical thread; handlers never execute concurrently.
 type Handler func(now Time)
 
-// event is a scheduled handler.
+// ArgHandler is a callback that receives a caller-supplied argument. Hot
+// paths use it with pooled argument structs so that scheduling an event does
+// not allocate a closure.
+type ArgHandler func(now Time, arg any)
+
+// event is a scheduled handler. Events are recycled through the engine's
+// free list; gen distinguishes incarnations so a stale EventID held across a
+// recycle can neither cancel the wrong event nor reach a stale heap index.
 type event struct {
 	at      Time
 	seq     uint64 // tie-break: FIFO among equal timestamps
 	handler Handler
+	argh    ArgHandler
+	arg     any
 	index   int // heap index, -1 when removed
+	gen     uint32
 	stopped bool
 }
 
@@ -90,8 +109,17 @@ func (q *eventQueue) Pop() any {
 	return ev
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The
+// generation snapshot makes IDs single-use: once the event fires or is
+// cancelled, the ID goes stale and can never affect a recycled event.
+type EventID struct {
+	ev  *event
+	gen uint32
+}
+
+// maxFreeEvents bounds the engine's event free list; beyond this, recycled
+// events are left to the garbage collector.
+const maxFreeEvents = 1024
 
 // Engine is a discrete-event scheduler with a virtual clock.
 // The zero value is not usable; construct with NewEngine.
@@ -102,6 +130,22 @@ type Engine struct {
 	running bool
 	stopped bool
 	steps   uint64
+
+	// batching enables cut-through delivery in data-plane components.
+	batching bool
+	// watermark records the latest virtual time witnessed by cut-through
+	// activity (deliveries performed synchronously instead of via events).
+	watermark Time
+
+	// free recycles fired and cancelled events.
+	free []*event
+
+	// tickers are the periodic lanes; ties against heap events go to the
+	// ticker, matching the scalar engine where tick events are scheduled
+	// before any data-plane event and therefore carry lower sequence
+	// numbers.
+	tickers  []*Ticker
+	tickerID int
 }
 
 // NewEngine returns an engine with the clock at time zero and an empty
@@ -113,26 +157,97 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Len reports the number of pending events.
-func (e *Engine) Len() int { return len(e.queue) }
+// Len reports the number of pending events, including active ticker lanes.
+func (e *Engine) Len() int {
+	n := len(e.queue)
+	for _, t := range e.tickers {
+		if t.active {
+			n++
+		}
+	}
+	return n
+}
 
 // Steps reports the total number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
+
+// SetBatching toggles cut-through mode. Data-plane components consult
+// Batching to decide between scheduling heap events (scalar oracle) and
+// synchronous delivery with logical timestamps. Flip it only while the
+// engine is quiescent.
+func (e *Engine) SetBatching(on bool) { e.batching = on }
+
+// Batching reports whether cut-through mode is enabled.
+func (e *Engine) Batching() bool { return e.batching }
+
+// Witness records that cut-through activity logically reached time t. When
+// the event queue drains, the clock advances to the watermark so a batched
+// run ends at the same virtual instant as its scalar twin.
+func (e *Engine) Witness(t Time) {
+	if t > e.watermark {
+		e.watermark = t
+	}
+}
+
+// alloc takes an event from the free list or the heap allocator.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		eventPoolHits.Inc()
+		return ev
+	}
+	eventPoolMisses.Inc()
+	return &event{}
+}
+
+// recycle retires an event: bump the generation so stale EventIDs die, drop
+// references, and return it to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.handler, ev.argh, ev.arg = nil, nil, nil
+	ev.stopped = false
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
+}
 
 // At schedules h to run at absolute virtual time t. Scheduling in the past
 // (t < Now) is a programming error and panics, because it would silently
 // break causality and with it reproducibility.
 func (e *Engine) At(t Time, h Handler) EventID {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
 	if h == nil {
 		panic("sim: nil handler")
 	}
-	ev := &event{at: t, seq: e.seq, handler: h}
+	ev := e.schedule(t)
+	ev.handler = h
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+// AtArg schedules h(t, arg) at absolute virtual time t. Unlike At it needs
+// no closure: callers pass a package-level handler plus a (typically pooled)
+// argument, so steady-state scheduling is allocation-free.
+func (e *Engine) AtArg(t Time, h ArgHandler, arg any) EventID {
+	if h == nil {
+		panic("sim: nil handler")
+	}
+	ev := e.schedule(t)
+	ev.argh = h
+	ev.arg = arg
+	return EventID{ev: ev, gen: ev.gen}
+}
+
+func (e *Engine) schedule(t Time) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	return ev
 }
 
 // After schedules h to run d after the current time.
@@ -143,15 +258,16 @@ func (e *Engine) After(d Duration, h Handler) EventID {
 	return e.At(e.now.Add(d), h)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op and reports false.
+// Cancel removes a pending event. Cancelling an already-fired,
+// already-cancelled, or otherwise stale ID is a no-op and reports false.
 func (e *Engine) Cancel(id EventID) bool {
 	ev := id.ev
-	if ev == nil || ev.stopped || ev.index < 0 {
+	if ev == nil || ev.gen != id.gen || ev.stopped || ev.index < 0 {
 		return false
 	}
 	ev.stopped = true
 	heap.Remove(&e.queue, ev.index)
+	e.recycle(ev)
 	return true
 }
 
@@ -163,55 +279,131 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in timestamp order until the queue is empty.
 // It returns ErrStopped if halted via Stop.
-func (e *Engine) Run() error { return e.RunUntil(MaxTime) }
+func (e *Engine) Run() error {
+	_, err := e.run(MaxTime, false)
+	return err
+}
 
 // RunUntil executes events with timestamps <= deadline. The clock is left at
 // min(deadline, time of last event) — advancing to the deadline even when
 // the queue empties early, so that sequential phases compose predictably.
 func (e *Engine) RunUntil(deadline Time) error {
+	_, err := e.run(deadline, true)
+	return err
+}
+
+// RunWindow executes events with timestamps <= deadline and reports whether
+// the engine went idle before reaching it. Unlike RunUntil it does not pad
+// the clock to the deadline on idleness: the clock stops at the last event
+// (or the cut-through watermark), exactly where a free-running Run would
+// leave it. Shard synchronizers use this so an idle shard observes the same
+// quiescence time as a sequential run.
+func (e *Engine) RunWindow(deadline Time) (idle bool, err error) {
+	return e.run(deadline, false)
+}
+
+func (e *Engine) run(deadline Time, pad bool) (idle bool, err error) {
 	if e.running {
-		return errors.New("sim: Run called re-entrantly")
+		return false, errors.New("sim: Run called re-entrantly")
 	}
 	e.running = true
 	defer func() { e.running = false }()
 	e.stopped = false
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.at > deadline {
-			e.now = deadline
-			return nil
+	for {
+		tk := e.nextTicker()
+		var ev *event
+		if len(e.queue) > 0 {
+			ev = e.queue[0]
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
+		if tk == nil && ev == nil {
+			break
+		}
+		// Ticker wins ties: in the scalar engine all tick events are
+		// scheduled up front and hence precede same-time data events.
+		useTicker := tk != nil && (ev == nil || tk.next <= ev.at)
+		var at Time
+		if useTicker {
+			at = tk.next
+		} else {
+			at = ev.at
+		}
+		if at > deadline {
+			e.now = deadline
+			return false, nil
+		}
+		e.now = at
 		e.steps++
-		next.handler(e.now)
+		if useTicker {
+			tk.fire(at)
+		} else {
+			heap.Pop(&e.queue)
+			if ev.argh != nil {
+				ev.argh(at, ev.arg)
+			} else {
+				ev.handler(at)
+			}
+			e.recycle(ev)
+		}
 		if e.stopped {
-			return ErrStopped
+			return false, ErrStopped
 		}
 	}
-	if deadline != MaxTime && deadline > e.now {
+	if w := e.watermark; w > e.now {
+		if pad && deadline != MaxTime && w > deadline {
+			w = deadline
+		}
+		e.now = w
+	}
+	if pad && deadline != MaxTime && deadline > e.now {
 		e.now = deadline
 	}
-	return nil
+	return true, nil
 }
 
-// Step executes exactly one pending event and reports whether one existed.
+// Step executes exactly one pending event (ticker lanes included) and
+// reports whether one existed.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	tk := e.nextTicker()
+	var ev *event
+	if len(e.queue) > 0 {
+		ev = e.queue[0]
+	}
+	if tk == nil && ev == nil {
 		return false
 	}
-	next := heap.Pop(&e.queue).(*event)
-	e.now = next.at
+	if tk != nil && (ev == nil || tk.next <= ev.at) {
+		e.now = tk.next
+		e.steps++
+		tk.fire(e.now)
+		return true
+	}
+	heap.Pop(&e.queue)
+	e.now = ev.at
 	e.steps++
-	next.handler(e.now)
+	if ev.argh != nil {
+		ev.argh(e.now, ev.arg)
+	} else {
+		ev.handler(e.now)
+	}
+	e.recycle(ev)
 	return true
 }
 
-// Reset discards all pending events and rewinds the clock to zero.
+// Reset discards all pending events and ticker lanes and rewinds the clock
+// to zero. The event free list survives so pooled capacity carries across
+// runs.
 func (e *Engine) Reset() {
+	// Retire still-pending events so EventIDs issued before the reset go
+	// stale instead of pointing into a discarded heap.
+	for _, ev := range e.queue {
+		ev.index = -1
+		e.recycle(ev)
+	}
 	e.queue = nil
+	e.tickers = nil
 	e.now = 0
 	e.seq = 0
 	e.steps = 0
 	e.stopped = false
+	e.watermark = 0
 }

@@ -1,0 +1,104 @@
+package sim
+
+// Ticker is a periodic event lane. Where At would pre-schedule one heap
+// event per tick — a load generator run is thousands of them — a ticker
+// keeps a single cursor that the engine polls alongside the heap, so each
+// tick costs O(active tickers) comparisons instead of O(log n) heap
+// maintenance over a heap inflated by every future tick.
+//
+// Ordering is identical to the pre-scheduled form: lanes fire in strict
+// timestamp order, ties between lanes go to the earliest-created lane, and
+// ties against heap events go to the lane (pre-scheduled ticks carry lower
+// sequence numbers than any event scheduled during the run).
+type Ticker struct {
+	engine    *Engine
+	next      Time
+	interval  Duration
+	remaining int
+	h         Handler
+	id        int
+	active    bool
+}
+
+// Ticks creates a lane firing h at start, start+interval, … for n ticks.
+// n <= 0 or a nil handler is a programming error, as is starting in the
+// past.
+func (e *Engine) Ticks(start Time, interval Duration, n int, h Handler) *Ticker {
+	if h == nil {
+		panic("sim: nil ticker handler")
+	}
+	if n <= 0 {
+		panic("sim: ticker needs at least one tick")
+	}
+	if interval <= 0 && n > 1 {
+		panic("sim: non-positive ticker interval")
+	}
+	if start < e.now {
+		panic("sim: ticker starts in the past")
+	}
+	t := &Ticker{
+		engine:    e,
+		next:      start,
+		interval:  interval,
+		remaining: n,
+		h:         h,
+		id:        e.tickerID,
+		active:    true,
+	}
+	e.tickerID++
+	e.tickers = append(e.tickers, t)
+	return t
+}
+
+// Stop deactivates the lane; remaining ticks never fire.
+func (t *Ticker) Stop() {
+	if !t.active {
+		return
+	}
+	t.active = false
+	t.engine.removeTicker(t)
+}
+
+// Remaining reports how many ticks are still pending.
+func (t *Ticker) Remaining() int {
+	if !t.active {
+		return 0
+	}
+	return t.remaining
+}
+
+// fire advances the cursor before invoking the handler so the handler can
+// Stop the lane or schedule relative to a consistent state.
+func (t *Ticker) fire(at Time) {
+	t.remaining--
+	if t.remaining <= 0 {
+		t.active = false
+		t.engine.removeTicker(t)
+	} else {
+		t.next = at.Add(t.interval)
+	}
+	t.h(at)
+}
+
+// nextTicker returns the active lane with the earliest (next, id), or nil.
+func (e *Engine) nextTicker() *Ticker {
+	var best *Ticker
+	for _, t := range e.tickers {
+		if !t.active {
+			continue
+		}
+		if best == nil || t.next < best.next || (t.next == best.next && t.id < best.id) {
+			best = t
+		}
+	}
+	return best
+}
+
+func (e *Engine) removeTicker(t *Ticker) {
+	for i, q := range e.tickers {
+		if q == t {
+			e.tickers = append(e.tickers[:i], e.tickers[i+1:]...)
+			return
+		}
+	}
+}

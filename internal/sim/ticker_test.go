@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTickerFiresAtEveryTick(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Ticks(10, 5, 4, func(now Time) { fired = append(fired, now) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 15, 20, 25}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, fired[i], want[i])
+		}
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock at %v, want 25", e.Now())
+	}
+}
+
+// A ticker must order exactly like pre-scheduled events: strict timestamp
+// order interleaved with heap events, and ties go to the ticker because the
+// scalar engine schedules all ticks up front with the lowest sequence
+// numbers.
+func TestTickerInterleavesWithHeapEventsAndWinsTies(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(15, func(Time) { order = append(order, "ev15") })
+	e.At(20, func(Time) { order = append(order, "ev20") }) // ties with tick 20
+	e.Ticks(10, 10, 3, func(now Time) {
+		order = append(order, "tick"+now.String())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"tick10ns", "ev15", "tick20ns", "ev20", "tick30ns"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTickerTieBetweenLanesGoesToEarliestCreated(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Ticks(10, 10, 2, func(Time) { order = append(order, "a") })
+	e.Ticks(10, 10, 2, func(Time) { order = append(order, "b") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "abab"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("lane order %q, want %q", got, want)
+	}
+}
+
+func TestTickerStopHaltsRemainingTicks(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.Ticks(0, 10, 100, func(Time) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("fired %d ticks after Stop at 3", n)
+	}
+	if tk.Remaining() != 0 {
+		t.Fatalf("Remaining() = %d after Stop", tk.Remaining())
+	}
+	// Stopping again is a harmless no-op.
+	tk.Stop()
+}
+
+func TestTickerCountsInLen(t *testing.T) {
+	e := NewEngine()
+	tk := e.Ticks(5, 5, 3, func(Time) {})
+	e.At(7, func(Time) {})
+	if e.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2 (one event + one lane)", e.Len())
+	}
+	tk.Stop()
+	if e.Len() != 1 {
+		t.Fatalf("Len() = %d after ticker stop, want 1", e.Len())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerStepExecutesTicks(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Ticks(5, 5, 2, func(Time) { n++ })
+	if !e.Step() || n != 1 || e.Now() != 5 {
+		t.Fatalf("first Step: n=%d now=%v", n, e.Now())
+	}
+	if !e.Step() || n != 2 || e.Now() != 10 {
+		t.Fatalf("second Step: n=%d now=%v", n, e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step reported work on an idle engine")
+	}
+}

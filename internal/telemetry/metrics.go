@@ -198,6 +198,20 @@ func (h *Histogram) Observe(v float64) {
 	addFloat(&c.sum, v)
 }
 
+// ObserveN records n identical samples in one shot — the bulk form used by
+// hot paths that aggregate locally (e.g. a precomputed emission schedule)
+// and flush once instead of paying three atomics per sample.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 || !h.c.on() {
+		return
+	}
+	c := h.c
+	i := sort.SearchFloat64s(c.fam.bounds, v) // first bound >= v: le-bucket
+	c.buckets[i].Add(n)
+	c.count.Add(n)
+	addFloat(&c.sum, v*float64(n))
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.c.count.Load() }
 

@@ -167,6 +167,11 @@ func WithSwitch(delay sim.Duration) CaseStudyOption { return casestudy.WithSwitc
 // WithGenerator selects the load-generator fidelity profile.
 func WithGenerator(p GeneratorProfile) CaseStudyOption { return casestudy.WithGenerator(p) }
 
+// WithScalarEngine opts the topology out of the batched cut-through data
+// plane and runs the original event-per-hop engine — the differential-test
+// oracle. Results are byte-identical either way; scalar is simply slower.
+func WithScalarEngine() CaseStudyOption { return casestudy.WithScalarEngine() }
+
 // GeneratorProfile models a traffic-generator implementation's fidelity.
 type GeneratorProfile = loadgen.Profile
 
@@ -206,6 +211,14 @@ func NewCaseStudyReplicas(flavor Flavor, n int, opts ...CaseStudyOption) ([]*Cas
 // built with NewCaseStudyReplicas.
 func CaseStudyReplicas(topos []*CaseStudy, cfg SweepConfig) []CampaignReplica {
 	return casestudy.Replicas(topos, cfg)
+}
+
+// ShardedSweep executes a sweep's measurement points in parallel across the
+// replica topologies, one shard per replica timeline (internal/sim's
+// conservative time-window synchronizer). Results come back in campaign
+// order and are deterministic regardless of GOMAXPROCS.
+func ShardedSweep(topos []*CaseStudy, cfg SweepConfig, window sim.Duration) ([]RunPoint, error) {
+	return casestudy.ShardedSweep(topos, cfg, window)
 }
 
 // Deterministic fault injection (internal/sim + internal/core): schedule
