@@ -53,6 +53,8 @@ func main() {
 		err = cmdPublish(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
 	case "topo":
 		err = cmdTopo(os.Args[2:])
 	case "runfile":
@@ -107,6 +109,7 @@ commands:
   index      inspect or rebuild an experiment's run manifest and dedup pool
   plot       generate throughput figures from an experiment's results
   check      verify an experiment's artifact completeness
+  diff       compare two experiment result trees byte for byte
   topo       validate and canonicalize a topology description
   publish    bundle an experiment for release`)
 }
@@ -166,6 +169,11 @@ func cmdRun(args []string) error {
 	retries := fs.Int("retries", 1, "attempts per run (>1 enables retry with clean-slate re-setup)")
 	quarantine := fs.Int("quarantine", 0, "quarantine a replica after this many consecutive failures (0: never)")
 	durable := fs.Bool("durable", false, "fsync result files and directories on every write")
+	chain := fs.Int("chain", 0, "router-chain topology: number of chained routers (0: the classic single-router case study)")
+	clusters := fs.Int("clusters", 0, "clusters the chain is split into by trunk links (default: one per shard)")
+	shards := fs.Int("shards", 0, "simulation shards the chain is partitioned across (default: clusters)")
+	scalarEngine := fs.Bool("scalar", false, "collapse the chain onto one scalar engine — the byte-identical oracle for -shards")
+	epoch := fs.String("epoch", "", "pin the workflow wall clock to this RFC3339 instant (and drop wall-time-dependent artifacts) so repeated runs publish byte-identical trees")
 	fs.Parse(args)
 
 	var fl pos.Flavor
@@ -185,6 +193,30 @@ func cmdRun(args []string) error {
 	}
 	if *quarantine < 0 {
 		return fmt.Errorf("run: -quarantine must be >= 0, got %d", *quarantine)
+	}
+	if *chain < 0 {
+		return fmt.Errorf("run: -chain must be >= 0, got %d", *chain)
+	}
+	if *chain == 0 && (*clusters > 0 || *shards > 0 || *scalarEngine) {
+		return fmt.Errorf("run: -clusters/-shards/-scalar require -chain")
+	}
+	if *chain > 0 && (*parallel > 1 || *retries > 1 || *quarantine > 0) {
+		// A partitioned chain already owns the shard group; campaign mode
+		// shards across replicas and cannot nest another group inside one.
+		return fmt.Errorf("run: -chain is incompatible with -parallel/-retries/-quarantine")
+	}
+	var pinned time.Time
+	if *epoch != "" {
+		if *parallel > 1 || *retries > 1 || *quarantine > 0 {
+			return fmt.Errorf("run: -epoch applies to single-testbed runs only")
+		}
+		var err error
+		if pinned, err = time.Parse(time.RFC3339, *epoch); err != nil {
+			return fmt.Errorf("run: bad -epoch: %v", err)
+		}
+		// Span durations measure real elapsed time; with the clock pinned
+		// they are the one artifact that cannot reproduce, so drop them.
+		pos.SetTelemetryEnabled(false)
 	}
 	cfg := pos.SweepConfig{RuntimeSec: *runtime}
 	var err error
@@ -254,7 +286,23 @@ func cmdRun(args []string) error {
 		return nil
 	}
 
-	topo, err := pos.NewCaseStudy(fl, pos.WithSeed(*seed))
+	var topo *pos.CaseStudy
+	if *chain > 0 {
+		topoOpts := []pos.CaseStudyOption{pos.WithSeed(*seed)}
+		if *scalarEngine {
+			topoOpts = append(topoOpts, pos.WithScalarEngine())
+		}
+		topo, err = pos.NewCaseStudyChain(fl, pos.ChainConfig{
+			Routers:  *chain,
+			Clusters: *clusters,
+			Shards:   *shards,
+		}, topoOpts...)
+		if err == nil {
+			fmt.Printf("router chain: %d routers, partitioned across %d shard(s)\n", *chain, topo.Shards)
+		}
+	} else {
+		topo, err = pos.NewCaseStudy(fl, pos.WithSeed(*seed))
+	}
 	if err != nil {
 		return err
 	}
@@ -262,6 +310,10 @@ func cmdRun(args []string) error {
 	exp := topo.Experiment(cfg)
 	runner := topo.Testbed.Runner()
 	rec := pos.NewTraceRecorder()
+	if !pinned.IsZero() {
+		runner.Clock = func() time.Time { return pinned }
+		rec.Clock = func() time.Time { return pinned }
+	}
 	rec.Forward = func(ev pos.ProgressEvent) {
 		if ev.Phase == "measurement" {
 			fmt.Printf("run %d/%d: %s\n", ev.Run+1, ev.TotalRuns, ev.Message)
@@ -276,7 +328,37 @@ func cmdRun(args []string) error {
 		return err
 	}
 	fmt.Printf("%d runs complete (%d failed)\nresults: %s\n", sum.TotalRuns, sum.FailedRuns, sum.ResultsDir)
+	if topo.Group != nil {
+		fmt.Printf("cross-shard: %d injections carried, %d late (clamped), %d adaptive rounds\n",
+			topo.Group.CrossInjections(), topo.Group.LateInjections(), topo.Group.AdaptiveRounds())
+	}
 	return nil
+}
+
+// cmdDiff compares two experiment result trees byte for byte — the check
+// behind the cross-shard contract: the same experiment partitioned across
+// shards and collapsed onto one scalar engine must publish identical
+// artifacts.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	a := fs.String("a", "", "first experiment directory (required)")
+	b := fs.String("b", "", "second experiment directory (required)")
+	fs.Parse(args)
+	if *a == "" || *b == "" {
+		return fmt.Errorf("diff: -a and -b required")
+	}
+	diffs, err := pos.DiffExperiments(*a, *b)
+	if err != nil {
+		return err
+	}
+	if len(diffs) == 0 {
+		fmt.Println("result trees are byte-identical")
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	return fmt.Errorf("diff: %d path(s) differ", len(diffs))
 }
 
 // archiveTrace writes the recorder's timeline into the finished experiment.

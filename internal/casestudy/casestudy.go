@@ -45,16 +45,36 @@ const (
 	Virtual Flavor = "vpos"
 )
 
-// Topology is the running two-node rig.
+// Topology is the running rig: the classic two-node pair of the case study,
+// or a partitioned multi-hop chain (NewChain) whose devices spread across the
+// shards of a sim.ShardGroup.
 type Topology struct {
-	Flavor   Flavor
-	Testbed  *testbed.Testbed
-	Engine   *sim.Engine
-	Gen      *loadgen.Generator
-	Router   *router.Router
+	Flavor  Flavor
+	Testbed *testbed.Testbed
+	// Engine is the load generator's engine — the only engine of a
+	// single-shard topology, one of several in a partitioned one.
+	Engine *sim.Engine
+	// Group is the shard group driving a partitioned topology; nil when
+	// the whole data plane lives on one engine.
+	Group *sim.ShardGroup
+	Gen   *loadgen.Generator
+	// Router is the first hop (the DuT of the two-node rig); Routers holds
+	// every forwarding device, in path order.
+	Router  *router.Router
+	Routers []*router.Router
+	// Shards is how many engines the data plane was partitioned across.
+	Shards   int
 	LoadGen  string // node name playing the load generator
 	DuT      string // node name playing the device under test
 	template func(frameSize int) packet.UDPTemplate
+	expName  string // experiment definition name
+	// drive advances the data plane to quiescence: Engine.Run on a single
+	// shard, ShardGroup.Run plus clock alignment on a partitioned one.
+	drive func() error
+	// minGrace floors RunConfig.DrainGrace at the topology's end-to-end
+	// path delay so in-flight packets on long trunks are not misread as
+	// loss when the caller leaves the grace defaulted.
+	minGrace sim.Duration
 
 	// Faults, when non-nil, is the deterministic fault injector every
 	// Runner() built from this topology is wrapped with. Occurrences
@@ -214,23 +234,18 @@ func newTopology(flavor Flavor, seedOffset uint64, opts ...Option) (*Topology, e
 	}
 
 	topo := &Topology{
-		Flavor:  flavor,
-		Testbed: tb,
-		Engine:  engine,
-		Gen:     gen,
-		Router:  rt,
-		LoadGen: "vriga",
-		DuT:     "vtartu",
-		template: func(frameSize int) packet.UDPTemplate {
-			return packet.UDPTemplate{
-				SrcMAC:  packet.MAC{0x02, 0, 0, 0, 0, 0x01},
-				DstMAC:  packet.MAC{0x02, 0, 0, 0, 0, 0x02},
-				SrcIP:   packet.IPv4Addr{10, 0, 0, 2},
-				DstIP:   packet.IPv4Addr{10, 0, 1, 2},
-				SrcPort: 1234, DstPort: 4321,
-				FrameSize: frameSize,
-			}
-		},
+		Flavor:   flavor,
+		Testbed:  tb,
+		Engine:   engine,
+		Gen:      gen,
+		Router:   rt,
+		Routers:  []*router.Router{rt},
+		Shards:   1,
+		LoadGen:  "vriga",
+		DuT:      "vtartu",
+		expName:  "linux-router-" + string(flavor),
+		drive:    engine.Run,
+		template: defaultTemplate,
 	}
 	if o.faults != nil {
 		topo.Faults = sim.NewFaultInjector(o.faults)
@@ -238,6 +253,58 @@ func newTopology(flavor Flavor, seedOffset uint64, opts ...Option) (*Topology, e
 	lgHandle.OnBoot(topo.installLoadGenTools)
 	dutHandle.OnBoot(topo.installDuTTools)
 	return topo, nil
+}
+
+// defaultTemplate is the synthetic frame prototype shared by every topology
+// flavor: the addresses of the paper's two-host rig.
+func defaultTemplate(frameSize int) packet.UDPTemplate {
+	return packet.UDPTemplate{
+		SrcMAC:  packet.MAC{0x02, 0, 0, 0, 0, 0x01},
+		DstMAC:  packet.MAC{0x02, 0, 0, 0, 0, 0x02},
+		SrcIP:   packet.IPv4Addr{10, 0, 0, 2},
+		DstIP:   packet.IPv4Addr{10, 0, 1, 2},
+		SrcPort: 1234, DstPort: 4321,
+		FrameSize: frameSize,
+	}
+}
+
+// SetForwarding toggles ip_forward on every router of the topology.
+func (t *Topology) SetForwarding(on bool) {
+	for _, r := range t.Routers {
+		r.SetForwarding(on)
+	}
+}
+
+// RouterStats sums the forwarding counters over every router. Forwarded
+// counts each hop, so a packet traversing a K-router chain contributes K.
+func (t *Topology) RouterStats() router.Stats {
+	var sum router.Stats
+	for _, r := range t.Routers {
+		st := r.Stats()
+		sum.Forwarded += st.Forwarded
+		sum.Dropped += st.Dropped
+		sum.TTLExpired += st.TTLExpired
+		sum.BadPacket += st.BadPacket
+		sum.NotRouting += st.NotRouting
+	}
+	return sum
+}
+
+// ResetRouterStats zeroes every router's counters and CPU backlog.
+func (t *Topology) ResetRouterStats() {
+	for _, r := range t.Routers {
+		r.ResetStats()
+	}
+}
+
+// runMeasurement executes one measurement run against the data plane,
+// driving whichever engine arrangement the topology uses and flooring the
+// drain grace at the topology's path delay.
+func (t *Topology) runMeasurement(cfg loadgen.RunConfig) (loadgen.RunResult, error) {
+	if cfg.DrainGrace == 0 && t.minGrace > loadgen.DefaultDrainGrace {
+		cfg.DrainGrace = t.minGrace
+	}
+	return t.Gen.RunOn(cfg, t.drive)
 }
 
 // SetFaults arms (or disarms, with nil) the topology's fault schedule after
@@ -276,7 +343,7 @@ func (t *Topology) installLoadGenTools(n *node.Node) error {
 			return err
 		}
 		cfg.Template = t.template(cfg.frameSize)
-		res, err := t.Gen.Run(cfg.RunConfig)
+		res, err := t.runMeasurement(cfg.RunConfig)
 		if err != nil {
 			return err
 		}
@@ -304,23 +371,23 @@ func (t *Topology) installLoadGenTools(n *node.Node) error {
 // installDuTTools registers the router-control commands.
 func (t *Topology) installDuTTools(n *node.Node) error {
 	if err := n.RegisterCommand("router_enable", func(context.Context, *node.Node, []string, node.ErrWriter, node.ErrWriter) error {
-		t.Router.SetForwarding(true)
+		t.SetForwarding(true)
 		return nil
 	}); err != nil {
 		return err
 	}
 	if err := n.RegisterCommand("router_disable", func(context.Context, *node.Node, []string, node.ErrWriter, node.ErrWriter) error {
-		t.Router.SetForwarding(false)
+		t.SetForwarding(false)
 		return nil
 	}); err != nil {
 		return err
 	}
 	return n.RegisterCommand("router_stats", func(_ context.Context, _ *node.Node, args []string, stdout, _ node.ErrWriter) error {
-		st := t.Router.Stats()
+		st := t.RouterStats()
 		fmt.Fprintf(writerOf(stdout), "forwarded=%d dropped=%d ttl_expired=%d bad=%d not_routing=%d\n",
 			st.Forwarded, st.Dropped, st.TTLExpired, st.BadPacket, st.NotRouting)
 		if len(args) == 1 && args[0] == "--reset" {
-			t.Router.ResetStats()
+			t.ResetRouterStats()
 		}
 		return nil
 	})

@@ -92,7 +92,7 @@ func (t *Topology) Experiment(cfg SweepConfig) *core.Experiment {
 		rates = append(rates, fmt.Sprint(r))
 	}
 	return &core.Experiment{
-		Name: "linux-router-" + string(t.Flavor),
+		Name: t.expName,
 		User: user,
 		GlobalVars: core.Vars{
 			"runtime": fmt.Sprintf("%g", runtime),
@@ -145,12 +145,12 @@ func Replicas(topos []*Topology, cfg SweepConfig) []sched.Replica {
 // figures (each sweep point is identical to what a full workflow run
 // produces; integration tests assert that equivalence).
 func (t *Topology) DirectRun(frameSize int, ratePPS float64, durationSec float64) (RunPoint, error) {
-	t.Router.SetForwarding(true)
+	t.SetForwarding(true)
 	cfg := moonGenConfig{frameSize: frameSize}
 	cfg.RatePPS = ratePPS
 	cfg.Duration = sim.Duration(durationSec * float64(sim.Second))
 	cfg.Template = t.template(frameSize)
-	res, err := t.Gen.Run(cfg.RunConfig)
+	res, err := t.runMeasurement(cfg.RunConfig)
 	if err != nil {
 		return RunPoint{}, err
 	}
@@ -169,12 +169,12 @@ func (t *Topology) DirectRun(frameSize int, ratePPS float64, durationSec float64
 // latency samples in nanoseconds. It fails on platforms without end-to-end
 // hardware timestamping (vpos), matching the paper's limitation.
 func (t *Topology) LatencySamples(frameSize int, ratePPS, durationSec float64) ([]float64, error) {
-	t.Router.SetForwarding(true)
+	t.SetForwarding(true)
 	cfg := moonGenConfig{frameSize: frameSize}
 	cfg.RatePPS = ratePPS
 	cfg.Duration = sim.Duration(durationSec * float64(sim.Second))
 	cfg.Template = t.template(frameSize)
-	res, err := t.Gen.Run(cfg.RunConfig)
+	res, err := t.runMeasurement(cfg.RunConfig)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +195,7 @@ func (t *Topology) ReplayRun(packets []pcap.Packet, ratePPS, durationSec float64
 	if len(packets) == 0 {
 		return RunPoint{}, fmt.Errorf("casestudy: empty capture")
 	}
-	t.Router.SetForwarding(true)
+	t.SetForwarding(true)
 	res, err := t.Gen.Run(loadgen.RunConfig{
 		Replay:   packets,
 		RatePPS:  ratePPS,

@@ -36,6 +36,11 @@ func ShardedSweep(topos []*Topology, cfg SweepConfig, window sim.Duration) ([]Ru
 	if len(topos) == 0 {
 		return nil, fmt.Errorf("casestudy: sharded sweep needs at least one topology")
 	}
+	for _, t := range topos {
+		if t.Group != nil {
+			return nil, fmt.Errorf("casestudy: replica %q is itself partitioned across shards; ShardedSweep cannot nest shard groups", t.expName)
+		}
+	}
 	runtime := cfg.RuntimeSec
 	if runtime <= 0 {
 		runtime = 2

@@ -207,11 +207,19 @@ type ActiveRun struct {
 // and returns the measured result. It drives the engine itself; the caller
 // must not be inside an engine callback.
 func (g *Generator) Run(cfg RunConfig) (RunResult, error) {
+	return g.RunOn(cfg, g.engine.Run)
+}
+
+// RunOn executes one measurement run, advancing the data plane with the
+// given drive function instead of the generator's own engine — the hook a
+// partitioned topology uses to run a whole sim.ShardGroup to quiescence
+// around the generator's schedule.
+func (g *Generator) RunOn(cfg RunConfig, drive func() error) (RunResult, error) {
 	ar, err := g.Start(cfg)
 	if err != nil {
 		return RunResult{}, err
 	}
-	if err := g.engine.Run(); err != nil {
+	if err := drive(); err != nil {
 		g.active = false
 		return RunResult{}, err
 	}

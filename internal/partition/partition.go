@@ -1,0 +1,302 @@
+// Package partition places the devices of an emulated topology onto the
+// shards of a sim.ShardGroup. The objective mirrors what matters to the
+// conservative synchronizer: co-locate heavily-connected devices (a cut
+// link's traffic pays a mailbox crossing per round, so cut the lowest-rate
+// links), and never cut a link whose latency is below the sync-window floor
+// (a cut link's propagation delay becomes the shard pair's lookahead, and a
+// tiny lookahead means constant synchronization).
+//
+// The algorithm is a deterministic two-stage contraction: first a union-find
+// pass fuses the endpoints of every edge too fast to cut (latency below
+// MinLookahead), then clusters merge greedily along the highest-rate
+// remaining edges — subject to a balance cap — until at most Shards clusters
+// remain. Determinism is part of the contract: the same graph and config
+// always produce the same placement, so a partitioned run is as replayable
+// as a single-timeline one.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"pos/internal/sim"
+)
+
+// Node is one simulated device.
+type Node struct {
+	Name string
+	// Weight is the node's relative simulation cost; 0 means 1. The
+	// balance cap works in units of weight.
+	Weight float64
+}
+
+// Edge is one link between two devices.
+type Edge struct {
+	A, B string
+	// RateBitsPerSec is the link's line rate — the cost of cutting it
+	// (more traffic crossing shards per round). 0 defaults to 10 Gbit/s.
+	RateBitsPerSec float64
+	// Latency is the link's propagation delay; it becomes the shard
+	// pair's lookahead when the edge is cut.
+	Latency sim.Duration
+}
+
+// Graph is the topology to place.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// Config parameterizes Partition.
+type Config struct {
+	// Shards is the maximum number of shards to produce (>= 1). Fewer may
+	// be used when the graph's uncuttable edges force larger clusters.
+	Shards int
+	// MinLookahead is the sync-window floor: an edge with latency below it
+	// is never cut, so every cut link's lookahead — and with it the
+	// group's synchronization interval — is at least this much. Required
+	// when Shards > 1.
+	MinLookahead sim.Duration
+	// MaxImbalance caps any cluster's weight at
+	// (total/Shards)·(1+MaxImbalance) during greedy merging; 0 defaults
+	// to 0.5. The cap is soft: when no merge satisfies it and the cluster
+	// count still exceeds Shards, the lightest pair merges anyway.
+	MaxImbalance float64
+}
+
+// Assignment is a placement of every node onto a shard.
+type Assignment struct {
+	// Shards is the number of shards actually used (<= Config.Shards).
+	Shards int
+	// Shard maps node name to shard index.
+	Shard map[string]int
+	// Cut lists the edges whose endpoints landed on different shards.
+	Cut []Edge
+	// Lookahead maps an ordered shard pair to the minimum latency over
+	// the cut edges between them (symmetric: both orders are present).
+	Lookahead map[[2]int]sim.Duration
+	// MinLookahead is the smallest entry of Lookahead, 0 when nothing is
+	// cut. By construction it is >= Config.MinLookahead.
+	MinLookahead sim.Duration
+}
+
+// Partition places g onto at most cfg.Shards shards.
+func Partition(g Graph, cfg Config) (*Assignment, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("partition: need at least one shard, got %d", cfg.Shards)
+	}
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("partition: empty graph")
+	}
+	idx := make(map[string]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("partition: node %d has no name", i)
+		}
+		if _, dup := idx[n.Name]; dup {
+			return nil, fmt.Errorf("partition: duplicate node %q", n.Name)
+		}
+		idx[n.Name] = i
+	}
+	for _, e := range g.Edges {
+		if _, ok := idx[e.A]; !ok {
+			return nil, fmt.Errorf("partition: edge references unknown node %q", e.A)
+		}
+		if _, ok := idx[e.B]; !ok {
+			return nil, fmt.Errorf("partition: edge references unknown node %q", e.B)
+		}
+	}
+	if cfg.Shards > 1 && cfg.MinLookahead <= 0 {
+		return nil, fmt.Errorf("partition: MinLookahead must be positive to cut links across shards")
+	}
+
+	uf := newUnionFind(len(g.Nodes))
+	if cfg.Shards == 1 {
+		for i := 1; i < len(g.Nodes); i++ {
+			uf.union(0, i)
+		}
+	} else {
+		// Stage 1: contract every edge too fast to cut.
+		for _, e := range g.Edges {
+			if e.Latency < cfg.MinLookahead {
+				uf.union(idx[e.A], idx[e.B])
+			}
+		}
+		// Stage 2: greedy merging along the most expensive-to-cut edges.
+		maxImb := cfg.MaxImbalance
+		if maxImb == 0 {
+			maxImb = 0.5
+		}
+		var total float64
+		weights := make(map[int]float64)
+		for i, n := range g.Nodes {
+			w := n.Weight
+			if w <= 0 {
+				w = 1
+			}
+			total += w
+			weights[uf.find(i)] += w
+		}
+		capW := total / float64(cfg.Shards) * (1 + maxImb)
+		// Re-root weights after each union, so recompute lazily: weights
+		// indexed by current root.
+		reroot := func() {
+			fresh := make(map[int]float64)
+			for r, w := range weights {
+				fresh[uf.find(r)] += w
+			}
+			weights = fresh
+		}
+		reroot()
+		type candidate struct {
+			rate    float64
+			latency sim.Duration
+			i       int // edge index: the deterministic tie-break
+		}
+		for uf.clusters() > cfg.Shards {
+			// Candidates are the current inter-cluster edges, ordered by
+			// (rate desc, latency asc, index asc): merge the
+			// heaviest-traffic, shortest pair first — exactly the edges
+			// worst to cut.
+			var cands []candidate
+			for i, e := range g.Edges {
+				if uf.find(idx[e.A]) != uf.find(idx[e.B]) {
+					rate := e.RateBitsPerSec
+					if rate <= 0 {
+						rate = 10e9
+					}
+					cands = append(cands, candidate{rate: rate, latency: e.Latency, i: i})
+				}
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				x, y := cands[a], cands[b]
+				if x.rate != y.rate {
+					return x.rate > y.rate
+				}
+				if x.latency != y.latency {
+					return x.latency < y.latency
+				}
+				return x.i < y.i
+			})
+			merged := false
+			for _, c := range cands {
+				e := g.Edges[c.i]
+				ra, rb := uf.find(idx[e.A]), uf.find(idx[e.B])
+				if weights[ra]+weights[rb] > capW {
+					continue
+				}
+				uf.union(ra, rb)
+				reroot()
+				merged = true
+				break
+			}
+			if merged {
+				continue
+			}
+			// Nothing satisfies the balance cap (or the graph is
+			// disconnected): force-merge the two lightest clusters,
+			// preferring connected pairs, tie-broken by root index.
+			roots := uf.roots()
+			sort.Slice(roots, func(a, b int) bool {
+				if weights[roots[a]] != weights[roots[b]] {
+					return weights[roots[a]] < weights[roots[b]]
+				}
+				return roots[a] < roots[b]
+			})
+			pair := [2]int{-1, -1}
+			for _, c := range cands {
+				e := g.Edges[c.i]
+				ra, rb := uf.find(idx[e.A]), uf.find(idx[e.B])
+				if pair[0] == -1 || weights[ra]+weights[rb] < weights[pair[0]]+weights[pair[1]] {
+					pair = [2]int{ra, rb}
+				}
+			}
+			if pair[0] == -1 {
+				pair = [2]int{roots[0], roots[1]}
+			}
+			uf.union(pair[0], pair[1])
+			reroot()
+		}
+	}
+
+	// Number clusters deterministically by their smallest member index.
+	shardOf := make(map[int]int)
+	asg := &Assignment{Shard: make(map[string]int, len(g.Nodes)), Lookahead: map[[2]int]sim.Duration{}}
+	for i, n := range g.Nodes {
+		r := uf.find(i)
+		id, ok := shardOf[r]
+		if !ok {
+			id = len(shardOf)
+			shardOf[r] = id
+		}
+		asg.Shard[n.Name] = id
+	}
+	asg.Shards = len(shardOf)
+
+	for _, e := range g.Edges {
+		sa, sb := asg.Shard[e.A], asg.Shard[e.B]
+		if sa == sb {
+			continue
+		}
+		asg.Cut = append(asg.Cut, e)
+		for _, k := range [2][2]int{{sa, sb}, {sb, sa}} {
+			if cur, ok := asg.Lookahead[k]; !ok || e.Latency < cur {
+				asg.Lookahead[k] = e.Latency
+			}
+		}
+		if asg.MinLookahead == 0 || e.Latency < asg.MinLookahead {
+			asg.MinLookahead = e.Latency
+		}
+	}
+	return asg, nil
+}
+
+// unionFind is a plain union-find over node indices with union-by-size.
+type unionFind struct {
+	parent []int
+	size   []int
+	count  int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n), count: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(i int) int {
+	for uf.parent[i] != i {
+		uf.parent[i] = uf.parent[uf.parent[i]]
+		i = uf.parent[i]
+	}
+	return i
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	// Union by size, tie to the smaller index so rooting is deterministic.
+	if uf.size[ra] < uf.size[rb] || (uf.size[ra] == uf.size[rb] && rb < ra) {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	uf.count--
+}
+
+func (uf *unionFind) clusters() int { return uf.count }
+
+func (uf *unionFind) roots() []int {
+	var rs []int
+	for i := range uf.parent {
+		if uf.find(i) == i {
+			rs = append(rs, i)
+		}
+	}
+	return rs
+}

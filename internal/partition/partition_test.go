@@ -1,0 +1,254 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"pos/internal/sim"
+)
+
+const (
+	us = sim.Microsecond
+	ms = sim.Millisecond
+)
+
+// Figure 3 (direct flavor): load generator wired straight to the DuT. Both
+// links are far below any sensible lookahead floor, so the pair must stay on
+// one shard no matter how many shards are offered.
+func TestGoldenDirectTopology(t *testing.T) {
+	g := Graph{
+		Nodes: []Node{{Name: "vriga"}, {Name: "vtartu"}},
+		Edges: []Edge{{A: "vriga", B: "vtartu", RateBitsPerSec: 10e9, Latency: 5 * us}},
+	}
+	asg, err := Partition(g, Config{Shards: 4, MinLookahead: 1 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"vriga": 0, "vtartu": 0}
+	if !reflect.DeepEqual(asg.Shard, want) {
+		t.Fatalf("placement = %v, want %v", asg.Shard, want)
+	}
+	if asg.Shards != 1 || len(asg.Cut) != 0 {
+		t.Fatalf("shards=%d cut=%v, want one uncut shard", asg.Shards, asg.Cut)
+	}
+}
+
+// Figure 3 (switched flavor): generator and DuT hang off a switch over short
+// links. The whole pod contracts into one shard.
+func TestGoldenSwitchedTopology(t *testing.T) {
+	g := Graph{
+		Nodes: []Node{{Name: "vriga"}, {Name: "sw"}, {Name: "vtartu"}, {Name: "mgmt"}},
+		Edges: []Edge{
+			{A: "vriga", B: "sw", RateBitsPerSec: 10e9, Latency: 2 * us},
+			{A: "sw", B: "vtartu", RateBitsPerSec: 10e9, Latency: 2 * us},
+			{A: "mgmt", B: "sw", RateBitsPerSec: 1e9, Latency: 10 * us},
+		},
+	}
+	asg, err := Partition(g, Config{Shards: 2, MinLookahead: 1 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, s := range asg.Shard {
+		if s != 0 {
+			t.Fatalf("node %s on shard %d, want everything on shard 0: %v", n, s, asg.Shard)
+		}
+	}
+	if len(asg.Cut) != 0 {
+		t.Fatalf("cut = %v, want none", asg.Cut)
+	}
+}
+
+// An 8-router chain in 4 clusters of 2, joined by slow trunks: the golden
+// placement pairs the routers and cuts exactly the three trunks, and each
+// cut pair's lookahead is the trunk delay.
+func TestGoldenRouterChain(t *testing.T) {
+	g := Graph{
+		Nodes: []Node{
+			{Name: "gen"},
+			{Name: "r1"}, {Name: "r2"}, {Name: "r3"}, {Name: "r4"},
+			{Name: "r5"}, {Name: "r6"}, {Name: "r7"}, {Name: "r8"},
+		},
+		Edges: []Edge{
+			{A: "gen", B: "r1", RateBitsPerSec: 10e9, Latency: 5 * us},
+			{A: "r1", B: "r2", RateBitsPerSec: 10e9, Latency: 5 * us},
+			{A: "r2", B: "r3", RateBitsPerSec: 10e9, Latency: 2 * ms}, // trunk
+			{A: "r3", B: "r4", RateBitsPerSec: 10e9, Latency: 5 * us},
+			{A: "r4", B: "r5", RateBitsPerSec: 10e9, Latency: 2 * ms}, // trunk
+			{A: "r5", B: "r6", RateBitsPerSec: 10e9, Latency: 5 * us},
+			{A: "r6", B: "r7", RateBitsPerSec: 10e9, Latency: 2 * ms}, // trunk
+			{A: "r7", B: "r8", RateBitsPerSec: 10e9, Latency: 5 * us},
+			{A: "r8", B: "gen", RateBitsPerSec: 1e9, Latency: 2 * ms}, // return trunk
+		},
+	}
+	asg, err := Partition(g, Config{Shards: 4, MinLookahead: 2 * ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"gen": 0, "r1": 0, "r2": 0,
+		"r3": 1, "r4": 1,
+		"r5": 2, "r6": 2,
+		"r7": 3, "r8": 3,
+	}
+	if !reflect.DeepEqual(asg.Shard, want) {
+		t.Fatalf("placement = %v, want %v", asg.Shard, want)
+	}
+	if asg.Shards != 4 {
+		t.Fatalf("shards = %d, want 4", asg.Shards)
+	}
+	if len(asg.Cut) != 4 {
+		t.Fatalf("cut = %v, want the three forward trunks plus the return trunk", asg.Cut)
+	}
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if la := asg.Lookahead[pair]; la != 2*ms {
+			t.Fatalf("lookahead%v = %v, want %v", pair, la, 2*ms)
+		}
+		rev := [2]int{pair[1], pair[0]}
+		if asg.Lookahead[rev] != asg.Lookahead[pair] {
+			t.Fatalf("lookahead not symmetric for %v", pair)
+		}
+	}
+	if asg.MinLookahead != 2*ms {
+		t.Fatalf("MinLookahead = %v, want %v", asg.MinLookahead, 2*ms)
+	}
+}
+
+// When the balance cap would otherwise strand extra clusters, the partitioner
+// still converges to the requested shard count.
+func TestForcedMergeConverges(t *testing.T) {
+	g := Graph{
+		Nodes: []Node{
+			{Name: "a", Weight: 10}, {Name: "b", Weight: 10},
+			{Name: "c", Weight: 10}, {Name: "d", Weight: 10},
+		},
+		Edges: []Edge{
+			{A: "a", B: "b", Latency: 3 * ms},
+			{A: "b", B: "c", Latency: 3 * ms},
+			{A: "c", B: "d", Latency: 3 * ms},
+		},
+	}
+	asg, err := Partition(g, Config{Shards: 2, MinLookahead: 1 * ms, MaxImbalance: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Shards != 2 {
+		t.Fatalf("shards = %d, want 2", asg.Shards)
+	}
+}
+
+// Property test over a family of deterministic pseudo-random graphs: every
+// non-cut edge's endpoints share a shard, every cut edge's endpoints differ,
+// no cut edge is faster than the lookahead floor, and the outcome is
+// reproducible call over call.
+func TestPartitionProperties(t *testing.T) {
+	floor := 1 * ms
+	for seed := 0; seed < 20; seed++ {
+		g := syntheticGraph(seed)
+		cfg := Config{Shards: 1 + seed%4, MinLookahead: floor}
+		asg, err := Partition(g, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if asg.Shards > cfg.Shards {
+			t.Fatalf("seed %d: %d shards exceeds requested %d", seed, asg.Shards, cfg.Shards)
+		}
+		for _, n := range g.Nodes {
+			s, ok := asg.Shard[n.Name]
+			if !ok || s < 0 || s >= asg.Shards {
+				t.Fatalf("seed %d: node %s has invalid shard %d (ok=%v)", seed, n.Name, s, ok)
+			}
+		}
+		cut := make(map[[2]string]bool)
+		for _, e := range asg.Cut {
+			cut[[2]string{e.A, e.B}] = true
+		}
+		for _, e := range g.Edges {
+			sa, sb := asg.Shard[e.A], asg.Shard[e.B]
+			if cut[[2]string{e.A, e.B}] {
+				if sa == sb {
+					t.Fatalf("seed %d: cut edge %s-%s has both endpoints on shard %d", seed, e.A, e.B, sa)
+				}
+				if e.Latency < floor {
+					t.Fatalf("seed %d: cut edge %s-%s latency %v below floor %v", seed, e.A, e.B, e.Latency, floor)
+				}
+			} else if sa != sb {
+				t.Fatalf("seed %d: uncut edge %s-%s straddles shards %d/%d", seed, e.A, e.B, sa, sb)
+			}
+		}
+		for pair, la := range asg.Lookahead {
+			if la < floor {
+				t.Fatalf("seed %d: pair %v lookahead %v below floor %v", seed, pair, la, floor)
+			}
+		}
+		again, err := Partition(g, cfg)
+		if err != nil {
+			t.Fatalf("seed %d (repeat): %v", seed, err)
+		}
+		if !reflect.DeepEqual(asg, again) {
+			t.Fatalf("seed %d: partition is not deterministic", seed)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	good := Graph{Nodes: []Node{{Name: "a"}, {Name: "b"}}, Edges: []Edge{{A: "a", B: "b", Latency: 2 * ms}}}
+	cases := []struct {
+		name string
+		g    Graph
+		cfg  Config
+	}{
+		{"zero shards", good, Config{Shards: 0}},
+		{"empty graph", Graph{}, Config{Shards: 1}},
+		{"dup node", Graph{Nodes: []Node{{Name: "a"}, {Name: "a"}}}, Config{Shards: 1}},
+		{"unknown endpoint", Graph{Nodes: []Node{{Name: "a"}}, Edges: []Edge{{A: "a", B: "zz"}}}, Config{Shards: 1}},
+		{"no lookahead floor", good, Config{Shards: 2}},
+	}
+	for _, c := range cases {
+		if _, err := Partition(c.g, c.cfg); err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+// syntheticGraph builds a deterministic pseudo-random graph: a connected ring
+// with extra chords, mixed fast/slow latencies, varied rates and weights. A
+// tiny LCG keeps it reproducible without math/rand.
+func syntheticGraph(seed int) Graph {
+	state := uint64(seed)*2654435761 + 1
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	n := 6 + seed%7
+	g := Graph{}
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		g.Nodes = append(g.Nodes, Node{Name: names[i], Weight: float64(1 + next(3))})
+	}
+	lat := func() sim.Duration {
+		if next(2) == 0 {
+			return sim.Duration(1+next(20)) * us // fast: below the 1ms floor
+		}
+		return sim.Duration(1+next(5)) * ms // slow: cuttable
+	}
+	for i := 0; i < n; i++ {
+		g.Edges = append(g.Edges, Edge{
+			A: names[i], B: names[(i+1)%n],
+			RateBitsPerSec: float64(1+next(10)) * 1e9,
+			Latency:        lat(),
+		})
+	}
+	for c := 0; c < n/2; c++ {
+		a, b := next(n), next(n)
+		if a == b {
+			continue
+		}
+		g.Edges = append(g.Edges, Edge{
+			A: names[a], B: names[b],
+			RateBitsPerSec: float64(1+next(10)) * 1e9,
+			Latency:        lat(),
+		})
+	}
+	return g
+}

@@ -38,6 +38,7 @@ import (
 	"pos/internal/hosttools"
 	"pos/internal/results"
 	"pos/internal/telemetry"
+	"pos/internal/workpool"
 )
 
 // Replica is one testbed instance participating in a campaign: a runner over
@@ -756,7 +757,16 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 		}
 
 		inflightRuns.Inc()
-		rec, err := c.dispatch(runCtx, sess, st, wi, item, combos, dirty, backoff)
+		var rec core.RunRecord
+		var err error
+		// Dispatches execute on the process-wide workpool — the same
+		// bounded worker budget that runs shard rounds — so campaign
+		// parallelism and data-plane parallelism share one pool instead
+		// of stacking goroutines. Do runs inline when no worker is idle,
+		// so a dispatch never deadlocks behind its own pool.
+		workpool.Default().Do(func() {
+			rec, err = c.dispatch(runCtx, sess, st, wi, item, combos, dirty, backoff)
+		})
 		inflightRuns.Dec()
 		<-sem
 

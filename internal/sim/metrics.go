@@ -17,4 +17,10 @@ var (
 		"Windows in which a shard executed zero events while the group kept running.")
 	shardLateInjections = telemetry.Default.Counter("pos_sim_shard_late_injections_total",
 		"Cross-shard injections that arrived with a timestamp already in the shard's past and were clamped to its current time.")
+	shardCrossInjections = telemetry.Default.Counter("pos_sim_shard_cross_injections_total",
+		"Shard-to-shard injections carried through group mailboxes (batched calls counted per element).")
+	shardAdaptiveRounds = telemetry.Default.Counter("pos_sim_shard_adaptive_rounds_total",
+		"Lookahead-mode rounds in which at least one shard ran unbounded because every upstream was quiescent (adaptive window widening).")
+	shardLookaheadMin = telemetry.Default.Gauge("pos_sim_shard_lookahead_min_ns",
+		"Smallest effective shard-pair lookahead of the most recently prepared shard group.")
 )

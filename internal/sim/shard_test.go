@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -219,6 +220,197 @@ func TestShardLateInjectionClamped(t *testing.T) {
 	}
 	if at < 0 {
 		t.Fatal("late injection never ran")
+	}
+}
+
+// Regression: cross-shard drains are ordered by (time, source shard,
+// per-source sequence), so the consumer executes an identical schedule no
+// matter how the producers' rounds interleave on workers.
+func TestShardDrainOrderDeterministic(t *testing.T) {
+	trial := func() []string {
+		g := NewShardGroup(100)
+		p0 := g.AddEngine(NewEngine(), nil)
+		p1 := g.AddEngine(NewEngine(), nil)
+		consumer := g.AddEngine(NewEngine(), nil)
+		var order []string
+		emit := func(name string) Handler {
+			return func(Time) { order = append(order, name) }
+		}
+		// Both producers inject at overlapping timestamps from the same
+		// round; time is the primary key, then source shard, then the
+		// per-source sequence (the order each producer issued its calls).
+		p0.Engine().At(10, func(Time) {
+			consumer.InjectFrom(p0, 1000, emit("p0-a"))
+			consumer.InjectFrom(p0, 900, emit("p0-b"))
+			consumer.InjectFrom(p0, 900, emit("p0-c"))
+		})
+		p1.Engine().At(10, func(Time) {
+			consumer.InjectFrom(p1, 900, emit("p1-a"))
+			consumer.InjectFrom(p1, 1000, emit("p1-b"))
+		})
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	want := []string{"p0-b", "p0-c", "p1-a", "p0-a", "p1-b"}
+	for i := 0; i < 30; i++ {
+		got := trial()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: order %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: order %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+// The clamp boundary sits exactly at the receiver's clock: an injection
+// timestamped at Now() is on time, one tick earlier is late — clamped and
+// counted in pos_sim_shard_late_injections_total.
+func TestShardLateClampBoundary(t *testing.T) {
+	g := NewShardGroup(10)
+	src := g.AddEngine(NewEngine(), nil)
+	e := NewEngine()
+	sh := g.AddEngine(e, nil)
+	e.At(50, func(Time) {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var ran []Time
+	sh.InjectFrom(src, 50, func(now Time) { ran = append(ran, now) }) // exactly the edge
+	sh.InjectFrom(src, 49, func(now Time) { ran = append(ran, now) }) // one tick past it
+	sh.drain()
+	if g.LateInjections() != 1 {
+		t.Fatalf("late = %d, want exactly 1 (only the t-1 injection is late)", g.LateInjections())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 || ran[0] != 50 || ran[1] != 50 {
+		t.Fatalf("ran = %v, want both clamped-or-on-time at 50", ran)
+	}
+}
+
+// Lookahead composes transitively: the effective bound from a to c through b
+// is the min-plus closure of the declared pair lookaheads.
+func TestEffectiveLookaheadClosure(t *testing.T) {
+	g := NewShardGroup(0)
+	a := g.AddEngine(NewEngine(), nil)
+	b := g.AddEngine(NewEngine(), nil)
+	c := g.AddEngine(NewEngine(), nil)
+	g.SetLookahead(a, b, 10)
+	g.SetLookahead(b, c, 15)
+	g.SetLookahead(a, b, 30) // keeps the earlier minimum
+	if d, ok := g.EffectiveLookahead(a, b); !ok || d != 10 {
+		t.Fatalf("a->b = %v,%v want 10,true", d, ok)
+	}
+	if d, ok := g.EffectiveLookahead(a, c); !ok || d != 25 {
+		t.Fatalf("a->c = %v,%v want 25,true (chained through b)", d, ok)
+	}
+	if _, ok := g.EffectiveLookahead(c, a); ok {
+		t.Fatal("c->a should be unconstrained")
+	}
+}
+
+// Under lookahead boundaries cross-shard deliveries land in the receiver's
+// future by construction — zero late injections — and once the sender goes
+// quiescent the receiver's window widens adaptively.
+func TestShardLookaheadRunDeliversOnTime(t *testing.T) {
+	const la = Duration(20)
+	g := NewShardGroup(0)
+	sender := g.AddEngine(NewEngine(), nil)
+	receiver := g.AddEngine(NewEngine(), nil)
+	g.SetLookahead(sender, receiver, la)
+	var got []Time
+	var batch []PendingCall
+	sender.Engine().Ticks(0, 5, 21, func(now Time) {
+		batch = append(batch, PendingCall{At: now.Add(la), H: func(at Time, _ any) {
+			got = append(got, at)
+		}})
+	})
+	sender.OnFlush(func() {
+		receiver.InjectCallsFrom(sender, batch)
+		batch = batch[:0]
+	})
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 21 {
+		t.Fatalf("received %d deliveries, want 21", len(got))
+	}
+	for i, at := range got {
+		if want := Time(i*5) + Time(la); at != want {
+			t.Fatalf("delivery %d at %v, want %v", i, at, want)
+		}
+	}
+	if g.LateInjections() != 0 {
+		t.Fatalf("late = %d, want 0 under lookahead boundaries", g.LateInjections())
+	}
+	if g.AdaptiveRounds() == 0 {
+		t.Fatal("expected adaptive widening once the sender went quiescent")
+	}
+	if g.CrossInjections() != 21 {
+		t.Fatalf("cross injections = %d, want 21", g.CrossInjections())
+	}
+}
+
+// Hammer for the cross-shard mailboxes under -race: external goroutines and
+// sibling shards inject concurrently with running rounds; every injection
+// must be delivered exactly once.
+func TestShardMailboxHammer(t *testing.T) {
+	const (
+		injectors    = 4
+		perInjector  = 300
+		batchTicks   = 21
+		batchPerTick = 3
+	)
+	g := NewShardGroup(0)
+	e := NewEngine()
+	var stop atomic.Bool
+	var delivered atomic.Int64
+	sh := g.AddEngine(e, func(s *Shard, now Time) bool {
+		// Once the hammer stops, end the driver's work; drained stragglers
+		// still execute on a done shard until the mailbox empties.
+		if stop.Load() {
+			return false
+		}
+		e.At(now.Add(10), func(Time) {}) // keep the shard active while the hammer runs
+		return true
+	})
+	producer := g.AddEngine(NewEngine(), nil)
+	var batch []PendingCall
+	producer.Engine().Ticks(0, 5, batchTicks, func(now Time) {
+		for k := 0; k < batchPerTick; k++ {
+			batch = append(batch, PendingCall{At: now.Add(1000), H: func(Time, any) { delivered.Add(1) }})
+		}
+	})
+	producer.OnFlush(func() {
+		sh.InjectCallsFrom(producer, batch)
+		batch = batch[:0]
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < injectors; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perInjector; i++ {
+				sh.Inject(Time(i), func(Time) { delivered.Add(1) })
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		stop.Store(true)
+	}()
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(injectors*perInjector + batchTicks*batchPerTick)
+	if delivered.Load() != want {
+		t.Fatalf("delivered %d injections, want %d", delivered.Load(), want)
 	}
 }
 

@@ -171,6 +171,21 @@ func (e *Engine) Len() int {
 // Steps reports the total number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
+// NextEventTime reports the timestamp of the earliest pending work — heap
+// event or ticker lane — or MaxTime when the engine is quiescent. Shard
+// synchronizers use it to derive lookahead-based window boundaries: a shard
+// cannot influence a neighbour before its own next event.
+func (e *Engine) NextEventTime() Time {
+	next := MaxTime
+	if len(e.queue) > 0 {
+		next = e.queue[0].at
+	}
+	if tk := e.nextTicker(); tk != nil && tk.next < next {
+		next = tk.next
+	}
+	return next
+}
+
 // SetBatching toggles cut-through mode. Data-plane components consult
 // Batching to decide between scheduling heap events (scalar oracle) and
 // synchronous delivery with logical timestamps. Flip it only while the

@@ -1,0 +1,181 @@
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGoRunsAllTasks(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	const n = 1000
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.Go(func() {
+			ran.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d tasks", got, n)
+	}
+	if st := p.Stats(); st.Submitted != n {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, n)
+	}
+}
+
+func TestCloseDrainsPendingTasks(t *testing.T) {
+	p := New(2)
+	var ran atomic.Int64
+	const n = 200
+	for i := 0; i < n; i++ {
+		p.Go(func() { ran.Add(1) })
+	}
+	p.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("after Close ran %d of %d tasks", got, n)
+	}
+}
+
+func TestGoAfterCloseStillRuns(t *testing.T) {
+	p := New(1)
+	p.Close()
+	done := make(chan struct{})
+	p.Go(func() { close(done) })
+	<-done
+}
+
+// TestDoInlineWhenSaturated pins the deadlock-freedom contract: with every
+// worker blocked, Do must run on the caller instead of waiting for capacity.
+func TestDoInlineWhenSaturated(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(p.Size())
+	for i := 0; i < p.Size(); i++ {
+		p.Go(func() {
+			started.Done()
+			<-gate
+		})
+	}
+	started.Wait() // all workers now parked inside tasks
+	ran := false
+	p.Do(func() { ran = true })
+	close(gate)
+	if !ran {
+		t.Fatal("Do did not run the task")
+	}
+	if st := p.Stats(); st.Inline == 0 {
+		t.Fatalf("expected an inline execution, stats = %+v", st)
+	}
+}
+
+func TestDoHandsOffToIdleWorker(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	// Wait for the workers to park (on one core they only run when this
+	// goroutine yields), then Do must hand off instead of running inline.
+	for i := 0; p.Idle() < p.Size(); i++ {
+		if i > 10_000 {
+			t.Fatalf("workers never parked, idle = %d", p.Idle())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	p.Do(func() {})
+	if st := p.Stats(); st.HandedOff == 0 {
+		t.Fatalf("no Do was handed to an idle worker, stats = %+v", st)
+	}
+}
+
+func TestStealsMoveWorkAcrossDeques(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	// A burst far larger than the worker count spreads across all deques;
+	// workers finishing early must steal from the laggards. The assertion
+	// is only on completion (steal counts depend on scheduling).
+	var wg sync.WaitGroup
+	const n = 4000
+	wg.Add(n)
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		p.Go(func() {
+			ran.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d", got, n)
+	}
+}
+
+// TestWorkpoolHammer is the -race stress for the shared pool: concurrent
+// submitters mixing Go and Do, tasks that themselves submit nested work, and
+// a final drain. Run it with `make verify-race`.
+func TestWorkpoolHammer(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	const submitters = 8
+	const perSubmitter = 200
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				switch (seed + i) % 3 {
+				case 0:
+					wg.Add(1)
+					p.Go(func() {
+						ran.Add(1)
+						wg.Done()
+					})
+				case 1:
+					p.Do(func() { ran.Add(1) })
+				default:
+					// Nested submission from inside a pooled task.
+					wg.Add(1)
+					p.Go(func() {
+						wg.Add(1)
+						p.Go(func() {
+							ran.Add(1)
+							wg.Done()
+						})
+						ran.Add(1)
+						wg.Done()
+					})
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	want := int64(0)
+	for s := 0; s < submitters; s++ {
+		for i := 0; i < perSubmitter; i++ {
+			if (s+i)%3 == 2 {
+				want += 2
+			} else {
+				want++
+			}
+		}
+	}
+	if got := ran.Load(); got != want {
+		t.Fatalf("ran %d tasks, want %d", got, want)
+	}
+}
+
+func TestDefaultPoolIsShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default returned distinct pools")
+	}
+	done := make(chan struct{})
+	Default().Go(func() { close(done) })
+	<-done
+}

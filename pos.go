@@ -143,6 +143,8 @@ type (
 	RunPoint = casestudy.RunPoint
 	// CaseStudyOption tweaks the topology.
 	CaseStudyOption = casestudy.Option
+	// ChainConfig parameterizes the partitioned multi-hop router chain.
+	ChainConfig = casestudy.ChainConfig
 )
 
 // The two platforms of Fig. 3.
@@ -156,6 +158,15 @@ const (
 // NewCaseStudy builds the paper's two-node topology on the given platform.
 func NewCaseStudy(flavor Flavor, opts ...CaseStudyOption) (*CaseStudy, error) {
 	return casestudy.New(flavor, opts...)
+}
+
+// NewCaseStudyChain builds a multi-hop router chain, partitions its devices
+// across shards with the latency-aware topology partitioner, and couples the
+// cut links through batched cross-shard mailboxes (Chandy–Misra lookahead
+// from the trunk delays). WithScalarEngine collapses the identical chain
+// onto one scalar engine — the byte-identical differential-test oracle.
+func NewCaseStudyChain(flavor Flavor, cfg ChainConfig, opts ...CaseStudyOption) (*CaseStudy, error) {
+	return casestudy.NewChain(flavor, cfg, opts...)
 }
 
 // WithSeed pins the vpos jitter seed.
@@ -395,6 +406,12 @@ func Release(exp *ExperimentResults, user, name, destPath string) (PublishManife
 
 // WriteComparisonTable regenerates Table 1 of the paper.
 func WriteComparisonTable(w io.Writer) error { return compare.Write(w) }
+
+// DiffExperiments walks two experiment result directories and reports every
+// path whose presence or bytes differ — the reproducibility check behind the
+// partitioned-vs-scalar data-plane contract. An empty slice means the trees
+// are byte-identical.
+func DiffExperiments(dirA, dirB string) ([]string, error) { return compare.DiffExperiments(dirA, dirB) }
 
 // Traffic capture types (internal/pcap, internal/packet): libpcap files and
 // byte-accurate UDP/IPv4/Ethernet frame construction for replay workloads.

@@ -1,0 +1,146 @@
+package pos_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"pos"
+)
+
+// BenchmarkCrossShardTopology measures the cross-shard data plane on the
+// multi-hop router chain from the scaling case study: 8 routers in 4
+// clusters joined by 2 ms trunks, partitioned one cluster per shard.
+//
+// Three configurations of the *same* topology are timed through an
+// identical measurement sweep:
+//
+//   - OneShardScalar:   the scalar oracle (WithScalarEngine) — one engine,
+//     one heap event per packet per hop.
+//   - OneShardBatched:  the batched engine collapsed onto a single shard —
+//     isolates what batching alone buys on this host.
+//   - FourShardBatched: the partitioned engine — batched shards exchanging
+//     packet trains through lookahead-bounded mailboxes.
+//
+// The Speedup sub-benchmark reports speedup_x = scalar time / 4-shard time
+// (the oracle the differential tests hold the sharded engine byte-identical
+// to) alongside batched_speedup_x = 1-shard-batched / 4-shard, plus the
+// host's GOMAXPROCS. On a single core the 4-shard run cannot execute shards
+// concurrently, so batched_speedup_x is the honest measure of cross-shard
+// overhead there; the recorded gomaxprocs makes that legible in
+// BENCH_xshard.json rather than claiming parallelism the host cannot
+// deliver.
+func BenchmarkCrossShardTopology(b *testing.B) {
+	chain := pos.ChainConfig{Routers: 8, Clusters: 4, Shards: 4}
+	rates := []float64{150_000, 600_000, 1_800_000}
+	// Each point runs 1 s of simulated time at a 1 ms tick: 1000 trains.
+	const trainsPerSweep = float64(1000 * 3)
+
+	build := func(b *testing.B, cfg pos.ChainConfig, opts ...pos.CaseStudyOption) *pos.CaseStudy {
+		b.Helper()
+		topo, err := pos.NewCaseStudyChain(pos.BareMetal, cfg, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return topo
+	}
+	// Same routers, same clusters, same trunk delays — just no partition:
+	// the batched engine on a single timeline.
+	oneShard := chain
+	oneShard.Shards = 1
+	sweep := func(b *testing.B, topo *pos.CaseStudy) time.Duration {
+		b.Helper()
+		start := time.Now()
+		for _, rate := range rates {
+			if _, err := topo.DirectRun(64, rate, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	b.Run("OneShardScalar", func(b *testing.B) {
+		topo := build(b, chain, pos.WithScalarEngine())
+		defer topo.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b, topo)
+		}
+	})
+
+	b.Run("OneShardBatched", func(b *testing.B) {
+		topo := build(b, oneShard)
+		defer topo.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b, topo)
+		}
+	})
+
+	b.Run("FourShardBatched", func(b *testing.B) {
+		topo := build(b, chain)
+		if topo.Shards != 4 {
+			b.Fatalf("partition produced %d shards, want 4", topo.Shards)
+		}
+		defer topo.Close()
+		b.ReportAllocs()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b, topo)
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		allocsPerTrain := float64(after.Mallocs-before.Mallocs) / float64(b.N) / trainsPerSweep
+		b.ReportMetric(allocsPerTrain, "allocs/train")
+		recordBenchResults(b, "BenchmarkCrossShardTopology/FourShardBatched", map[string]float64{
+			"allocs_per_train": allocsPerTrain,
+		})
+	})
+
+	b.Run("Speedup", func(b *testing.B) {
+		scalar := build(b, chain, pos.WithScalarEngine())
+		defer scalar.Close()
+		batched := build(b, oneShard)
+		defer batched.Close()
+		sharded := build(b, chain)
+		defer sharded.Close()
+		if sharded.Shards != 4 {
+			b.Fatalf("partition produced %d shards, want 4", sharded.Shards)
+		}
+		// Warm pools and code paths once so the paired timings compare
+		// steady-state behavior, not first-run setup.
+		sweep(b, scalar)
+		sweep(b, batched)
+		sweep(b, sharded)
+		var scalarSec, batchedSec, shardedSec time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scalarSec += sweep(b, scalar)
+			batchedSec += sweep(b, batched)
+			shardedSec += sweep(b, sharded)
+		}
+		b.StopTimer()
+		speedup := scalarSec.Seconds() / shardedSec.Seconds()
+		batchedSpeedup := batchedSec.Seconds() / shardedSec.Seconds()
+		b.ReportMetric(speedup, "speedup_x")
+		b.ReportMetric(batchedSpeedup, "batched_speedup_x")
+		b.ReportMetric(float64(sharded.Shards), "shards")
+		b.ReportMetric(0, "ns/op")
+		recordBenchResults(b, "BenchmarkCrossShardTopology", map[string]float64{
+			"speedup_x":          speedup,
+			"batched_speedup_x":  batchedSpeedup,
+			"shards":             float64(sharded.Shards),
+			"gomaxprocs":         float64(runtime.GOMAXPROCS(0)),
+			"scalar_sec":         scalarSec.Seconds() / float64(b.N),
+			"batched_1shard_sec": batchedSec.Seconds() / float64(b.N),
+			"sharded_4shard_sec": shardedSec.Seconds() / float64(b.N),
+			"cross_injections":   float64(sharded.Group.CrossInjections()),
+			"late_injections":    float64(sharded.Group.LateInjections()),
+		})
+	})
+}

@@ -1,0 +1,166 @@
+package pos_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pos"
+	"pos/internal/compare"
+	"pos/internal/telemetry"
+)
+
+// The cross-shard data plane is a pure performance optimization: a chain
+// topology partitioned across shards must produce byte-identical results to
+// the same chain collapsed onto a single scalar engine (WithScalarEngine) —
+// same sweep points, same latency samples, same workflow artifact trees.
+// These tests hold the partitioned engine to that contract.
+
+func chainPair(t *testing.T, flavor pos.Flavor, cfg pos.ChainConfig, opts ...pos.CaseStudyOption) (sharded, scalar *pos.CaseStudy) {
+	t.Helper()
+	sharded, err := pos.NewCaseStudyChain(flavor, cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err = pos.NewCaseStudyChain(flavor, cfg, append(opts, pos.WithScalarEngine())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards < 2 {
+		t.Fatalf("sharded chain collapsed to %d shard(s)", sharded.Shards)
+	}
+	if scalar.Shards != 1 {
+		t.Fatalf("scalar oracle has %d shards, want 1", scalar.Shards)
+	}
+	return sharded, scalar
+}
+
+// TestCrossShardMatchesScalarChain sweeps the partitioned 4-shard chain and
+// its single-engine scalar oracle through identical measurement points and
+// requires every field of every point to agree exactly.
+func TestCrossShardMatchesScalarChain(t *testing.T) {
+	cfg := pos.ChainConfig{Routers: 8, Clusters: 4, Shards: 4}
+	sharded, scalar := chainPair(t, pos.BareMetal, cfg)
+	defer sharded.Close()
+	defer scalar.Close()
+	for _, size := range []int{64, 1500} {
+		for _, rate := range []float64{10_000, 150_000, 300_000, 1_000_000, 1_800_000} {
+			got, err := sharded.DirectRun(size, rate, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := scalar.DirectRun(size, rate, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("size=%d rate=%g: sharded %+v != scalar %+v", size, rate, got, want)
+			}
+		}
+	}
+	if sharded.Group.LateInjections() != 0 {
+		t.Fatalf("lookahead violated: %d late injections", sharded.Group.LateInjections())
+	}
+	if sharded.Group.CrossInjections() == 0 {
+		t.Fatal("no traffic crossed shard boundaries — the partition did not cut the path")
+	}
+}
+
+// TestCrossShardMatchesScalarVirtualChain repeats the sweep on the seeded
+// virtual platform: per-router jitter models must replay identically whether
+// the routers share an engine or are spread across shards.
+func TestCrossShardMatchesScalarVirtualChain(t *testing.T) {
+	cfg := pos.ChainConfig{Routers: 4, Clusters: 2, Shards: 2}
+	sharded, scalar := chainPair(t, pos.Virtual, cfg, pos.WithSeed(7))
+	defer sharded.Close()
+	defer scalar.Close()
+	for _, rate := range []float64{20_000, 120_000, 250_000} {
+		got, err := sharded.DirectRun(64, rate, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scalar.DirectRun(64, rate, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("rate=%g: sharded %+v != scalar %+v", rate, got, want)
+		}
+	}
+}
+
+// TestCrossShardMatchesScalarLatencySamples compares the raw latency sample
+// streams — order and value — across the partitioned multi-hop path.
+func TestCrossShardMatchesScalarLatencySamples(t *testing.T) {
+	cfg := pos.ChainConfig{Routers: 8, Clusters: 4, Shards: 4}
+	sharded, scalar := chainPair(t, pos.BareMetal, cfg)
+	defer sharded.Close()
+	defer scalar.Close()
+	got, err := sharded.LatencySamples(64, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scalar.LatencySamples(64, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("sample counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCrossShardMatchesScalarWorkflowArtifacts runs the full pos workflow —
+// control plane, measurement scripts, artifact uploads — against the
+// partitioned chain and its scalar oracle with a pinned wall clock, then
+// diffs the experiment result trees byte for byte.
+func TestCrossShardMatchesScalarWorkflowArtifacts(t *testing.T) {
+	sweep := pos.SweepConfig{
+		Sizes:      []int{64},
+		RatesPPS:   []int{10_000, 300_000},
+		RuntimeSec: 1,
+	}
+	chain := pos.ChainConfig{Routers: 4, Clusters: 2, Shards: 2}
+	epoch := time.Date(2021, 10, 12, 11, 20, 32, 230471000, time.UTC)
+	telemetry.Default.SetEnabled(false)
+	defer telemetry.Default.SetEnabled(true)
+	runTree := func(opts ...pos.CaseStudyOption) string {
+		topo, err := pos.NewCaseStudyChain(pos.Virtual, chain, append([]pos.CaseStudyOption{pos.WithSeed(3)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer topo.Close()
+		store, err := pos.NewResultsStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := topo.Experiment(sweep)
+		runner := topo.Testbed.Runner()
+		runner.Clock = func() time.Time { return epoch }
+		if _, err := runner.Run(context.Background(), exp, store); err != nil {
+			t.Fatal(err)
+		}
+		ids, err := store.ListExperiments(exp.User, exp.Name)
+		if err != nil || len(ids) != 1 {
+			t.Fatalf("experiments = %v, %v", ids, err)
+		}
+		rec, err := store.OpenExperiment(exp.User, exp.Name, ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Dir()
+	}
+	shardedDir := runTree()
+	scalarDir := runTree(pos.WithScalarEngine())
+	diffs, err := compare.DiffExperiments(shardedDir, scalarDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		t.Errorf("artifact differs: %s", d)
+	}
+}
