@@ -27,7 +27,7 @@ verify-race:
 	go test -race ./internal/sched/ ./internal/core/ ./internal/hosttools/ \
 		./internal/casestudy/ ./internal/vpos/ ./internal/api/ \
 		./internal/eventlog/ ./internal/sim/ ./internal/workpool/ \
-		./internal/partition/
+		./internal/partition/ ./internal/queue/
 	go test -race -run 'TestBatchedMatchesScalar|TestShardedSweepMatchesSequential|TestCrossShard' .
 
 # Performance tier: the speedup benchmarks added with the campaign
@@ -66,6 +66,17 @@ bench-xshard:
 	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_xshard.json \
 	go test -run NONE -bench BenchmarkCrossShardTopology \
 		-benchmem -benchtime 20x .
+
+# Queue tier: the multi-tenant campaign scheduler end to end — four
+# tenants flooding a four-node calendar with instant-launch campaigns, so
+# the measured wall clock is pure queue machinery (journal appends,
+# admission passes, allocation grant/release). Throughput and mean
+# submit→admit latency are recorded in BENCH_queue.json.
+.PHONY: bench-queue
+bench-queue:
+	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_queue.json \
+	go test -run NONE -bench BenchmarkQueueAdmission -benchtime 200x \
+		./internal/queue/
 
 # Retry-overhead tier: fault-free vs. faulty campaign wall clock. The
 # overhead ratio is recorded next to the code in BENCH_sched.json.

@@ -4,6 +4,9 @@
 //	posctl table                          print Table 1 (testbed comparison)
 //	posctl expand -vars "a=1,2;b=x,y"     show the cross-product of loop vars
 //	posctl run [flags]                    run the case-study sweep end to end
+//	posctl submit -addr HOST:PORT [flags] queue a campaign on a controller
+//	posctl queue -addr HOST:PORT          show a controller's campaign queue
+//	posctl cancel -addr HOST:PORT -id N   cancel a queued or running campaign
 //	posctl watch -addr HOST:PORT          stream a controller's live events
 //	posctl events -dir DIR                replay a finished experiment's journal
 //	posctl results -dir DIR [flags]       inspect a results tree
@@ -67,6 +70,12 @@ func main() {
 		err = cmdRepeat(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "queue":
+		err = cmdQueue(os.Args[2:])
+	case "cancel":
+		err = cmdCancel(os.Args[2:])
 	case "vposd":
 		err = cmdVposd(os.Args[2:])
 	case "metrics":
@@ -100,6 +109,9 @@ commands:
   ndr        binary-search the device's non-drop rate (RFC 2544 style)
   repeat     run an experiment repeatedly and report the deviation
   serve      expose the controller HTTP API for a demo testbed
+  submit     queue a campaign on a serving controller
+  queue      show a controller's campaign queue (live state)
+  cancel     cancel a queued campaign or preempt a running one
   vposd      run the virtual-testbed-as-a-service endpoint
   metrics    scrape a controller's telemetry (/metrics or JSON snapshot)
   watch      stream a controller's live experiment events (SSE)
@@ -583,6 +595,7 @@ func cmdServe(args []string) error {
 	nodes := fs.String("nodes", "vriga,vtartu,vvilnius", "node names to create")
 	resultsDir := fs.String("results", "", "results root to expose read-only (optional)")
 	debug := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	queueOn := fs.Bool("queue", true, "run the multi-tenant campaign queue (posctl submit/queue/cancel)")
 	campaign := fs.Int("campaign", 0, "also run a demo campaign across this many vpos replicas, streaming its events")
 	seed := fs.Uint64("seed", 1, "vpos jitter seed for the demo campaign")
 	fs.Parse(args)
@@ -616,6 +629,31 @@ func cmdServe(args []string) error {
 		}
 		srv.SetResults(store)
 		fmt.Println("results endpoints enabled for", *resultsDir)
+	}
+	if *queueOn {
+		if store == nil {
+			if store, err = queueControlStore(); err != nil {
+				return err
+			}
+			srv.SetResults(store)
+		}
+		qdir, err := store.ControlDir("queue")
+		if err != nil {
+			return err
+		}
+		q, err := pos.NewCampaignQueue(pos.QueueConfig{
+			Dir:      qdir,
+			Calendar: tb.Calendar,
+			Events:   events,
+			Launch:   demoQueueLaunch(store),
+		})
+		if err != nil {
+			return err
+		}
+		defer q.Close()
+		srv.SetQueue(q)
+		fmt.Printf("campaign queue on /api/v1/campaigns — posctl submit -addr %s -user alice -nodes %s\n",
+			srv.Addr(), *nodes)
 	}
 	if *campaign > 0 {
 		if store == nil {

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pos"
+)
+
+// The queue subcommands drive the controller's multi-tenant campaign queue
+// over the HTTP API: submit enqueues a campaign, queue shows live state,
+// cancel withdraws (or preempts) one. They pair with `posctl serve`, which
+// runs the admission scheduler, and `posctl watch`, which streams its
+// decisions.
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "", "controller API address host:port (required)")
+	user := fs.String("user", "", "submitting user (required)")
+	name := fs.String("name", "campaign", "campaign name (labels the results tree)")
+	nodes := fs.String("nodes", "", "comma-separated node set to allocate (required)")
+	minutes := fs.Int("minutes", 10, "allocation length in minutes")
+	priority := fs.Int("priority", 0, "admission priority (higher admits first)")
+	expDir := fs.String("expdir", "", "experiment directory to run (optional; default demo sweep)")
+	spec := fs.String("spec", "", "launcher parameters k=v[,k=v...] (sizes, rates, replicas, seed)")
+	fs.Parse(args)
+	if *addr == "" || *user == "" || *nodes == "" {
+		return fmt.Errorf("submit: -addr, -user, and -nodes are required")
+	}
+	specMap, err := parseSpec(*spec)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	c := pos.NewAPIClient(*addr)
+	view, err := c.SubmitCampaign(pos.CampaignRequest{
+		User:     *user,
+		Name:     *name,
+		Nodes:    splitCSV(*nodes),
+		Minutes:  *minutes,
+		Priority: *priority,
+		ExpDir:   *expDir,
+		Spec:     specMap,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign #%d submitted: %s/%s %s (position %d)\n",
+		view.ID, view.User, view.Name, view.State, view.Position)
+	return nil
+}
+
+func cmdQueue(args []string) error {
+	fs := flag.NewFlagSet("queue", flag.ExitOnError)
+	addr := fs.String("addr", "", "controller API address host:port (required)")
+	all := fs.Bool("all", false, "include finished campaigns")
+	fs.Parse(args)
+	if *addr == "" {
+		return fmt.Errorf("queue: -addr required")
+	}
+	c := pos.NewAPIClient(*addr)
+	views, err := c.Campaigns()
+	if err != nil {
+		return err
+	}
+	shown := 0
+	fmt.Printf("%-4s %-10s %-14s %-10s %-4s %-5s %-20s %s\n",
+		"ID", "USER", "NAME", "STATE", "POS", "PRIO", "NODES", "INFO")
+	for _, v := range views {
+		if !*all && (v.State == string(pos.QueueStateDone) ||
+			v.State == string(pos.QueueStateFailed) ||
+			v.State == string(pos.QueueStateCancelled)) {
+			continue
+		}
+		fmt.Printf("%-4d %-10s %-14s %-10s %-4s %-5d %-20s %s\n",
+			v.ID, v.User, v.Name, v.State, posColumn(v), v.Priority,
+			strings.Join(v.Nodes, ","), infoColumn(v))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("(queue empty)")
+	}
+	return nil
+}
+
+func posColumn(v pos.CampaignView) string {
+	if v.Position > 0 {
+		return strconv.Itoa(v.Position)
+	}
+	return "-"
+}
+
+func infoColumn(v pos.CampaignView) string {
+	switch v.State {
+	case string(pos.QueueStateRunning):
+		return fmt.Sprintf("allocation #%d since %s",
+			v.AllocationID, v.Admitted.Format("15:04:05"))
+	case string(pos.QueueStateFailed):
+		return v.Error
+	case string(pos.QueueStateQueued):
+		return "waiting since " + v.Submitted.Format("15:04:05")
+	default:
+		if !v.Finished.IsZero() {
+			return "at " + v.Finished.Format("15:04:05")
+		}
+		return ""
+	}
+}
+
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+	addr := fs.String("addr", "", "controller API address host:port (required)")
+	user := fs.String("user", "", "owning user (required)")
+	id := fs.Int("id", 0, "campaign id to cancel (required)")
+	fs.Parse(args)
+	if *addr == "" || *user == "" || *id <= 0 {
+		return fmt.Errorf("cancel: -addr, -user, and -id are required")
+	}
+	c := pos.NewAPIClient(*addr)
+	view, err := c.CancelCampaign(*user, *id)
+	if err != nil {
+		return err
+	}
+	if view.State == string(pos.QueueStateRunning) {
+		fmt.Printf("campaign #%d preempting (will report cancelled once its runs stop)\n", view.ID)
+		return nil
+	}
+	fmt.Printf("campaign #%d %s\n", view.ID, view.State)
+	return nil
+}
+
+// parseSpec parses "k=v,k=v" launcher parameters.
+func parseSpec(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad spec entry %q (want k=v)", kv)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// specInt reads an integer launcher parameter with a default.
+func specInt(spec map[string]string, key string, def int) int {
+	if v, ok := spec[key]; ok {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// specIntList reads a "/"-separated integer list ("64/1500"); commas are the
+// spec's own field separator, so lists nest with slashes.
+func specIntList(spec map[string]string, key string, def []int) []int {
+	v, ok := spec[key]
+	if !ok {
+		return def
+	}
+	var out []int
+	for _, f := range strings.Split(v, "/") {
+		if n, err := strconv.Atoi(strings.TrimSpace(f)); err == nil {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
+// demoQueueLaunch returns the serve command's campaign launcher: each
+// admitted submission runs a vpos case-study sweep sized by its Spec
+// (replicas, sizes, rates, seed, runtime), results filed under the
+// submitting user's tree in the shared store. A submission naming an
+// -expdir runs that experiment directory instead, bound to a fresh virtual
+// topology.
+func demoQueueLaunch(store *pos.ResultsStore) pos.QueueLaunch {
+	return func(ctx context.Context, sub pos.QueueSubmission, events *pos.EventPipeline) error {
+		seed := uint64(specInt(sub.Spec, "seed", 1))
+		if sub.ExpDir != "" {
+			topo, err := pos.NewCaseStudy(pos.Virtual, pos.WithSeed(seed))
+			if err != nil {
+				return err
+			}
+			defer topo.Close()
+			exp, err := pos.LoadExperimentDir(sub.ExpDir, map[string]string{
+				"loadgen": topo.LoadGen, "dut": topo.DuT,
+			})
+			if err != nil {
+				return err
+			}
+			exp.User = sub.User
+			runner := topo.Testbed.Runner()
+			runner.Events = events
+			_, err = runner.Run(ctx, exp, store)
+			return err
+		}
+		replicas := specInt(sub.Spec, "replicas", 1)
+		if replicas < 1 {
+			replicas = 1
+		}
+		if replicas > 4 {
+			replicas = 4
+		}
+		cfg := pos.SweepConfig{
+			Sizes:      specIntList(sub.Spec, "sizes", []int{64}),
+			RatesPPS:   specIntList(sub.Spec, "rates", []int{10_000, 20_000}),
+			RuntimeSec: float64(specInt(sub.Spec, "runtime", 1)),
+			User:       sub.User,
+		}
+		topos, err := pos.NewCaseStudyReplicas(pos.Virtual, replicas, pos.WithSeed(seed))
+		if err != nil {
+			return err
+		}
+		defer func() {
+			for _, t := range topos {
+				t.Close()
+			}
+		}()
+		reps := pos.CaseStudyReplicas(topos, cfg)
+		for i := range reps {
+			reps[i].Experiment.Name = sub.Name
+		}
+		c := &pos.Campaign{
+			Replicas:          reps,
+			Events:            events,
+			HeartbeatInterval: 2 * time.Second,
+		}
+		_, err = c.Run(ctx, store)
+		return err
+	}
+}
+
+// queueControlStore opens (or creates) the store backing queue state for
+// cmdServe when no -results root was given: a temp tree, announced so the
+// operator can find the tenants' results.
+func queueControlStore() (*pos.ResultsStore, error) {
+	root, err := os.MkdirTemp("", "posctl-queue-*")
+	if err != nil {
+		return nil, err
+	}
+	store, err := pos.NewResultsStore(root)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Println("campaign results under", root)
+	return store, nil
+}

@@ -86,6 +86,8 @@ func renderEvent(ev pos.ExperimentEvent) string {
 			fmt.Fprintf(&b, "%s: ", ev.Level)
 		}
 		b.WriteString(ev.Message)
+	case "queue":
+		fmt.Fprintf(&b, "[queue] %s", ev.Message)
 	default:
 		b.WriteString(ev.Message)
 	}

@@ -13,12 +13,17 @@
 //	GET    /api/v1/allocations            active allocations
 //	POST   /api/v1/allocations            {"user", "nodes", "minutes"}
 //	DELETE /api/v1/allocations/{id}?user= release
+//	POST   /api/v1/campaigns              submit a campaign to the queue
+//	GET    /api/v1/campaigns              full queue state
+//	GET    /api/v1/campaigns/{id}         one campaign's status
+//	DELETE /api/v1/campaigns/{id}?user=   cancel queued / preempt running
 package api
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -27,8 +32,10 @@ import (
 	"strconv"
 	"time"
 
+	"pos/internal/calendar"
 	"pos/internal/eventlog"
 	"pos/internal/node"
+	"pos/internal/queue"
 	"pos/internal/results"
 	"pos/internal/telemetry"
 	"pos/internal/testbed"
@@ -94,6 +101,7 @@ type Server struct {
 	ln     net.Listener
 	store  *results.Store
 	events *eventlog.Pipeline
+	queue  *queue.Controller
 }
 
 // SetResults attaches a results store, enabling the read-only results
@@ -141,6 +149,10 @@ func Serve(tb *testbed.Testbed, opts ...ServerOption) (*Server, error) {
 	handle("GET /api/v1/allocations", s.listAllocations)
 	handle("POST /api/v1/allocations", s.allocate)
 	handle("DELETE /api/v1/allocations/{id}", s.release)
+	handle("POST /api/v1/campaigns", s.submitCampaign)
+	handle("GET /api/v1/campaigns", s.listCampaigns)
+	handle("GET /api/v1/campaigns/{id}", s.getCampaign)
+	handle("DELETE /api/v1/campaigns/{id}", s.cancelCampaign)
 	handle("GET /api/v1/results/{user}/{exp}", s.listResults)
 	handle("GET /api/v1/results/{user}/{exp}/{id}/runs", s.listRuns)
 	// The exposition endpoints are deliberately uninstrumented: scraping
@@ -337,6 +349,9 @@ func (s *Server) listImages(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) listAllocations(w http.ResponseWriter, r *http.Request) {
+	// Retire ended reservations before reporting: an allocation past its End
+	// must neither show up here nor slow future conflict scans.
+	s.tb.Calendar.Expire(time.Now())
 	active := s.tb.Calendar.Active(time.Now())
 	out := make([]AllocationResponse, 0, len(active))
 	for _, a := range active {
@@ -356,9 +371,10 @@ func (s *Server) allocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	s.tb.Calendar.Expire(start)
 	alloc, err := s.tb.Calendar.Allocate(req.User, req.Nodes, start, start.Add(time.Duration(req.Minutes)*time.Minute))
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, allocateStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, AllocationResponse{
@@ -367,17 +383,49 @@ func (s *Server) allocate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) release(w http.ResponseWriter, r *http.Request) {
-	var id int
-	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: bad allocation id"))
+	// Strict parse: "12junk" is a bad id, not allocation 12 (same contract
+	// as the results store's run_NNNN parsing).
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: bad allocation id %q", r.PathValue("id")))
 		return
 	}
 	user := r.URL.Query().Get("user")
 	if err := s.tb.Calendar.Release(user, id); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, releaseStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// allocateStatus maps a Calendar.Allocate error onto an HTTP status: only a
+// genuine reservation conflict is 409; a request naming an unknown node is
+// 404, and malformed requests (empty node set, duplicates, non-positive
+// interval) are the client's fault — 400.
+func allocateStatus(err error) int {
+	switch {
+	case errors.Is(err, calendar.ErrUnknownNode):
+		return http.StatusNotFound
+	case errors.Is(err, calendar.ErrBadInterval),
+		errors.Is(err, calendar.ErrNoNodes),
+		errors.Is(err, calendar.ErrDuplicateReq):
+		return http.StatusBadRequest
+	default:
+		return http.StatusConflict
+	}
+}
+
+// releaseStatus maps a Calendar.Release error: missing allocation is 404,
+// someone else's allocation is 403.
+func releaseStatus(err error) int {
+	switch {
+	case errors.Is(err, calendar.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, calendar.ErrWrongUser):
+		return http.StatusForbidden
+	default:
+		return http.StatusConflict
+	}
 }
 
 // RunView is one measurement run's metadata plus its artifact paths.

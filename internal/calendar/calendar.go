@@ -178,6 +178,15 @@ func (c *Calendar) Active(at time.Time) []Allocation {
 	return out
 }
 
+// Size reports how many allocations the calendar currently holds — including
+// ones already ended but not yet swept by Expire. Every Allocate scans this
+// many reservations, so Size is the regression signal for expiry leaks.
+func (c *Calendar) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.allocs)
+}
+
 // Expire drops allocations that ended at or before now and returns how many
 // were removed.
 func (c *Calendar) Expire(now time.Time) int {

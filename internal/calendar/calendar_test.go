@@ -205,3 +205,20 @@ func TestNoOverlapInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSizeCountsEveryHeldAllocation(t *testing.T) {
+	c := newCal()
+	if c.Size() != 0 {
+		t.Fatalf("fresh calendar Size = %d", c.Size())
+	}
+	c.Allocate("alice", []string{"vriga"}, hours(0), hours(1))
+	c.Allocate("bob", []string{"vtartu"}, hours(0), hours(4))
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", c.Size())
+	}
+	// An ended allocation still counts until someone sweeps it — that is
+	// the leak Size exists to expose.
+	if c.Expire(hours(2)); c.Size() != 1 {
+		t.Errorf("Size after Expire = %d, want 1", c.Size())
+	}
+}

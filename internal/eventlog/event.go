@@ -32,6 +32,10 @@ const (
 	TypeExec Type = "exec"
 	// TypeHeartbeat is a replica liveness probe.
 	TypeHeartbeat Type = "heartbeat"
+	// TypeQueue is a campaign-queue lifecycle transition (submitted,
+	// admitted, done, failed, cancelled) published by the controller's
+	// admission scheduler; Attrs carry campaign id, user, and state.
+	TypeQueue Type = "queue"
 )
 
 // NoRun is the Run value of events that are not attached to a measurement

@@ -1,0 +1,43 @@
+package eventlog
+
+import "context"
+
+// ForwardTo bridges two pipelines: every event published on p from now on is
+// re-published into dst, optionally rewritten by decorate first. dst assigns
+// its own sequence numbers (the forwarded copy keeps its original timestamp),
+// so a destination stream stays monotonic even when several sources feed it.
+//
+// The campaign queue uses this to give each admitted campaign a private
+// pipeline — journaled under the campaign's own experiment directory — while
+// a live observer on the controller's shared stream still sees every event,
+// tagged with the campaign that produced it.
+//
+// The returned stop function detaches from p, drains events already
+// buffered, and waits for the forwarder goroutine to exit. Forwarding
+// inherits the broker's non-blocking contract: a burst beyond the buffer
+// drops events on the bridge rather than stalling publishers.
+func (p *Pipeline) ForwardTo(dst *Pipeline, decorate func(Event) Event) (stop func()) {
+	sub := p.Subscribe(forwardBuffer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			ev, ok := sub.Next(context.Background())
+			if !ok {
+				return
+			}
+			if decorate != nil {
+				ev = decorate(ev)
+			}
+			dst.Publish(ev)
+		}
+	}()
+	return func() {
+		sub.Close()
+		<-done
+	}
+}
+
+// forwardBuffer sizes the bridge's ring buffer. Generous because a bridge
+// that drops loses events for every downstream observer, not just one.
+const forwardBuffer = 4096

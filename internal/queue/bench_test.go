@@ -1,0 +1,103 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"pos/internal/calendar"
+	"pos/internal/eventlog"
+)
+
+// recordBenchResults appends one benchmark's headline metrics to the JSON
+// file named by BENCH_RESULTS_OUT (read-merge-write, same contract as the
+// root bench harness). `make bench-queue` points it at BENCH_queue.json.
+func recordBenchResults(b *testing.B, bench string, metrics map[string]float64) {
+	b.Helper()
+	path := os.Getenv("BENCH_RESULTS_OUT")
+	if path == "" {
+		return
+	}
+	doc := make(map[string]map[string]float64)
+	if data, err := os.ReadFile(path); err == nil {
+		json.Unmarshal(data, &doc)
+	}
+	doc[bench] = metrics
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueAdmission measures the scheduler end to end: 4 tenants
+// flooding a 4-node calendar with single-node campaigns whose launch is
+// instant, so the wall clock is pure queue machinery — journal appends,
+// admission passes, allocation grant/release. Reported metrics: scheduler
+// throughput (campaigns/s) and mean submit→admit latency.
+func BenchmarkQueueAdmission(b *testing.B) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	cal := calendar.New(nodes)
+	launch := func(ctx context.Context, sub Submission, ev *eventlog.Pipeline) error { return nil }
+	c, err := Open(Config{
+		Dir:           b.TempDir(),
+		Calendar:      cal,
+		Launch:        launch,
+		SweepInterval: time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	b.ResetTimer()
+	start := time.Now()
+	ids := make([]int, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		st, err := c.Submit(Submission{
+			User:    fmt.Sprintf("user%d", i%4),
+			Nodes:   []string{nodes[i%len(nodes)]},
+			Minutes: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	var totalWait time.Duration
+	for _, id := range ids {
+		for {
+			st, err := c.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.State == StateDone {
+				totalWait += st.Admitted.Sub(st.Submitted)
+				break
+			}
+			if st.State == StateFailed || st.State == StateCancelled {
+				b.Fatalf("campaign %d ended %s: %s", id, st.State, st.Error)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	throughput := float64(b.N) / elapsed.Seconds()
+	meanWaitMS := totalWait.Seconds() * 1000 / float64(b.N)
+	b.ReportMetric(throughput, "campaigns/s")
+	b.ReportMetric(meanWaitMS, "ms_submit_to_admit")
+	recordBenchResults(b, "QueueAdmission", map[string]float64{
+		"campaigns":        float64(b.N),
+		"throughput_per_s": throughput,
+		"mean_wait_ms":     meanWaitMS,
+		"nodes":            float64(len(nodes)),
+		"tenants":          4,
+	})
+}

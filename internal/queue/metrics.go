@@ -1,0 +1,29 @@
+package queue
+
+import "pos/internal/telemetry"
+
+// Campaign-queue telemetry: tenant-visible queue pressure, admission
+// outcomes, and per-user concurrency. Gauges aggregate across controllers in
+// one process (tests open several; production runs one).
+var (
+	queueDepth = telemetry.Default.Gauge("pos_queue_depth",
+		"Submissions waiting for the calendar to grant their node set.")
+	submissionsTotal = telemetry.Default.Counter("pos_queue_submissions_total",
+		"Campaign submissions accepted into the queue.")
+	requeuesTotal = telemetry.Default.Counter("pos_queue_requeues_total",
+		"Admitted-but-unfinished submissions re-queued by controller recovery.")
+	expiredTotal = telemetry.Default.Counter("pos_queue_allocations_expired_total",
+		"Ended calendar allocations retired by the controller's janitor sweep.")
+	waitSeconds = telemetry.Default.Histogram("pos_queue_wait_seconds",
+		"Submit-to-admit latency.", telemetry.DurationBuckets())
+	admissionsTotal = telemetry.Default.CounterVec("pos_queue_admissions_total",
+		"Admission decisions, by outcome (admitted, rejected).", "outcome")
+	completionsTotal = telemetry.Default.CounterVec("pos_queue_completions_total",
+		"Campaign completions, by outcome (done, failed, cancelled).", "outcome")
+	runningCampaigns = telemetry.Default.GaugeVec("pos_queue_running_campaigns",
+		"Campaigns currently holding an allocation, by user.", "user")
+)
+
+func admissions(outcome string) *telemetry.Counter  { return admissionsTotal.With(outcome) }
+func completions(outcome string) *telemetry.Counter { return completionsTotal.With(outcome) }
+func runningPerUser(user string) *telemetry.Gauge   { return runningCampaigns.With(user) }

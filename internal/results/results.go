@@ -199,6 +199,23 @@ func NewStore(dir string, opts ...Option) (*Store, error) {
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
+// ControlDir returns (creating it if needed) a controller-state directory
+// under the store root, namespaced like the index and blob pool (".pos"
+// prefix, so it can never collide with a user tree). It holds durable
+// control-plane state that is not experiment data — the campaign queue's
+// journal lives in ControlDir("queue"). name must be a single flat path
+// element.
+func (s *Store) ControlDir(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, `/\`) || strings.Contains(name, "..") {
+		return "", fmt.Errorf("results: bad control dir name %q", name)
+	}
+	dir := filepath.Join(s.root, ".pos"+name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("results: control dir: %w", err)
+	}
+	return dir, nil
+}
+
 // internalDirs are the store-level directories that hold the fast-path
 // state. They sit next to the per-user trees and are never part of any
 // experiment's published layout.

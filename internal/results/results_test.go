@@ -223,3 +223,29 @@ func TestPruneKeepsNewest(t *testing.T) {
 		t.Error("negative keep accepted")
 	}
 }
+
+func TestControlDir(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := s.ControlDir("queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dir, s.Root()) || !strings.HasSuffix(dir, ".posqueue") {
+		t.Errorf("ControlDir = %q (want <root>/.posqueue)", dir)
+	}
+	// Idempotent, and invisible to the experiment listing namespace.
+	if again, err := s.ControlDir("queue"); err != nil || again != dir {
+		t.Errorf("second ControlDir = %q, %v", again, err)
+	}
+	if _, err := s.ListExperiments(".posqueue", "x"); err == nil {
+		t.Log("note: listing under a control dir should stay empty or fail")
+	}
+	for _, bad := range []string{"", "a/b", `a\b`, ".."} {
+		if _, err := s.ControlDir(bad); err == nil {
+			t.Errorf("ControlDir(%q) accepted", bad)
+		}
+	}
+}

@@ -498,10 +498,19 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 			Typ: eventlog.TypeLog, Level: "INFO", Run: eventlog.NoRun,
 			Message: fmt.Sprintf("campaign started: %s, %d replicas", logical.Name, len(c.Replicas)),
 		})
-		defer c.Events.Publish(eventlog.Event{
-			Typ: eventlog.TypeLog, Level: "INFO", Run: eventlog.NoRun,
-			Message: "campaign finished: " + logical.Name,
-		})
+		defer func() {
+			// A preempted campaign (queue cancel, controller shutdown) must
+			// not journal itself as "finished" — the journal is the record
+			// an operator replays to see what actually happened.
+			msg := "campaign finished: " + logical.Name
+			if ctx.Err() != nil {
+				msg = "campaign cancelled: " + logical.Name
+			}
+			c.Events.Publish(eventlog.Event{
+				Typ: eventlog.TypeLog, Level: "INFO", Run: eventlog.NoRun,
+				Message: msg,
+			})
+		}()
 	}
 	// Serialize runner-level events from all replicas through the campaign
 	// progress mutex before any replica starts booting.

@@ -25,6 +25,7 @@ import (
 	"pos/internal/perfmodel"
 	"pos/internal/plot"
 	"pos/internal/publish"
+	"pos/internal/queue"
 	"pos/internal/repeat"
 	"pos/internal/results"
 	"pos/internal/router"
@@ -314,6 +315,41 @@ func ServeAPI(tb *Testbed, opts ...APIServerOption) (*APIServer, error) {
 
 // NewAPIClient returns a client for a controller API at addr.
 func NewAPIClient(addr string) *APIClient { return api.NewClient(addr) }
+
+// Multi-tenant campaign queue (internal/queue): durable submissions admitted
+// against the allocation calendar, fair-share across users, journaled so a
+// controller restart resumes still-owed work.
+type (
+	// CampaignQueue is the controller's admission scheduler.
+	CampaignQueue = queue.Controller
+	// QueueConfig wires a CampaignQueue (journal dir, calendar, launcher).
+	QueueConfig = queue.Config
+	// QueueSubmission is one tenant's request to run a campaign.
+	QueueSubmission = queue.Submission
+	// QueueStatus is a submission plus its lifecycle state.
+	QueueStatus = queue.Status
+	// QueueState is a submission's lifecycle position.
+	QueueState = queue.State
+	// QueueLaunch runs one admitted campaign.
+	QueueLaunch = queue.Launch
+	// CampaignRequest is the API payload submitting one campaign.
+	CampaignRequest = api.CampaignRequest
+	// CampaignView is one campaign as the API reports it.
+	CampaignView = api.CampaignView
+)
+
+// Queue lifecycle states.
+const (
+	QueueStateQueued    = queue.StateQueued
+	QueueStateRunning   = queue.StateRunning
+	QueueStateDone      = queue.StateDone
+	QueueStateFailed    = queue.StateFailed
+	QueueStateCancelled = queue.StateCancelled
+)
+
+// NewCampaignQueue replays the journal under cfg.Dir and starts the
+// admission loop; attach the result to an APIServer with SetQueue.
+func NewCampaignQueue(cfg QueueConfig) (*CampaignQueue, error) { return queue.Open(cfg) }
 
 // PaperSweep is the Appendix A parameter space: 2 sizes x 30 rates.
 func PaperSweep() SweepConfig { return casestudy.PaperSweep() }
