@@ -27,8 +27,8 @@ verify-race:
 	go test -race ./internal/sched/ ./internal/core/ ./internal/hosttools/ \
 		./internal/casestudy/ ./internal/vpos/ ./internal/api/ \
 		./internal/eventlog/ ./internal/sim/ ./internal/workpool/ \
-		./internal/partition/ ./internal/queue/
-	go test -race -run 'TestBatchedMatchesScalar|TestShardedSweepMatchesSequential|TestCrossShard' .
+		./internal/partition/ ./internal/queue/ ./internal/health/
+	go test -race -run 'TestBatchedMatchesScalar|TestShardedSweepMatchesSequential|TestCrossShard|TestHealth' .
 
 # Performance tier: the speedup benchmarks added with the campaign
 # scheduler (sequential vs. 2-replica sweep, regexp vs. scanner parsing).
@@ -102,9 +102,21 @@ bench-eventlog:
 	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_eventlog.json \
 	go test -run NONE -bench BenchmarkEventlogOverhead -benchtime 3x .
 
-# Static hygiene: vet, a clean gofmt tree, and no raw log/print logging in
+# Health-overhead tier: the 60-run vpos sweep with the full health stack
+# armed (runtime sampler, watchdog with the four standard probes) against
+# the same instrumented sweep bare. The median ratio is recorded in
+# BENCH_health.json; the budget is 5% — a supervisor that distorts the
+# experiment it supervises is worse than none.
+.PHONY: bench-health
+bench-health:
+	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_health.json \
+	go test -run NONE -bench BenchmarkHealthOverhead -benchtime 3x .
+
+# Static hygiene: vet, a clean gofmt tree, no raw log/print logging in
 # library code — internal/ packages log through the structured eventlog
-# spine (log/slog into the event pipeline), never stdout/stderr directly.
+# spine (log/slog into the event pipeline), never stdout/stderr directly —
+# and no runtime introspection outside internal/telemetry, so resource
+# attribution has exactly one owner.
 .PHONY: lint
 lint:
 	go vet ./...
@@ -114,6 +126,11 @@ lint:
 		--include='*.go' | grep -v _test.go; true); \
 	if [ -n "$$out" ]; then \
 		echo "raw logging in internal/ (use the eventlog slog spine):"; \
+		echo "$$out"; exit 1; fi
+	@out=$$(grep -rnE 'runtime\.ReadMemStats|"runtime/metrics"' internal cmd \
+		--include='*.go' | grep -v '^internal/telemetry/'; true); \
+	if [ -n "$$out" ]; then \
+		echo "runtime introspection outside internal/telemetry:"; \
 		echo "$$out"; exit 1; fi
 	@echo "lint clean"
 

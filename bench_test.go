@@ -1228,6 +1228,91 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkHealthOverhead prices the health layer on top of the always-on
+// instrumentation: the Appendix A sweep (60 measurement runs, vpos platform)
+// once bare — telemetry live, as every run ships — and once with the full
+// health stack armed on top: the runtime sampler polling runtime/metrics
+// every 100 ms, a watchdog ticking the four standard probes every 50 ms, and
+// per-run resources.json attribution (written on both sides, it is part of
+// the run path). Each timing covers several back-to-back sweeps so the
+// armed stack's tickers fire many times inside the measured window and
+// scheduling noise amortizes out. Paired rounds with a median ratio; `make
+// bench-health` records the ratio into BENCH_health.json. The budget is 5%:
+// a supervisor that distorts the experiment it supervises is worse than none.
+func BenchmarkHealthOverhead(b *testing.B) {
+	const sweepsPerTiming = 5
+	runSweeps := func(b *testing.B, withHealth bool) time.Duration {
+		var stopHealth func()
+		if withHealth {
+			sampler := pos.NewRuntimeSampler(100 * time.Millisecond)
+			sampler.Start()
+			wd := pos.NewWatchdog(50 * time.Millisecond)
+			for _, p := range []pos.HealthProbe{
+				pos.CampaignProgressProbe(time.Minute),
+				pos.ShardProgressProbe(time.Minute),
+				pos.QueueStarvationProbe(10, time.Minute),
+				pos.EventDropProbe(1000, time.Minute),
+			} {
+				wd.Register(p, nil)
+			}
+			wd.Start()
+			stopHealth = func() { wd.Stop(); sampler.Stop() }
+		}
+		sweep := casestudy.PaperSweep()
+		sweep.RuntimeSec = 1
+		var wall time.Duration
+		for s := 0; s < sweepsPerTiming; s++ {
+			topo, err := casestudy.New(casestudy.Virtual, casestudy.WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := results.NewStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			sum, err := topo.Testbed.Runner().Run(context.Background(), topo.Experiment(sweep), store)
+			wall += time.Since(start)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.TotalRuns != 60 || sum.FailedRuns != 0 {
+				b.Fatalf("summary = %+v", sum)
+			}
+			topo.Close()
+		}
+		if stopHealth != nil {
+			stopHealth()
+		}
+		return wall
+	}
+	// One unrecorded warm-up pair so first-use costs land on neither side.
+	runSweeps(b, true)
+	runSweeps(b, false)
+	const rounds = 3
+	var ratios []float64
+	var tHealth, tBare time.Duration
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rounds; r++ {
+			tH := runSweeps(b, true)
+			tB := runSweeps(b, false)
+			ratios = append(ratios, tH.Seconds()/tB.Seconds())
+			tHealth += tH
+			tBare += tB
+		}
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2]
+	b.ReportMetric(overhead, "overhead_x")
+	b.ReportMetric(0, "ns/op")
+	recordBenchResults(b, "HealthOverhead", map[string]float64{
+		"overhead_x":   overhead,
+		"health_ms_op": tHealth.Seconds() * 1000 / float64(b.N*rounds*sweepsPerTiming),
+		"bare_ms_op":   tBare.Seconds() * 1000 / float64(b.N*rounds*sweepsPerTiming),
+		"runs":         60,
+	})
+}
+
 // BenchmarkEventlogOverhead prices live observability: the Appendix A sweep
 // (60 measurement runs, vpos platform) once bare and once with the full
 // event pipeline armed — every progress/exec event stamped and published,

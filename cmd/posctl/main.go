@@ -80,6 +80,8 @@ func main() {
 		err = cmdVposd(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:])
 	case "events":
@@ -114,6 +116,7 @@ commands:
   cancel     cancel a queued campaign or preempt a running one
   vposd      run the virtual-testbed-as-a-service endpoint
   metrics    scrape a controller's telemetry (/metrics or JSON snapshot)
+  top        live terminal dashboard: health probes, key metrics, event tail
   watch      stream a controller's live experiment events (SSE)
   events     replay a finished experiment's event journal
   spans      convert an archived spans.json to Chrome trace-event format
@@ -622,6 +625,45 @@ func cmdServe(args []string) error {
 	}
 	events := pos.NewEventPipeline()
 	srv.SetEvents(events)
+
+	// Health layer: runtime sampler feeding pos_runtime_* metrics, a flight
+	// recorder tailing the live event stream, and a watchdog over the
+	// standard probes. A trip (or SIGQUIT) dumps flightrec.json for
+	// post-mortem without a live debugger.
+	sampler := pos.NewRuntimeSampler(2 * time.Second)
+	sampler.Start()
+	defer sampler.Stop()
+	flightRec := pos.NewFlightRecorder(0)
+	defer flightRec.Attach(events)()
+	wd := pos.NewWatchdog(5 * time.Second)
+	wd.SetEvents(events)
+	dumpFlight := func(trigger, probe, detail string) {
+		path := flightRecordPath()
+		if err := flightRec.Capture(trigger, probe, detail).WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "flight record:", err)
+			return
+		}
+		fmt.Println("flight record written to", path)
+	}
+	wd.SetOnTrip(func(ps pos.HealthProbeState) {
+		dumpFlight("watchdog", ps.Name, ps.Detail)
+	})
+	wd.Register(pos.CampaignProgressProbe(2*time.Minute), nil)
+	wd.Register(pos.ShardProgressProbe(time.Minute), nil)
+	wd.Register(pos.QueueStarvationProbe(10, time.Minute), nil)
+	wd.Register(pos.EventDropProbe(1000, time.Minute), nil)
+	wd.Start()
+	defer wd.Stop()
+	srv.SetHealth(wd)
+	sigquit := make(chan os.Signal, 1)
+	signal.Notify(sigquit, syscall.SIGQUIT)
+	defer signal.Stop(sigquit)
+	go func() {
+		for range sigquit {
+			dumpFlight("sigquit", "", "operator-requested dump")
+		}
+	}()
+
 	var store *pos.ResultsStore
 	if *resultsDir != "" {
 		if store, err = pos.NewResultsStore(*resultsDir); err != nil {
@@ -680,6 +722,7 @@ func cmdServe(args []string) error {
 				Replicas:          pos.CaseStudyReplicas(topos, pos.PaperSweep()),
 				Events:            events,
 				HeartbeatInterval: 2 * time.Second,
+				Watchdog:          wd,
 			}
 			sum, err := c.Run(context.Background(), store)
 			if err != nil {
@@ -693,12 +736,19 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("pos controller API on http://%s/api/v1/ (nodes: %s)\n", srv.Addr(), *nodes)
 	fmt.Println("telemetry on /metrics (Prometheus) and /api/v1/metrics (JSON)")
+	fmt.Printf("health probes on /api/v1/health — posctl top -addr %s (SIGQUIT dumps a flight record)\n", srv.Addr())
 	fmt.Printf("live events on /api/v1/events (SSE) — posctl watch -addr %s\n", srv.Addr())
 	if *debug {
 		fmt.Println("pprof on /debug/pprof/")
 	}
 	fmt.Println("press Ctrl-C to stop")
 	return awaitShutdown(srv.Shutdown)
+}
+
+// flightRecordPath names the next flight-record dump: timestamped in the
+// working directory so successive incidents never overwrite each other.
+func flightRecordPath() string {
+	return fmt.Sprintf("flightrec-%s.json", time.Now().Format("20060102T150405"))
 }
 
 func cmdMetrics(args []string) error {
@@ -716,15 +766,27 @@ func cmdMetrics(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// A failed poll does not end the watch: the controller may be
+	// restarting. Retry with exponential backoff and resume the regular
+	// cadence on the first successful scrape.
+	const maxBackoff = 30 * time.Second
+	backoff := time.Second
 	for {
+		wait := *interval
 		fmt.Printf("--- %s\n", time.Now().Format(time.RFC3339))
 		if err := scrapeMetrics(c, *raw); err != nil {
-			return err
+			fmt.Fprintf(os.Stderr, "metrics: %v — retrying in %s\n", err, backoff)
+			wait = backoff
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		} else {
+			backoff = time.Second
 		}
 		select {
 		case <-ctx.Done():
 			return nil
-		case <-time.After(*interval):
+		case <-time.After(wait):
 		}
 	}
 }
@@ -759,7 +821,12 @@ func scrapeMetrics(c *pos.APIClient, raw bool) error {
 				if v.Count > 0 {
 					mean = v.Sum / float64(v.Count)
 				}
-				fmt.Printf("  %-50s count %d  sum %.6g  mean %.6g\n", labels, v.Count, v.Sum, mean)
+				line := fmt.Sprintf("  %-50s count %d  sum %.6g  mean %.6g", labels, v.Count, v.Sum, mean)
+				if len(v.Quantiles) > 0 {
+					line += fmt.Sprintf("  p50 %.6g  p90 %.6g  p99 %.6g",
+						v.Quantiles["p50"], v.Quantiles["p90"], v.Quantiles["p99"])
+				}
+				fmt.Println(line)
 			} else {
 				fmt.Printf("  %-50s %g\n", labels, v.Value)
 			}

@@ -88,6 +88,11 @@ func renderEvent(ev pos.ExperimentEvent) string {
 		b.WriteString(ev.Message)
 	case "queue":
 		fmt.Fprintf(&b, "[queue] %s", ev.Message)
+	case "health":
+		fmt.Fprintf(&b, "[health] %s", ev.Message)
+	case "events.dropped":
+		fmt.Fprintf(&b, "WARNING: %s events dropped (consumer too slow) — resume from the journal with posctl watch -last or posctl events",
+			ev.Attrs["dropped"])
 	default:
 		b.WriteString(ev.Message)
 	}

@@ -34,6 +34,7 @@ import (
 
 	"pos/internal/calendar"
 	"pos/internal/eventlog"
+	"pos/internal/health"
 	"pos/internal/node"
 	"pos/internal/queue"
 	"pos/internal/results"
@@ -102,6 +103,7 @@ type Server struct {
 	store  *results.Store
 	events *eventlog.Pipeline
 	queue  *queue.Controller
+	health *health.Watchdog
 }
 
 // SetResults attaches a results store, enabling the read-only results
@@ -155,6 +157,7 @@ func Serve(tb *testbed.Testbed, opts ...ServerOption) (*Server, error) {
 	handle("DELETE /api/v1/campaigns/{id}", s.cancelCampaign)
 	handle("GET /api/v1/results/{user}/{exp}", s.listResults)
 	handle("GET /api/v1/results/{user}/{exp}/{id}/runs", s.listRuns)
+	handle("GET /api/v1/health", s.healthStatus)
 	// The exposition endpoints are deliberately uninstrumented: scraping
 	// metrics should not move the metrics. The event stream joins them —
 	// a long-lived SSE connection would wreck the latency histogram.

@@ -83,6 +83,17 @@ func writeSSE(w http.ResponseWriter, ev eventlog.Event) error {
 	return err
 }
 
+// writeSSEData writes an event without an id: line — used for synthetic
+// events (Seq 0) that must not regress the client's Last-Event-ID cursor.
+func writeSSEData(w http.ResponseWriter, ev eventlog.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+	return err
+}
+
 // streamEvents serves one SSE subscriber. The live subscription is taken
 // BEFORE the journal catch-up, so events published during the replay buffer
 // up instead of falling into a gap; the sequence cursor then skips whatever
@@ -139,6 +150,17 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 		ev, ok := sub.Next(ctx)
 		if !ok {
 			return
+		}
+		// Synthetic overflow notices (Seq 0) bypass cursor and filters: the
+		// client must learn about the gap even when the dropped events would
+		// have been filtered out, and the missing id: line keeps its resume
+		// cursor intact.
+		if ev.Typ == eventlog.TypeDropped {
+			if writeSSEData(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+			continue
 		}
 		if ev.Seq <= cursor || !filter.match(ev) {
 			continue

@@ -1,0 +1,37 @@
+package api
+
+import (
+	"net/http"
+
+	"pos/internal/health"
+)
+
+// SetHealth attaches a watchdog, enabling
+//
+//	GET /api/v1/health    probe states, trip counts, and last trip times
+//
+// Without one the endpoint still answers (watchdog:false) so callers can
+// distinguish "no supervision configured" from "server down".
+func (s *Server) SetHealth(w *health.Watchdog) { s.health = w }
+
+// HealthStatus is the response of GET /api/v1/health.
+type HealthStatus struct {
+	Watchdog bool                `json:"watchdog"`
+	Probes   []health.ProbeState `json:"probes,omitempty"`
+}
+
+func (s *Server) healthStatus(w http.ResponseWriter, r *http.Request) {
+	st := HealthStatus{}
+	if s.health != nil {
+		st.Watchdog = true
+		st.Probes = s.health.Status()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// Health fetches the server's watchdog status.
+func (c *Client) Health() (HealthStatus, error) {
+	var st HealthStatus
+	err := c.do(http.MethodGet, "/api/v1/health", nil, &st)
+	return st, err
+}

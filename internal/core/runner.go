@@ -515,6 +515,15 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 	r.event(s.replica, ProgressEvent{Phase: PhaseMeasurement, Run: runIdx, TotalRuns: total, Host: s.replica, Message: combo.Key()})
 	rec := RunRecord{Run: runIdx, Combo: combo, Attempts: 1}
 	runStart := r.now()
+	// Host-condition attribution: sample the Go runtime at the run's edges
+	// and archive the delta as resources.json next to metadata.json. Gated
+	// on the telemetry kill-switch — differential harnesses that need
+	// byte-identical artifact trees disable telemetry and skip the
+	// inherently non-deterministic record.
+	var startRes telemetry.RuntimeStats
+	if telemetry.Default.Enabled() {
+		startRes = telemetry.ReadRuntimeStats()
+	}
 	ctx, runSpan := telemetry.StartSpan(ctx, fmt.Sprintf("run %d", runIdx),
 		"combo", combo.Key(), "replica", s.replica)
 	defer runSpan.End()
@@ -545,6 +554,7 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 			rec.Failed, rec.Error = true, err.Error()
 			rec.Duration = r.now().Sub(runStart)
 			s.writeMeta(runIdx, combo, runStart, rec)
+			s.writeResources(runIdx, startRes)
 			return rec, err
 		}
 	}
@@ -600,6 +610,7 @@ func (s *Session) RunOne(ctx context.Context, runIdx, total int, combo Combinati
 			runErr = err
 		}
 	}
+	s.writeResources(runIdx, startRes)
 	measurementSeconds.Observe(rec.Duration.Seconds())
 	if runErr != nil {
 		runsFailed.Inc()
@@ -629,6 +640,22 @@ func (s *Session) Recover(ctx context.Context) error {
 	span.End()
 	resetupSeconds.Observe(s.r.now().Sub(start).Seconds())
 	return err
+}
+
+// writeResources archives the run's host-condition delta as resources.json.
+// Best effort by design: resource attribution must never fail the run it
+// attributes, and it is skipped entirely (zero start sample) when telemetry
+// is disabled.
+func (s *Session) writeResources(runIdx int, start telemetry.RuntimeStats) {
+	if start.At.IsZero() || !telemetry.Default.Enabled() {
+		return
+	}
+	delta := start.DeltaTo(telemetry.ReadRuntimeStats())
+	data, err := json.MarshalIndent(delta, "", "  ")
+	if err != nil {
+		return
+	}
+	s.exp.WriteRunResources(runIdx, append(data, '\n'))
 }
 
 func (s *Session) writeMeta(runIdx int, combo Combination, start time.Time, rec RunRecord) error {

@@ -2,7 +2,9 @@ package eventlog
 
 import (
 	"context"
+	"strconv"
 	"sync"
+	"time"
 )
 
 // DefaultSubscriberBuffer is the ring capacity handed to subscribers that do
@@ -70,6 +72,7 @@ type Subscription struct {
 	head    int     // index of the oldest buffered event
 	n       int     // buffered count
 	dropped uint64
+	acked   uint64 // drops already reported to the consumer via TypeDropped
 	closed  bool
 	notify  chan struct{}
 }
@@ -98,9 +101,23 @@ func (s *Subscription) push(ev Event) {
 
 // Next blocks until an event is buffered, the subscription is closed, or ctx
 // ends. It returns ok=false once the subscription is closed and drained.
+// When the ring overflowed since the last call, Next first returns one
+// synthetic TypeDropped event (Seq 0, Attrs["dropped"] = gap size) so the
+// consumer learns it lost events instead of silently missing them.
 func (s *Subscription) Next(ctx context.Context) (Event, bool) {
 	for {
 		s.mu.Lock()
+		if gap := s.dropped - s.acked; gap > 0 {
+			s.acked = s.dropped
+			s.mu.Unlock()
+			return Event{
+				At:    time.Now(),
+				Typ:   TypeDropped,
+				Level: "WARN",
+				Run:   NoRun,
+				Attrs: map[string]string{"dropped": strconv.FormatUint(gap, 10)},
+			}, true
+		}
 		if s.n > 0 {
 			ev := s.buf[s.head]
 			s.head = (s.head + 1) % len(s.buf)

@@ -36,6 +36,14 @@ const (
 	// admitted, done, failed, cancelled) published by the controller's
 	// admission scheduler; Attrs carry campaign id, user, and state.
 	TypeQueue Type = "queue"
+	// TypeHealth is a watchdog verdict: a probe tripped or recovered.
+	// Attrs carry the probe name and new state.
+	TypeHealth Type = "health"
+	// TypeDropped is synthesized per subscriber — never published or
+	// journaled — when its ring buffer overflowed: Attrs["dropped"] is how
+	// many events the consumer lost since it was last told. Seq is zero, so
+	// it must not advance a resume cursor.
+	TypeDropped Type = "events.dropped"
 )
 
 // NoRun is the Run value of events that are not attached to a measurement

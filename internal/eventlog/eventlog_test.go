@@ -180,9 +180,14 @@ func TestBrokerSlowSubscriberDropsNotBlocks(t *testing.T) {
 	if d := slow.Dropped(); d != 32-4 {
 		t.Fatalf("slow subscriber dropped %d events, want %d", d, 32-4)
 	}
-	// The slow subscriber still sees the newest events, in order.
+	// The slow subscriber is first told about the gap (one synthetic
+	// overflow notice), then sees the newest events, in order.
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
+	notice, ok := slow.Next(ctx)
+	if !ok || notice.Typ != TypeDropped || notice.Attrs["dropped"] != "28" {
+		t.Fatalf("first slow.Next = %+v/%v, want a TypeDropped notice for 28 events", notice, ok)
+	}
 	for want := uint64(29); want <= 32; want++ {
 		ev, ok := slow.Next(ctx)
 		if !ok || ev.Seq != want {
@@ -371,5 +376,46 @@ func TestPublishConcurrentSequenceUnique(t *testing.T) {
 	}
 	if p.LastSeq() != goroutines*each {
 		t.Fatalf("LastSeq = %d, want %d", p.LastSeq(), goroutines*each)
+	}
+}
+
+// TestDroppedNoticeOncePerGap: the synthetic overflow notice reports each
+// gap exactly once, carries no sequence number (it must not advance a resume
+// cursor), and a further overflow produces a fresh notice for the new gap.
+func TestDroppedNoticeOncePerGap(t *testing.T) {
+	b := NewBroker()
+	sub := b.Subscribe(2)
+	defer sub.Close()
+	for i := 1; i <= 5; i++ {
+		b.Publish(Event{Seq: uint64(i), Typ: TypeLog, Run: NoRun})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+
+	notice, ok := sub.Next(ctx)
+	if !ok || notice.Typ != TypeDropped {
+		t.Fatalf("first Next = %+v/%v, want TypeDropped", notice, ok)
+	}
+	if notice.Seq != 0 {
+		t.Fatalf("synthetic notice carries seq %d, must be 0", notice.Seq)
+	}
+	if notice.Attrs["dropped"] != "3" || notice.At.IsZero() {
+		t.Fatalf("notice = %+v, want dropped=3 with a timestamp", notice)
+	}
+	// The gap is acknowledged: the buffered events follow without another
+	// notice.
+	for want := uint64(4); want <= 5; want++ {
+		ev, ok := sub.Next(ctx)
+		if !ok || ev.Seq != want || ev.Typ == TypeDropped {
+			t.Fatalf("Next = %+v/%v, want seq %d", ev, ok, want)
+		}
+	}
+	// A second overflow yields a second notice for exactly the new gap.
+	for i := 6; i <= 9; i++ {
+		b.Publish(Event{Seq: uint64(i), Typ: TypeLog, Run: NoRun})
+	}
+	notice, ok = sub.Next(ctx)
+	if !ok || notice.Typ != TypeDropped || notice.Attrs["dropped"] != "2" {
+		t.Fatalf("second notice = %+v/%v, want dropped=2", notice, ok)
 	}
 }

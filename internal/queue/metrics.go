@@ -14,6 +14,8 @@ var (
 		"Admitted-but-unfinished submissions re-queued by controller recovery.")
 	expiredTotal = telemetry.Default.Counter("pos_queue_allocations_expired_total",
 		"Ended calendar allocations retired by the controller's janitor sweep.")
+	starvedPasses = telemetry.Default.Counter("pos_queue_starved_passes_total",
+		"Admission passes that admitted nothing while submissions were queued and no campaign held an allocation — the health watchdog's starvation signal.")
 	waitSeconds = telemetry.Default.Histogram("pos_queue_wait_seconds",
 		"Submit-to-admit latency.", telemetry.DurationBuckets())
 	admissionsTotal = telemetry.Default.CounterVec("pos_queue_admissions_total",

@@ -437,12 +437,33 @@ func (c *Controller) pass() {
 		return
 	}
 	blocked := make(map[string]bool) // users whose head conflicted this pass
+	admitted := 0
 	for {
 		e := c.nextCandidateLocked(blocked)
 		if e == nil {
-			return
+			break
 		}
-		c.admitLocked(e, blocked, now)
+		if c.admitLocked(e, blocked, now) {
+			admitted++
+		}
+	}
+	// A pass that admitted nothing while tenants were waiting and no
+	// campaign held an allocation is a starvation symptom — capacity is
+	// free but the calendar still refuses every head. The health layer's
+	// queue-starvation probe trips when these accumulate.
+	if admitted == 0 {
+		queued, running := 0, 0
+		for _, e := range c.entries {
+			switch e.state {
+			case StateQueued:
+				queued++
+			case StateRunning:
+				running++
+			}
+		}
+		if queued > 0 && running == 0 {
+			starvedPasses.Inc()
+		}
 	}
 }
 
@@ -483,17 +504,18 @@ func headLess(a, b *entry, lastAdmit map[string]uint64) bool {
 	return a.sub.ID < b.sub.ID
 }
 
-// admitLocked tries to allocate e's nodes now. A conflict parks the user for
-// this pass (their later submissions must not jump the FIFO); any other
-// calendar error is terminal for the submission. On success the campaign
-// launches in its own goroutine.
-func (c *Controller) admitLocked(e *entry, blocked map[string]bool, now time.Time) {
+// admitLocked tries to allocate e's nodes now, reporting whether the
+// submission was admitted. A conflict parks the user for this pass (their
+// later submissions must not jump the FIFO); any other calendar error is
+// terminal for the submission. On success the campaign launches in its own
+// goroutine.
+func (c *Controller) admitLocked(e *entry, blocked map[string]bool, now time.Time) bool {
 	sub := e.sub
 	end := now.Add(time.Duration(sub.Minutes) * time.Minute)
 	alloc, err := c.cfg.Calendar.Allocate(sub.User, sub.Nodes, now, end)
 	if errors.Is(err, calendar.ErrConflict) {
 		blocked[sub.User] = true
-		return
+		return false
 	}
 	if err != nil {
 		// Unknown node, duplicate request, ... — retrying cannot help.
@@ -504,7 +526,7 @@ func (c *Controller) admitLocked(e *entry, blocked map[string]bool, now time.Tim
 		queueDepth.Dec()
 		admissions("rejected").Inc()
 		c.event(sub, StateFailed, "admission rejected", e.err)
-		return
+		return false
 	}
 
 	e.state = StateRunning
@@ -528,6 +550,7 @@ func (c *Controller) admitLocked(e *entry, blocked map[string]bool, now time.Tim
 			joinNodes(sub.Nodes), alloc.ID), "")
 		c.run(ctx, e)
 	}()
+	return true
 }
 
 // run drives one admitted campaign: a private event pipeline forwarded into

@@ -520,6 +520,39 @@ func (e *Experiment) AddRunArtifact(run int, nodeName, artifact string, data []b
 	return e.mutate(record)
 }
 
+// resourcesName is the run-level host-conditions record (telemetry
+// RuntimeDelta JSON) archived by the runner next to metadata.json. Like
+// metadata.json it is a reserved file, not a node artifact, and is excluded
+// from RunArtifacts listings.
+const resourcesName = "resources.json"
+
+// WriteRunResources stores one run's host-conditions record (resources.json)
+// next to its metadata. The write rides the manifest write-behind like any
+// small artifact.
+func (e *Experiment) WriteRunResources(run int, data []byte) error {
+	dir := filepath.Join(e.dir, runDirName(run))
+	record := func(idx *index) { idx.addRunArtifact(run, resourcesName) }
+	if path, op, ok := e.deferSmallWrite(dir, resourcesName, data); ok {
+		return e.mutateOp(path, op, record)
+	}
+	err := e.writeInDir(dir, func() error {
+		return e.store.writeFileDedup(filepath.Join(dir, resourcesName), data)
+	})
+	if err != nil {
+		return err
+	}
+	return e.mutate(record)
+}
+
+// ReadRunResources loads one run's host-conditions record back.
+func (e *Experiment) ReadRunResources(run int) ([]byte, error) {
+	data, err := e.readBack(filepath.Join(e.dir, runDirName(run), resourcesName))
+	if err != nil {
+		return nil, fmt.Errorf("results: %w", err)
+	}
+	return data, nil
+}
+
 // ReadRunArtifact loads one artifact back.
 func (e *Experiment) ReadRunArtifact(run int, nodeName, artifact string) ([]byte, error) {
 	data, err := e.readBack(filepath.Join(e.dir, runDirName(run), nodeName, artifact))
@@ -628,7 +661,7 @@ func (e *Experiment) RunArtifacts(run int) ([]string, error) {
 	}
 	out := make([]string, 0, len(entry.artifacts))
 	for rel := range entry.artifacts {
-		if filepath.Base(rel) == "metadata.json" {
+		if filepath.Base(rel) == "metadata.json" || rel == resourcesName {
 			continue
 		}
 		out = append(out, rel)
@@ -650,6 +683,9 @@ func (e *Experiment) scanRunArtifacts(run int) ([]string, error) {
 		rel, err := filepath.Rel(base, path)
 		if err != nil {
 			return err
+		}
+		if rel == resourcesName {
+			return nil
 		}
 		out = append(out, filepath.ToSlash(rel))
 		return nil

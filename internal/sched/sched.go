@@ -31,10 +31,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pos/internal/core"
 	"pos/internal/eventlog"
+	"pos/internal/health"
 	"pos/internal/hosttools"
 	"pos/internal/results"
 	"pos/internal/telemetry"
@@ -104,6 +106,16 @@ type Campaign struct {
 	// Sleep, when non-nil, replaces the context-aware timer wait used
 	// for retry backoff (tests pin it).
 	Sleep func(ctx context.Context, d time.Duration)
+	// Watchdog, when non-nil, supervises the campaign: a stall probe over
+	// the campaign's own dispatch-completion counter is registered for the
+	// campaign's duration, and a probe trip (or a campaign failure) dumps a
+	// flight record — recent events, metrics snapshot, goroutine stacks —
+	// as the experiment artifact flightrec.json.
+	Watchdog *health.Watchdog
+	// StallDeadline is how long the campaign may complete no dispatch
+	// before its watchdog probe trips. Zero derives 2×RunTimeout, falling
+	// back to 5 minutes when no run timeout is configured.
+	StallDeadline time.Duration
 
 	progressMu sync.Mutex
 }
@@ -401,6 +413,11 @@ type workItem struct {
 
 // campaignState is the mutable bookkeeping shared by the campaign workers.
 type campaignState struct {
+	// progress counts completed dispatch attempts (success, failure, or
+	// cancellation alike) — the campaign's liveness signal. The watchdog's
+	// stall probe reads it from its own goroutine, hence atomic.
+	progress atomic.Uint64
+
 	mu          sync.Mutex
 	records     []*core.RunRecord
 	attempts    [][]attempt
@@ -436,7 +453,7 @@ func (st *campaignState) record(run int, a attempt) {
 // parallel), then drain the run queue concurrently. It returns a summary
 // equivalent to the sequential runner's — deterministic run numbering, one
 // record per executed run in run order.
-func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary, error) {
+func (c *Campaign) Run(ctx context.Context, store *results.Store) (sum *core.Summary, err error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
@@ -512,6 +529,30 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 			})
 		}()
 	}
+	// Flight recorder: tail the campaign's own event stream into a warm
+	// ring so a watchdog trip or failure can dump the last thing the
+	// campaign did without consulting the journal. First evidence wins —
+	// a watchdog trip mid-campaign must not be overwritten by the failure
+	// record of the abort it caused.
+	flightRec := health.NewRecorder(0, telemetry.Default)
+	defer flightRec.Attach(c.Events)()
+	var flightOnce sync.Once
+	dumpFlight := func(trigger, probe, detail string) {
+		flightOnce.Do(func() {
+			fr := flightRec.Capture(trigger, probe, detail)
+			if data, encErr := fr.Encode(); encErr == nil {
+				exp.AddExperimentArtifact("flightrec.json", data)
+			}
+		})
+	}
+	// A genuinely failed campaign (not a caller cancellation) leaves its
+	// post-mortem behind even when no watchdog is attached.
+	defer func() {
+		if err != nil && ctx.Err() == nil {
+			dumpFlight(health.TriggerCampaignFailure, "", err.Error())
+		}
+	}()
+
 	// Serialize runner-level events from all replicas through the campaign
 	// progress mutex before any replica starts booting.
 	defer c.wireReplicas()()
@@ -549,7 +590,7 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 		}
 	}
 
-	sum := &core.Summary{
+	sum = &core.Summary{
 		Experiment: logical.Name,
 		ResultsDir: exp.Dir(),
 		TotalRuns:  len(combos),
@@ -582,6 +623,26 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (*core.Summary
 		st.queue <- workItem{run: i, attempt: 1}
 	}
 	queueDepth.Add(float64(len(combos)))
+
+	// Watchdog supervision for exactly the campaign's lifetime: the stall
+	// probe watches this campaign's dispatch-completion counter, and a trip
+	// captures the flight record while the stall is still in progress.
+	if c.Watchdog != nil {
+		deadline := c.StallDeadline
+		if deadline <= 0 {
+			if c.RunTimeout > 0 {
+				deadline = 2 * c.RunTimeout
+			} else {
+				deadline = 5 * time.Minute
+			}
+		}
+		probe := health.NewStallProbe("campaign:"+logical.Name,
+			func() float64 { return float64(st.progress.Load()) }, nil, deadline)
+		unregister := c.Watchdog.Register(probe, func(ps health.ProbeState) {
+			dumpFlight(health.TriggerWatchdog, ps.Name, ps.Detail)
+		})
+		defer unregister()
+	}
 
 	// Liveness probes: one heartbeat goroutine per replica for the
 	// campaign's duration.
@@ -777,6 +838,7 @@ func (c *Campaign) worker(runCtx context.Context, cancel context.CancelFunc, wi 
 			rec, err = c.dispatch(runCtx, sess, st, wi, item, combos, dirty, backoff)
 		})
 		inflightRuns.Dec()
+		st.progress.Add(1)
 		<-sem
 
 		// Collateral damage: the run failed only because the campaign

@@ -23,4 +23,6 @@ var (
 		"Lookahead-mode rounds in which at least one shard ran unbounded because every upstream was quiescent (adaptive window widening).")
 	shardLookaheadMin = telemetry.Default.Gauge("pos_sim_shard_lookahead_min_ns",
 		"Smallest effective shard-pair lookahead of the most recently prepared shard group.")
+	shardGroupsActive = telemetry.Default.Gauge("pos_sim_shard_groups_active",
+		"Shard groups currently inside Run — the health watchdog's shard-progress probe is armed only while this is non-zero.")
 )

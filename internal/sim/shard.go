@@ -432,6 +432,8 @@ func (g *ShardGroup) Run() error {
 		return errors.New("sim: ShardGroup.Run called re-entrantly")
 	}
 	defer g.running.Store(false)
+	shardGroupsActive.Inc()
+	defer shardGroupsActive.Dec()
 	g.buildLookahead()
 	for _, s := range g.shards {
 		s.done, s.err = false, nil

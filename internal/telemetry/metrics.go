@@ -307,6 +307,11 @@ type ValueSnapshot struct {
 	Count   uint64            `json:"count,omitempty"`
 	Sum     float64           `json:"sum,omitempty"`
 	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+	// Quantiles are estimated p50/p90/p99 values for histogram series
+	// (keys "p50", "p90", "p99"), present when the series has
+	// observations. They are snapshot-side estimates from the fixed
+	// buckets; the Prometheus text exposition is unchanged.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // BucketSnapshot is one cumulative histogram bucket.
@@ -399,6 +404,13 @@ func (r *Registry) Snapshot() Snapshot {
 				}
 				cum += c.buckets[len(f.bounds)].Load()
 				v.Buckets = append(v.Buckets, BucketSnapshot{LE: math.Inf(1), Count: cum})
+				if cum > 0 {
+					v.Quantiles = map[string]float64{
+						"p50": Quantile(v.Buckets, 0.50),
+						"p90": Quantile(v.Buckets, 0.90),
+						"p99": Quantile(v.Buckets, 0.99),
+					}
+				}
 			} else {
 				v.Value = math.Float64frombits(c.val.Load())
 			}
@@ -407,6 +419,72 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Metrics = append(snap.Metrics, m)
 	}
 	return snap
+}
+
+// Quantile estimates the q-quantile (0..1) from cumulative histogram
+// buckets, interpolating linearly within the containing bucket — the same
+// estimate Prometheus's histogram_quantile computes. The lowest bucket
+// interpolates from zero; a quantile landing in the +Inf bucket returns the
+// highest finite bound, because fixed buckets cannot resolve past their last
+// edge. Zero observations yield zero.
+func Quantile(buckets []BucketSnapshot, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, b := range buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		lower, lowerCount := 0.0, uint64(0)
+		if i > 0 {
+			lower, lowerCount = buckets[i-1].LE, buckets[i-1].Count
+		}
+		if math.IsInf(b.LE, 1) {
+			return lower
+		}
+		inBucket := b.Count - lowerCount
+		if inBucket == 0 {
+			return b.LE
+		}
+		frac := (rank - float64(lowerCount)) / float64(inBucket)
+		return lower + (b.LE-lower)*frac
+	}
+	return buckets[len(buckets)-1].LE
+}
+
+// Total sums a family's series — counter/gauge values, or observation counts
+// for histograms — and reports whether the family is registered. The health
+// watchdog's probes read progress signals this way by metric name, without
+// holding references into other packages' metric variables.
+func (r *Registry) Total(name string) (float64, bool) {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	var total float64
+	f.mu.Lock()
+	for _, c := range f.children {
+		if f.typ == TypeHistogram {
+			total += float64(c.count.Load())
+		} else {
+			total += math.Float64frombits(c.val.Load())
+		}
+	}
+	f.mu.Unlock()
+	return total, true
 }
 
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)

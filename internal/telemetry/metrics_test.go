@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -249,5 +250,121 @@ func TestRegistryConcurrent(t *testing.T) {
 		if v := cv.With(fmt.Sprintf("w%d", w)).Value(); v != iters {
 			t.Errorf("cv[w%d] = %v, want %d", w, v, iters)
 		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "Q.", []float64{1, 2, 4})
+	// 10 samples in [0,1), 80 in [1,2), 10 in [2,4): the median falls
+	// mid-way through the second bucket, p99 near the top of the third.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 80; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	histValue := func(name string) ValueSnapshot {
+		for _, m := range r.Snapshot().Metrics {
+			if m.Name == name {
+				return m.Values[0]
+			}
+		}
+		t.Fatalf("metric %s missing from snapshot", name)
+		return ValueSnapshot{}
+	}
+	v := histValue("q_seconds")
+	if v.Quantiles == nil {
+		t.Fatal("histogram snapshot carries no quantiles")
+	}
+	p50, p90, p99 := v.Quantiles["p50"], v.Quantiles["p90"], v.Quantiles["p99"]
+	if p50 < 1 || p50 > 2 {
+		t.Errorf("p50 = %g, want within (1,2)", p50)
+	}
+	if p90 < 1.9 || p90 > 2.1 {
+		t.Errorf("p90 = %g, want ~2 (bucket edge)", p90)
+	}
+	if p99 < 2 || p99 > 4 {
+		t.Errorf("p99 = %g, want within (2,4)", p99)
+	}
+	if p50 > p90 || p90 > p99 {
+		t.Errorf("quantiles not monotonic: p50 %g p90 %g p99 %g", p50, p90, p99)
+	}
+
+	// Observations above every finite bound clamp to the highest bound.
+	h2 := r.Histogram("q2_seconds", "Q2.", []float64{1})
+	h2.Observe(100)
+	if got := histValue("q2_seconds").Quantiles["p99"]; got != 1 {
+		t.Errorf("+Inf-bucket quantile = %g, want clamp to 1", got)
+	}
+
+	// An empty histogram exposes no quantiles at all.
+	r.Histogram("q3_seconds", "Q3.", []float64{1})
+	if v3 := histValue("q3_seconds"); v3.Quantiles != nil {
+		t.Errorf("empty histogram quantiles = %v, want none", v3.Quantiles)
+	}
+}
+
+func TestRuntimeSampler(t *testing.T) {
+	r := NewRegistry()
+	s := NewRuntimeSampler(r, time.Hour) // never self-ticks in this test
+	s.Sample()
+	garbage := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		garbage = append(garbage, make([]byte, 1<<16))
+	}
+	_ = garbage
+	s.Sample()
+	if v, ok := r.Total("pos_runtime_goroutines"); !ok || v < 1 {
+		t.Fatalf("goroutines gauge = %g/%v", v, ok)
+	}
+	if v, ok := r.Total("pos_runtime_heap_bytes"); !ok || v <= 0 {
+		t.Fatalf("heap gauge = %g/%v", v, ok)
+	}
+	if v, ok := r.Total("pos_runtime_samples_total"); !ok || v != 2 {
+		t.Fatalf("samples counter = %g/%v, want 2", v, ok)
+	}
+	if v, ok := r.Total("pos_runtime_alloc_bytes_total"); !ok || v < 1<<20 {
+		t.Fatalf("alloc counter = %g/%v, want at least the 4MiB of garbage", v, ok)
+	}
+	// Start/Stop cycle is idempotent and restartable.
+	s.Start()
+	s.Start()
+	s.Stop()
+	s.Stop()
+	s.Start()
+	s.Stop()
+}
+
+func TestRuntimeDelta(t *testing.T) {
+	start := ReadRuntimeStats()
+	garbage := make([][]byte, 0, 128)
+	for i := 0; i < 128; i++ {
+		garbage = append(garbage, make([]byte, 1<<16))
+	}
+	_ = garbage
+	d := start.DeltaTo(ReadRuntimeStats())
+	if d.StartedAt.IsZero() || d.FinishedAt.Before(d.StartedAt) {
+		t.Fatalf("delta window = %+v", d)
+	}
+	if d.AllocBytes < 1<<20 {
+		t.Fatalf("AllocBytes = %d, want at least the garbage allocated between samples", d.AllocBytes)
+	}
+	if d.GoroutinesStart == 0 || d.GoroutinesEnd == 0 {
+		t.Fatalf("goroutine counts = %d/%d", d.GoroutinesStart, d.GoroutinesEnd)
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RuntimeDelta
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.AllocBytes != d.AllocBytes || back.WallSeconds != d.WallSeconds {
+		t.Fatal("RuntimeDelta did not round-trip")
 	}
 }

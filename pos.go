@@ -2,8 +2,10 @@ package pos
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"log/slog"
+	"time"
 
 	"pos/internal/api"
 	"pos/internal/calendar"
@@ -13,6 +15,7 @@ import (
 	"pos/internal/eval"
 	"pos/internal/eventlog"
 	"pos/internal/expfile"
+	"pos/internal/health"
 	"pos/internal/hosttools"
 	"pos/internal/image"
 	"pos/internal/loadgen"
@@ -581,6 +584,8 @@ type (
 	// TelemetrySnapshot is a point-in-time JSON view of every registered
 	// metric — what GET /api/v1/metrics serves.
 	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryMetricSnapshot is one metric family in a TelemetrySnapshot.
+	TelemetryMetricSnapshot = telemetry.MetricSnapshot
 	// SpanRecord is one archived span of an execution's span tree.
 	SpanRecord = telemetry.SpanRecord
 )
@@ -599,6 +604,83 @@ func SetTelemetryEnabled(on bool) { telemetry.Default.SetEnabled(on) }
 
 // ParseSpans reads a spans.json artifact back into span records.
 func ParseSpans(data []byte) ([]SpanRecord, error) { return telemetry.ParseSpans(data) }
+
+// Health layer (internal/health + telemetry runtime sampling): operator-side
+// supervision — per-run host-condition attribution, a watchdog over liveness
+// probes, and a flight recorder for post-mortems without a live debugger.
+type (
+	// HealthWatchdog periodically runs liveness probes and emits typed
+	// events, metrics, and flight records on trips.
+	HealthWatchdog = health.Watchdog
+	// HealthProbe is one pluggable watchdog check.
+	HealthProbe = health.Probe
+	// HealthProbeState is one probe's current standing (GET /api/v1/health).
+	HealthProbeState = health.ProbeState
+	// FlightRecorder keeps a warm ring of recent events for incident dumps.
+	FlightRecorder = health.Recorder
+	// FlightRecord is one captured incident: trigger, recent events, metrics
+	// snapshot, goroutine stacks — the flightrec.json payload.
+	FlightRecord = health.FlightRecord
+	// RuntimeSampler polls the Go runtime into the metrics registry.
+	RuntimeSampler = telemetry.RuntimeSampler
+	// RuntimeDelta is one run's host-condition record (resources.json).
+	RuntimeDelta = telemetry.RuntimeDelta
+	// APIHealthStatus is the GET /api/v1/health response shape.
+	APIHealthStatus = api.HealthStatus
+)
+
+// NewWatchdog returns a stopped watchdog checking every interval once
+// started. Assign it to Campaign.Watchdog to supervise campaign progress.
+func NewWatchdog(interval time.Duration) *HealthWatchdog { return health.NewWatchdog(interval) }
+
+// NewFlightRecorder returns a recorder keeping the last capacity events
+// (a default-sized ring when capacity <= 0), snapshotting the process
+// metrics registry at capture time.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return health.NewRecorder(capacity, telemetry.Default)
+}
+
+// NewRuntimeSampler returns a sampler polling the Go runtime into the
+// process metrics registry every interval once started.
+func NewRuntimeSampler(interval time.Duration) *RuntimeSampler {
+	return telemetry.NewRuntimeSampler(telemetry.Default, interval)
+}
+
+// CampaignProgressProbe trips when the process's completed-run counter sits
+// still past deadline while campaign runs are in flight.
+func CampaignProgressProbe(deadline time.Duration) HealthProbe {
+	return health.CampaignProgress(telemetry.Default, deadline)
+}
+
+// ShardProgressProbe trips when shard synchronization rounds stall past
+// deadline while shard groups are running.
+func ShardProgressProbe(deadline time.Duration) HealthProbe {
+	return health.ShardProgress(telemetry.Default, deadline)
+}
+
+// QueueStarvationProbe trips when more than passes starved admission passes
+// accumulate within one window.
+func QueueStarvationProbe(passes float64, window time.Duration) HealthProbe {
+	return health.QueueStarvation(telemetry.Default, passes, window)
+}
+
+// EventDropProbe trips when the event broker's drop counter grows by more
+// than limit within one window.
+func EventDropProbe(limit float64, window time.Duration) HealthProbe {
+	return health.EventDrops(telemetry.Default, limit, window)
+}
+
+// DecodeFlightRecord parses a flightrec.json payload.
+func DecodeFlightRecord(data []byte) (FlightRecord, error) {
+	return health.DecodeFlightRecord(data)
+}
+
+// ReadRuntimeDelta parses a run's resources.json payload.
+func ReadRuntimeDelta(data []byte) (RuntimeDelta, error) {
+	var d RuntimeDelta
+	err := json.Unmarshal(data, &d)
+	return d, err
+}
 
 // ChromeTrace converts span records to Chrome trace-event JSON, loadable in
 // chrome://tracing or Perfetto.
