@@ -112,6 +112,15 @@ bench-health:
 	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_health.json \
 	go test -run NONE -bench BenchmarkHealthOverhead -benchtime 3x .
 
+# Trace tier: the causal-tracing layer — W3C identity generation per span
+# and the analyze-time critical-path stitching — priced against the 60-run
+# vpos sweep's wall clock. Recorded in BENCH_trace.json; the budget is 5%
+# (the bench fails past 1.05x).
+.PHONY: bench-trace
+bench-trace:
+	BENCH_RESULTS_OUT=$(CURDIR)/BENCH_trace.json \
+	go test -run NONE -bench BenchmarkTraceOverhead -benchtime 3x .
+
 # Static hygiene: vet, a clean gofmt tree, no raw log/print logging in
 # library code — internal/ packages log through the structured eventlog
 # spine (log/slog into the event pipeline), never stdout/stderr directly —
@@ -131,6 +140,12 @@ lint:
 		--include='*.go' | grep -v '^internal/telemetry/'; true); \
 	if [ -n "$$out" ]; then \
 		echo "runtime introspection outside internal/telemetry:"; \
+		echo "$$out"; exit 1; fi
+	@out=$$(grep -rnE 'mux\.HandleFunc\("' internal/api --include='*.go' \
+		| grep -v _test.go \
+		| grep -vE '"GET /metrics|"GET /api/v1/metrics|"GET /api/v1/events|"GET /debug/pprof'; true); \
+	if [ -n "$$out" ]; then \
+		echo "internal/api endpoint registered without a request span (route it through handle(), which wraps s.instrument; streaming/scrape endpoints join the allowlist in the Makefile):"; \
 		echo "$$out"; exit 1; fi
 	@echo "lint clean"
 

@@ -37,6 +37,7 @@ import (
 	"pos/internal/router"
 	"pos/internal/sched"
 	"pos/internal/sim"
+	"pos/internal/telemetry"
 )
 
 // recordBenchResults appends one benchmark's headline metrics to the JSON
@@ -1416,5 +1417,117 @@ func BenchmarkEventlogOverhead(b *testing.B) {
 		"events_ms_op": tEvents.Seconds() * 1000 / float64(b.N*rounds),
 		"bare_ms_op":   tBare.Seconds() * 1000 / float64(b.N*rounds),
 		"runs":         60,
+	})
+}
+
+// BenchmarkTraceOverhead prices the causal-tracing layer added on top of the
+// span tree: W3C trace/span identity generation on every span and the
+// analysis-time stitching that posctl analyze runs. A paired on/off wall
+// clock cannot resolve this layer — its cost hides under full-telemetry
+// variance — so the bench measures the added work directly and reports it
+// against the campaign wall clock: overhead_x = (wall + identity cost +
+// stitching cost) / wall for the Appendix A sweep (60 vpos runs). `make
+// bench-trace` records the numbers into BENCH_trace.json; the budget is 5% —
+// identities that cost more would have to be sampled, and sampled traces
+// cannot stitch a complete campaign tree.
+func BenchmarkTraceOverhead(b *testing.B) {
+	defer pos.SetTelemetryEnabled(true)
+	pos.SetTelemetryEnabled(true)
+	runSweep := func(b *testing.B) (time.Duration, []pos.SpanRecord) {
+		tr := pos.NewSpanTrace("campaign:bench")
+		tr.SetProcess("controller")
+		ctx := pos.TraceContext(context.Background(), tr)
+		topo, err := casestudy.New(casestudy.Virtual, casestudy.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := results.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep := casestudy.PaperSweep()
+		sweep.RuntimeSec = 1
+		start := time.Now()
+		sum, err := topo.Testbed.Runner().Run(ctx, topo.Experiment(sweep), store)
+		wall := time.Since(start)
+		if err != nil || sum.TotalRuns != 60 || sum.FailedRuns != 0 {
+			b.Fatalf("sum=%+v err=%v", sum, err)
+		}
+		topo.Close()
+		tr.Finish()
+		return wall, tr.Records()
+	}
+	runSweep(b) // warm-up: first-use costs stay out of the measured rounds
+
+	// ID generation in isolation: one trace-ID + span-ID pair per span is
+	// the marginal cost the identities add to StartSpan.
+	const pairs = 100_000
+	idStart := time.Now()
+	for i := 0; i < pairs; i++ {
+		telemetry.NewTraceID()
+		telemetry.NewSpanID()
+	}
+	idNS := float64(time.Since(idStart).Nanoseconds()) / pairs
+
+	const rounds = 3
+	var ratios []float64
+	var wallTotal time.Duration
+	var spans int
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rounds; r++ {
+			runtime.GC()
+			wall, recs := runSweep(b)
+			// The layer's cost on this campaign: an ID pair per span plus
+			// the assembler's critical-path pass over the archive.
+			stitchStart := time.Now()
+			sum := pos.SummarizeSpans(recs)
+			stitch := time.Since(stitchStart)
+			if len(sum.CriticalPath) == 0 {
+				b.Fatal("stitching produced no critical path")
+			}
+			idCost := time.Duration(float64(len(recs)) * idNS * float64(time.Nanosecond))
+			ratios = append(ratios, (wall+idCost+stitch).Seconds()/wall.Seconds())
+			wallTotal += wall
+			spans = len(recs)
+		}
+	}
+	sort.Float64s(ratios)
+	overhead := ratios[len(ratios)/2]
+	if overhead > 1.05 {
+		b.Fatalf("trace identity + stitching overhead = %.4fx, budget 1.05x", overhead)
+	}
+
+	// Stitching at scale: the critical-path pass over a 10k-span archive —
+	// the cost of `posctl analyze` on a very large campaign.
+	big := pos.NewSpanTrace("campaign:big")
+	big.SetProcess("controller")
+	for lane := 0; lane < 10; lane++ {
+		ls := big.Root().StartChild(fmt.Sprintf("replica:l%d", lane))
+		for run := 0; run < 500; run++ {
+			rs := ls.StartChild(fmt.Sprintf("run %d", lane*500+run))
+			rs.StartChild("exec:n0").End()
+			rs.End()
+		}
+		ls.End()
+	}
+	big.Finish()
+	bigRecs := big.Records()
+	stitchStart := time.Now()
+	if sum := pos.SummarizeSpans(bigRecs); len(sum.CriticalPath) == 0 {
+		b.Fatal("10k-span stitching produced no critical path")
+	}
+	stitch10kMS := float64(time.Since(stitchStart).Nanoseconds()) / 1e6
+
+	b.ReportMetric(overhead, "overhead_x")
+	b.ReportMetric(idNS, "id_pair_ns")
+	b.ReportMetric(stitch10kMS, "stitch10k_ms")
+	b.ReportMetric(0, "ns/op")
+	recordBenchResults(b, "TraceOverhead", map[string]float64{
+		"overhead_x":   overhead,
+		"id_pair_ns":   idNS,
+		"stitch10k_ms": stitch10kMS,
+		"spans":        float64(spans),
+		"wall_ms_op":   wallTotal.Seconds() * 1000 / float64(b.N*rounds),
+		"budget_x":     1.05,
 	})
 }

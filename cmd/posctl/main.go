@@ -88,6 +88,8 @@ func main() {
 		err = cmdEvents(os.Args[2:])
 	case "spans":
 		err = cmdSpans(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -120,6 +122,8 @@ commands:
   watch      stream a controller's live experiment events (SSE)
   events     replay a finished experiment's event journal
   spans      convert an archived spans.json to Chrome trace-event format
+  analyze    assemble a campaign timeline: critical path, phase attribution,
+             stragglers; -baseline diffs phase-by-phase and fails on drift
   results    inspect a results tree
   index      inspect or rebuild an experiment's run manifest and dedup pool
   plot       generate throughput figures from an experiment's results

@@ -28,6 +28,7 @@ func cmdSubmit(args []string) error {
 	priority := fs.Int("priority", 0, "admission priority (higher admits first)")
 	expDir := fs.String("expdir", "", "experiment directory to run (optional; default demo sweep)")
 	spec := fs.String("spec", "", "launcher parameters k=v[,k=v...] (sizes, rates, replicas, seed)")
+	spansOut := fs.String("spans", "", "archive this invocation's own span lane to the given file (drop it next to the campaign's spans.json to stitch a posctl lane into posctl analyze)")
 	fs.Parse(args)
 	if *addr == "" || *user == "" || *nodes == "" {
 		return fmt.Errorf("submit: -addr, -user, and -nodes are required")
@@ -36,8 +37,15 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
+	// The submission is the root of the campaign's causal tree: the request
+	// carries this span's traceparent, the queue journals it, and the
+	// launched campaign adopts the trace ID — one stitched trace from this
+	// terminal to every replica lane.
+	tr := pos.NewSpanTrace("posctl:submit")
+	tr.SetProcess("posctl")
+	ctx := pos.TraceContext(context.Background(), tr)
 	c := pos.NewAPIClient(*addr)
-	view, err := c.SubmitCampaign(pos.CampaignRequest{
+	view, err := c.SubmitCampaignContext(ctx, pos.CampaignRequest{
 		User:     *user,
 		Name:     *name,
 		Nodes:    splitCSV(*nodes),
@@ -49,8 +57,17 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("campaign #%d submitted: %s/%s %s (position %d)\n",
-		view.ID, view.User, view.Name, view.State, view.Position)
+	tr.Root().SetAttr("campaign", strconv.Itoa(view.ID))
+	tr.Finish()
+	if *spansOut != "" {
+		if data, rerr := tr.RenderJSON(); rerr == nil {
+			if werr := os.WriteFile(*spansOut, data, 0o644); werr != nil {
+				return fmt.Errorf("submit: writing -spans archive: %w", werr)
+			}
+		}
+	}
+	fmt.Printf("campaign #%d submitted: %s/%s %s (position %d, trace %s)\n",
+		view.ID, view.User, view.Name, view.State, view.Position, tr.ID())
 	return nil
 }
 

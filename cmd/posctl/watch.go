@@ -173,6 +173,7 @@ func cmdEvents(args []string) error {
 	fs := flag.NewFlagSet("events", flag.ExitOnError)
 	dir := fs.String("dir", "", "experiment directory (the results dir printed by posctl run)")
 	replica := fs.String("replica", "", "only this replica's events")
+	traceID := fs.String("trace", "", "only events stamped with this trace id (prefix match)")
 	jsonOut := fs.Bool("json", false, "emit raw event JSON lines for piping")
 	fs.Parse(args)
 	if *dir == "" {
@@ -193,6 +194,9 @@ func cmdEvents(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	for _, ev := range evs {
 		if *replica != "" && ev.Replica != *replica {
+			continue
+		}
+		if *traceID != "" && !strings.HasPrefix(ev.Attrs["trace_id"], *traceID) {
 			continue
 		}
 		if *jsonOut {

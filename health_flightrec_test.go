@@ -121,6 +121,18 @@ func TestHealthWatchdogTripDumpsFlightRecord(t *testing.T) {
 	if !strings.Contains(fr.Goroutines, "goroutine ") {
 		t.Error("flight record carries no goroutine dump")
 	}
+	// The record leads with the answer: a mid-flight critical path and
+	// per-phase attribution computed from the still-open span tree.
+	analysis, ok := fr.Analysis.(map[string]any)
+	if !ok {
+		t.Fatalf("flight record analysis = %T, want timeline summary", fr.Analysis)
+	}
+	if phases, ok := analysis["phases"].([]any); !ok || len(phases) == 0 {
+		t.Errorf("flight record analysis has no phase attribution: %v", analysis["phases"])
+	}
+	if cp, ok := analysis["critical_path"].([]any); !ok || len(cp) == 0 {
+		t.Errorf("flight record analysis has no critical path: %v", analysis["critical_path"])
+	}
 
 	// The campaign probe is unregistered once the campaign ends.
 	if st := wd.Status(); len(st) != 0 {

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"pos/internal/queue"
+	"pos/internal/telemetry"
 )
 
 // CampaignRequest submits one campaign to the controller's queue.
@@ -80,6 +82,10 @@ func (s *Server) submitCampaign(w http.ResponseWriter, r *http.Request) {
 		Priority: req.Priority,
 		ExpDir:   req.ExpDir,
 		Spec:     req.Spec,
+		// The submitter's identity, not any server-side request span: the
+		// campaign's trace must stitch under the posctl invocation that
+		// submitted it, however long it waits in the queue.
+		TraceParent: telemetry.PendingTraceParent(r.Context()),
 	})
 	if err != nil {
 		if errors.Is(err, queue.ErrClosed) {
@@ -152,8 +158,16 @@ func (s *Server) cancelCampaign(w http.ResponseWriter, r *http.Request) {
 
 // SubmitCampaign queues a campaign and returns its assigned status.
 func (c *Client) SubmitCampaign(req CampaignRequest) (CampaignView, error) {
+	return c.SubmitCampaignContext(context.Background(), req)
+}
+
+// SubmitCampaignContext queues a campaign under the caller's context. When
+// the context carries an active span (or a pending traceparent), the
+// submission inherits that trace identity end to end: queue wait, admission,
+// and the campaign run all stitch under the submitter's trace.
+func (c *Client) SubmitCampaignContext(ctx context.Context, req CampaignRequest) (CampaignView, error) {
 	var out CampaignView
-	err := c.do(http.MethodPost, "/api/v1/campaigns", req, &out)
+	err := c.doCtx(ctx, http.MethodPost, "/api/v1/campaigns", req, &out, 0)
 	return out, err
 }
 

@@ -211,12 +211,15 @@ func (r *Runner) publishExec(replica, node, phase string, runIdx, total int, out
 
 // ensureTrace installs a span trace on ctx when telemetry is enabled and the
 // caller did not bring one. The returned trace is non-nil only when this call
-// owns it — the owner finishes it and archives the spans.json artifact.
+// owns it — the owner finishes it and archives the spans.json artifact. A
+// context carrying a remote traceparent (a queue dispatch, an API request)
+// links the new trace under that remote span instead of rooting fresh.
 func (r *Runner) ensureTrace(ctx context.Context, name string) (context.Context, *telemetry.Trace) {
 	if telemetry.SpanFromContext(ctx) != nil || !telemetry.Default.Enabled() {
 		return ctx, nil
 	}
-	tr := telemetry.NewTrace(name)
+	tr := telemetry.NewLinkedTrace(name, telemetry.PendingTraceParent(ctx))
+	tr.SetProcess("runner")
 	tr.SetClock(r.now)
 	return telemetry.ContextWithTrace(ctx, tr), tr
 }

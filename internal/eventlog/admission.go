@@ -1,0 +1,43 @@
+package eventlog
+
+import (
+	"context"
+	"time"
+)
+
+// Admission describes how a campaign got scheduled: who submitted it, when,
+// and when the queue admitted it. The queue controller attaches it to the
+// launch context; the campaign publishes it as a TypeQueue event *after* its
+// journal is attached — events published on the private pipeline before that
+// point never reach the archive, so queue wait would otherwise be invisible
+// to the timeline assembler.
+type Admission struct {
+	SubmissionID string    `json:"submission_id"`
+	User         string    `json:"user,omitempty"`
+	Submitted    time.Time `json:"submitted"`
+	Admitted     time.Time `json:"admitted"`
+}
+
+// Wait returns the submit→admit latency (zero when either stamp is missing).
+func (a Admission) Wait() time.Duration {
+	if a.Submitted.IsZero() || a.Admitted.IsZero() {
+		return 0
+	}
+	if d := a.Admitted.Sub(a.Submitted); d > 0 {
+		return d
+	}
+	return 0
+}
+
+type admissionKey struct{}
+
+// WithAdmission attaches queue admission info to the context.
+func WithAdmission(ctx context.Context, a Admission) context.Context {
+	return context.WithValue(ctx, admissionKey{}, a)
+}
+
+// AdmissionFromContext returns the admission info installed by WithAdmission.
+func AdmissionFromContext(ctx context.Context) (Admission, bool) {
+	a, ok := ctx.Value(admissionKey{}).(Admission)
+	return a, ok
+}

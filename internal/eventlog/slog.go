@@ -4,6 +4,8 @@ import (
 	"context"
 	"log/slog"
 	"strconv"
+
+	"pos/internal/telemetry"
 )
 
 // Reserved slog attribute keys promoted into typed Event fields by the tee
@@ -14,6 +16,12 @@ const (
 	KeyPhase   = "phase"
 	KeyRun     = "run"
 	KeyError   = "err"
+
+	// Trace correlation attrs stamped by Logger when the context carries an
+	// active span — they stay in Event.Attrs (not typed fields) so journal
+	// output can be grepped by trace without a schema change.
+	KeyTraceID = "trace_id"
+	KeySpanID  = "span_id"
 )
 
 type loggerKey struct{}
@@ -27,12 +35,19 @@ func WithLogger(ctx context.Context, lg *slog.Logger) context.Context {
 
 // Logger returns the context's logger, or a discard logger when none is
 // attached — callers log unconditionally and the spine decides whether the
-// records go anywhere.
+// records go anywhere. Inside a traced context every record is stamped with
+// trace_id/span_id attrs, so `posctl events` output greps by trace. The
+// stamping happens here (not in Handle) because slog.Logger methods hand
+// context.Background to the handler, not the caller's context.
 func Logger(ctx context.Context) *slog.Logger {
-	if lg, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && lg != nil {
-		return lg
+	lg, ok := ctx.Value(loggerKey{}).(*slog.Logger)
+	if !ok || lg == nil {
+		return discardLogger
 	}
-	return discardLogger
+	if s := telemetry.SpanFromContext(ctx); s != nil {
+		return lg.With(KeyTraceID, s.TraceID(), KeySpanID, s.SpanID())
+	}
+	return lg
 }
 
 // discardHandler is a no-op slog.Handler. (slog.DiscardHandler only exists

@@ -1,0 +1,56 @@
+package eventlog
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pos/internal/telemetry"
+)
+
+// TestLoggerStampsTraceCorrelation: inside a traced context every log event
+// teed into the pipeline carries trace_id/span_id attrs, so journal output
+// greps by trace. Untraced contexts stay unstamped.
+func TestLoggerStampsTraceCorrelation(t *testing.T) {
+	p := NewPipeline()
+	sub := p.Subscribe(16)
+	defer sub.Close()
+
+	lg := NewLogger(p, nil)
+	tr := telemetry.NewTrace("campaign:x")
+
+	// Untraced: no correlation attrs.
+	plain := WithLogger(context.Background(), lg)
+	Logger(plain).Info("plain")
+
+	// Traced: stamped with the active span's identity.
+	sctx, span := telemetry.StartSpan(telemetry.ContextWithTrace(plain, tr), "setup")
+	Logger(sctx).Info("traced", "replica", "alpha")
+	span.End()
+	tr.Finish()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	var got []Event
+	for i := 0; i < 2; i++ {
+		ev, ok := sub.Next(ctx)
+		if !ok {
+			t.Fatal("subscriber starved")
+		}
+		got = append(got, ev)
+	}
+
+	if got[0].Attrs[KeyTraceID] != "" || got[0].Attrs[KeySpanID] != "" {
+		t.Errorf("untraced event stamped: %v", got[0].Attrs)
+	}
+	ev := got[1]
+	if ev.Attrs[KeyTraceID] != tr.ID() {
+		t.Errorf("trace_id = %q, want %q", ev.Attrs[KeyTraceID], tr.ID())
+	}
+	if ev.Attrs[KeySpanID] != span.SpanID() || span.SpanID() == "" {
+		t.Errorf("span_id = %q, want active span %q", ev.Attrs[KeySpanID], span.SpanID())
+	}
+	if ev.Replica != "alpha" {
+		t.Errorf("reserved attrs still promote: replica = %q", ev.Replica)
+	}
+}

@@ -112,6 +112,11 @@ type FlightRecord struct {
 	Events     []eventlog.Event   `json:"events"`
 	Metrics    telemetry.Snapshot `json:"metrics"`
 	Goroutines string             `json:"goroutines"`
+	// Analysis, when present, is the campaign's critical path and per-phase
+	// attribution as computed at capture time (a timeline.Summary). Typed
+	// `any` so health stays below the timeline package in the import graph;
+	// readers decode it structurally from the JSON.
+	Analysis any `json:"analysis,omitempty"`
 }
 
 // Capture assembles a flight record now: the ring's events, a registry

@@ -23,6 +23,7 @@ import (
 
 	"pos/internal/calendar"
 	"pos/internal/eventlog"
+	"pos/internal/telemetry"
 )
 
 // State is a submission's lifecycle position.
@@ -64,6 +65,11 @@ type Submission struct {
 	Minutes int `json:"minutes"`
 	// Priority orders admission; higher admits first. Default 0.
 	Priority int `json:"priority,omitempty"`
+	// TraceParent carries the submitter's W3C trace identity through queue
+	// wait and admission, so the launched campaign stitches into the
+	// submitter's causal tree. Optional; journaled with the submission so a
+	// recovered queue keeps the linkage.
+	TraceParent string `json:"traceparent,omitempty"`
 	// Submitted is stamped by the controller.
 	Submitted time.Time `json:"submitted"`
 }
@@ -572,6 +578,20 @@ func (c *Controller) run(ctx context.Context, e *entry) {
 			return ev
 		})
 	}
+	// Hand the launcher the submitter's trace identity and the admission
+	// stamps by context: the campaign roots its trace from the traceparent
+	// and publishes the queue-wait event itself, after its journal attaches —
+	// anything published on `events` before Launch attaches a journal never
+	// reaches the archive.
+	ctx = telemetry.ContextWithTraceParent(ctx, e.sub.TraceParent)
+	ctx = eventlog.WithAdmission(ctx, eventlog.Admission{
+		SubmissionID: strconv.Itoa(e.sub.ID),
+		User:         e.sub.User,
+		Submitted:    e.sub.Submitted,
+		// e.admitted was stamped under c.mu before this goroutine started
+		// (the go statement orders it); nothing rewrites it while running.
+		Admitted: e.admitted,
+	})
 	err := c.cfg.Launch(ctx, e.sub, events)
 	if stopForward != nil {
 		stopForward()

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,7 @@ import (
 	"pos/internal/hosttools"
 	"pos/internal/results"
 	"pos/internal/telemetry"
+	"pos/internal/timeline"
 	"pos/internal/workpool"
 )
 
@@ -469,10 +471,14 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (sum *core.Sum
 
 	started := c.now()
 	// A campaign roots its own span trace (replica lanes, per-run children)
-	// unless the caller brought one; owned traces land in spans.json.
+	// unless the caller brought one; owned traces land in spans.json. A
+	// queue-dispatched campaign carries its submitter's traceparent in the
+	// context — the trace adopts that identity so this process's spans
+	// stitch under the posctl invocation that submitted it.
 	var tr *telemetry.Trace
 	if telemetry.SpanFromContext(ctx) == nil && telemetry.Default.Enabled() {
-		tr = telemetry.NewTrace("campaign:" + logical.Name)
+		tr = telemetry.NewLinkedTrace("campaign:"+logical.Name, telemetry.PendingTraceParent(ctx))
+		tr.SetProcess("controller")
 		tr.SetClock(c.now)
 		ctx = telemetry.ContextWithTrace(ctx, tr)
 	}
@@ -515,6 +521,25 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (sum *core.Sum
 			Typ: eventlog.TypeLog, Level: "INFO", Run: eventlog.NoRun,
 			Message: fmt.Sprintf("campaign started: %s, %d replicas", logical.Name, len(c.Replicas)),
 		})
+		// A queue-dispatched campaign journals its own admission record here,
+		// after the journal attached: the queue controller's events predate
+		// the journal and never reach the archive, and without this record
+		// the timeline assembler cannot attribute queue wait.
+		if adm, ok := eventlog.AdmissionFromContext(ctx); ok {
+			attrs := map[string]string{
+				"submission_id": adm.SubmissionID,
+				"submitted":     adm.Submitted.UTC().Format(time.RFC3339Nano),
+				"admitted":      adm.Admitted.UTC().Format(time.RFC3339Nano),
+				"wait_ms":       strconv.FormatInt(adm.Wait().Milliseconds(), 10),
+			}
+			if adm.User != "" {
+				attrs["queue_user"] = adm.User
+			}
+			c.Events.Publish(eventlog.Event{
+				Typ: eventlog.TypeQueue, Level: "INFO", Run: eventlog.NoRun,
+				Message: "queue admission", Attrs: attrs,
+			})
+		}
 		defer func() {
 			// A preempted campaign (queue cancel, controller shutdown) must
 			// not journal itself as "finished" — the journal is the record
@@ -540,6 +565,16 @@ func (c *Campaign) Run(ctx context.Context, store *results.Store) (sum *core.Sum
 	dumpFlight := func(trigger, probe, detail string) {
 		flightOnce.Do(func() {
 			fr := flightRec.Capture(trigger, probe, detail)
+			// Post-mortems start with the answer, not raw events: snapshot
+			// the in-flight trace (open spans closed at "now") and attach
+			// its critical path and per-phase attribution to the record.
+			ftr := tr
+			if ftr == nil {
+				ftr = telemetry.TraceFromContext(ctx)
+			}
+			if ftr != nil {
+				fr.Analysis = timeline.Summarize(ftr.RecordsAt(c.now()))
+			}
 			if data, encErr := fr.Encode(); encErr == nil {
 				exp.AddExperimentArtifact("flightrec.json", data)
 			}

@@ -14,11 +14,14 @@ import (
 // It is exported per experiment as a spans.json artifact next to
 // experiment-trace.json, and convertible to Chrome trace-event format.
 type Trace struct {
-	mu    sync.Mutex
-	clock func() time.Time
-	next  int
-	spans []*Span
-	root  *Span
+	mu           sync.Mutex
+	clock        func() time.Time
+	next         int
+	spans        []*Span
+	root         *Span
+	traceID      string
+	remoteParent string // span ID of the remote parent of the root ("" for a fresh root)
+	proc         string // process lane for stitched Chrome rendering
 }
 
 // Span is one timed region of a trace (campaign → run → phase → exec). All
@@ -28,28 +31,68 @@ type Span struct {
 
 	// The fields below are guarded by tr.mu.
 	id     int
-	parent int // 0 for the root
+	spanID string // 16-hex distributed identity, stable across processes
+	parent int    // 0 for the root
 	name   string
 	start  time.Time
 	end    time.Time
 	attrs  map[string]string
 }
 
-// SpanRecord is the serialized form of a span in spans.json.
+// SpanRecord is the serialized form of a span in spans.json. The hex
+// TraceID/SpanID/ParentSpanID triple is the cross-process identity (W3C
+// traceparent compatible); the int ID/Parent pair remains the compact
+// in-file structure older artifacts carry.
 type SpanRecord struct {
-	ID     int               `json:"id"`
-	Parent int               `json:"parent,omitempty"`
-	Name   string            `json:"name"`
-	Start  time.Time         `json:"start"`
-	End    time.Time         `json:"end"`
-	Attrs  map[string]string `json:"attrs,omitempty"`
+	ID           int               `json:"id"`
+	Parent       int               `json:"parent,omitempty"`
+	TraceID      string            `json:"trace_id,omitempty"`
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	Proc         string            `json:"proc,omitempty"`
+	Name         string            `json:"name"`
+	Start        time.Time         `json:"start"`
+	End          time.Time         `json:"end"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
 }
 
-// NewTrace starts a trace whose root span carries the given name.
+// NewTrace starts a trace whose root span carries the given name, under a
+// fresh trace ID.
 func NewTrace(name string) *Trace {
-	t := &Trace{clock: time.Now, next: 1}
+	t := &Trace{clock: time.Now, next: 1, traceID: NewTraceID()}
 	t.root = t.start(0, name, nil)
 	return t
+}
+
+// NewLinkedTrace starts a trace that joins a remote causal tree: the trace
+// adopts the traceparent's trace ID and parents its root span under the
+// remote span, so this process's spans.json stitches into the submitter's
+// trace. An empty or malformed traceparent falls back to a fresh root —
+// linking is best effort, never an error.
+func NewLinkedTrace(name, traceparent string) *Trace {
+	tid, parent, ok := ParseTraceParent(traceparent)
+	if !ok {
+		return NewTrace(name)
+	}
+	t := &Trace{clock: time.Now, next: 1, traceID: tid, remoteParent: parent}
+	t.root = t.start(0, name, nil)
+	return t
+}
+
+// ID returns the trace's 32-hex-digit trace ID.
+func (t *Trace) ID() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// SetProcess labels every span record of this trace with a process lane
+// ("posctl", "controller", ...). The stitched Chrome rendering maps each
+// distinct process to its own pid row.
+func (t *Trace) SetProcess(proc string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.proc = proc
 }
 
 // SetClock overrides the timestamp source (tests, simulated time). Call
@@ -67,7 +110,7 @@ func (t *Trace) Root() *Span { return t.root }
 func (t *Trace) start(parent int, name string, attrs []string) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := &Span{tr: t, id: t.next, parent: parent, name: name, start: t.clock()}
+	s := &Span{tr: t, id: t.next, spanID: NewSpanID(), parent: parent, name: name, start: t.clock()}
 	t.next++
 	for i := 0; i+1 < len(attrs); i += 2 {
 		if s.attrs == nil {
@@ -134,6 +177,37 @@ func (s *Span) SetError(err error) {
 	s.SetAttr("error", err.Error())
 }
 
+// TraceID returns the span's 32-hex trace ID ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.tr.traceID
+}
+
+// SpanID returns the span's 16-hex span ID ("" on a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.spanID
+}
+
+// TraceParent renders the span's identity as a W3C traceparent header value
+// ("" on a nil span) — what an outgoing request carries so the peer's spans
+// stitch under this one.
+func (s *Span) TraceParent() string {
+	if s == nil {
+		return ""
+	}
+	s.tr.mu.Lock()
+	tid := s.tr.traceID
+	s.tr.mu.Unlock()
+	return FormatTraceParent(tid, s.spanID)
+}
+
 type spanCtxKey struct{}
 
 // ContextWithSpan returns a context carrying the span as the current parent
@@ -182,13 +256,32 @@ func StartSpan(ctx context.Context, name string, attrs ...string) (context.Conte
 // Records returns the trace's spans as serializable records, ordered by id
 // (creation order). Open spans report their start time as end.
 func (t *Trace) Records() []SpanRecord {
+	return t.records(time.Time{})
+}
+
+// RecordsAt snapshots the trace with still-open spans closed at now — the
+// live view a flight record captures mid-campaign. The spans themselves are
+// not mutated; a later Finish still stamps the real end times.
+func (t *Trace) RecordsAt(now time.Time) []SpanRecord {
+	return t.records(now)
+}
+
+func (t *Trace) records(openEnd time.Time) []SpanRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	byID := make(map[int]*Span, len(t.spans))
+	for _, s := range t.spans {
+		byID[s.id] = s
+	}
 	out := make([]SpanRecord, 0, len(t.spans))
 	for _, s := range t.spans {
 		end := s.end
 		if end.IsZero() {
-			end = s.start
+			if !openEnd.IsZero() && openEnd.After(s.start) {
+				end = openEnd
+			} else {
+				end = s.start
+			}
 		}
 		var attrs map[string]string
 		if len(s.attrs) > 0 {
@@ -197,8 +290,14 @@ func (t *Trace) Records() []SpanRecord {
 				attrs[k] = v
 			}
 		}
+		parentSpan := t.remoteParent
+		if p, ok := byID[s.parent]; ok {
+			parentSpan = p.spanID
+		}
 		out = append(out, SpanRecord{
 			ID: s.id, Parent: s.parent, Name: s.name,
+			TraceID: t.traceID, SpanID: s.spanID, ParentSpanID: parentSpan,
+			Proc:  t.proc,
 			Start: s.start, End: end, Attrs: attrs,
 		})
 	}
@@ -249,30 +348,46 @@ type ChromeEvent struct {
 
 // ChromeTrace converts span records to a Chrome trace-event JSON array.
 // Lanes (tid) are assigned per depth-1 subtree — each replica or top-level
-// phase gets its own row in the flamegraph; the root is lane 0.
+// phase gets its own row in the flamegraph; the root is lane 0. Stitched
+// records spanning multiple processes get one pid per distinct Proc (the int
+// span IDs only identify spans within one process's archive, so lanes are
+// computed per process group).
 func ChromeTrace(recs []SpanRecord) ([]byte, error) {
 	if len(recs) == 0 {
 		return []byte("[]"), nil
 	}
-	byID := make(map[int]SpanRecord, len(recs))
-	for _, r := range recs {
-		byID[r.ID] = r
+	type laneKey struct {
+		proc string
+		id   int
 	}
-	// lane(id): 0 for the root, else the id of the span's ancestor that is a
-	// direct child of the root — one flamegraph row per replica / phase.
-	var lane func(id int) int
-	lane = func(id int) int {
-		r, ok := byID[id]
+	byID := make(map[laneKey]SpanRecord, len(recs))
+	for _, r := range recs {
+		byID[laneKey{r.Proc, r.ID}] = r
+	}
+	// lane(proc, id): 0 for the process root, else the id of the span's
+	// ancestor that is a direct child of that root — one flamegraph row per
+	// replica / phase, scoped to the process.
+	var lane func(proc string, id int) int
+	lane = func(proc string, id int) int {
+		r, ok := byID[laneKey{proc, id}]
 		if !ok {
 			return id
 		}
 		if r.Parent == 0 {
 			return 0
 		}
-		if p, ok := byID[r.Parent]; !ok || p.Parent == 0 {
+		if p, ok := byID[laneKey{proc, r.Parent}]; !ok || p.Parent == 0 {
 			return id
 		}
-		return lane(r.Parent)
+		return lane(proc, r.Parent)
+	}
+	// One pid per distinct process label, in order of first appearance; a
+	// single-process trace keeps the historical pid 1.
+	pids := map[string]int{}
+	for _, r := range recs {
+		if _, ok := pids[r.Proc]; !ok {
+			pids[r.Proc] = 1 + len(pids)
+		}
 	}
 	epoch := recs[0].Start
 	for _, r := range recs {
@@ -282,14 +397,22 @@ func ChromeTrace(recs []SpanRecord) ([]byte, error) {
 	}
 	events := make([]ChromeEvent, 0, len(recs))
 	for _, r := range recs {
+		args := r.Attrs
+		if r.Proc != "" {
+			args = make(map[string]string, len(r.Attrs)+1)
+			for k, v := range r.Attrs {
+				args[k] = v
+			}
+			args["proc"] = r.Proc
+		}
 		events = append(events, ChromeEvent{
 			Name: r.Name,
 			Ph:   "X",
 			Ts:   float64(r.Start.Sub(epoch)) / float64(time.Microsecond),
 			Dur:  float64(r.End.Sub(r.Start)) / float64(time.Microsecond),
-			Pid:  1,
-			Tid:  lane(r.ID),
-			Args: r.Attrs,
+			Pid:  pids[r.Proc],
+			Tid:  lane(r.Proc, r.ID),
+			Args: args,
 		})
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })

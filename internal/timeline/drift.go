@@ -1,0 +1,82 @@
+package timeline
+
+// Drift is the phase-by-phase comparison of a campaign against a baseline
+// run of the same experiment — the check that turns reproducibility of
+// *performance* into a property a CI job can assert.
+
+// PhaseDrift compares one phase across the two campaigns.
+type PhaseDrift struct {
+	Phase   string  `json:"phase"`
+	BaseMS  float64 `json:"base_ms"`
+	CurMS   float64 `json:"cur_ms"`
+	DeltaMS float64 `json:"delta_ms"`
+	// Ratio is cur/base (0 when the phase is new — flagged via DeltaMS).
+	Ratio   float64 `json:"ratio,omitempty"`
+	Flagged bool    `json:"flagged,omitempty"`
+}
+
+// Drift is the full comparison result.
+type Drift struct {
+	Threshold float64      `json:"threshold"`
+	BaseWall  float64      `json:"base_wall_ms"`
+	CurWall   float64      `json:"cur_wall_ms"`
+	WallRatio float64      `json:"wall_ratio"`
+	Phases    []PhaseDrift `json:"phases"`
+	Flagged   bool         `json:"flagged"`
+}
+
+// DefaultDriftThreshold flags a phase that grew by more than 25% over
+// baseline. Chosen well above scheduler jitter on a loaded controller but
+// below any slowdown worth a human's attention.
+const DefaultDriftThreshold = 0.25
+
+// driftFloorMS suppresses flags on phases whose absolute growth is within
+// clock-resolution noise — a 3ms phase tripling is not a finding.
+const driftFloorMS = 10.0
+
+// Compare diffs cur against base phase by phase. A phase is flagged when it
+// grew past threshold (fractional) AND past the absolute noise floor; the
+// whole drift is flagged when any phase is, or when total wall clock grew
+// past threshold. A campaign compared against a byte-identical re-run (or
+// itself) yields Flagged == false by construction: every ratio is exactly 1.
+func Compare(base, cur *Timeline, threshold float64) *Drift {
+	if threshold <= 0 {
+		threshold = DefaultDriftThreshold
+	}
+	d := &Drift{Threshold: threshold, BaseWall: base.WallMS, CurWall: cur.WallMS}
+	if base.WallMS > 0 {
+		d.WallRatio = cur.WallMS / base.WallMS
+	}
+	baseBy := make(map[string]float64, len(base.Phases))
+	for _, p := range base.Phases {
+		baseBy[p.Phase] = p.MS
+	}
+	curBy := make(map[string]float64, len(cur.Phases))
+	for _, p := range cur.Phases {
+		curBy[p.Phase] = p.MS
+	}
+	for _, phase := range phaseOrder {
+		b, inBase := baseBy[phase]
+		c, inCur := curBy[phase]
+		if !inBase && !inCur {
+			continue
+		}
+		pd := PhaseDrift{Phase: phase, BaseMS: b, CurMS: c, DeltaMS: c - b}
+		if b > 0 {
+			pd.Ratio = c / b
+			pd.Flagged = pd.Ratio > 1+threshold && pd.DeltaMS > driftFloorMS
+		} else {
+			// A phase the baseline never had (e.g. retries appearing) is a
+			// drift whenever it is above the noise floor.
+			pd.Flagged = c > driftFloorMS
+		}
+		if pd.Flagged {
+			d.Flagged = true
+		}
+		d.Phases = append(d.Phases, pd)
+	}
+	if d.BaseWall > 0 && d.WallRatio > 1+threshold && d.CurWall-d.BaseWall > driftFloorMS {
+		d.Flagged = true
+	}
+	return d
+}

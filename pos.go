@@ -36,6 +36,7 @@ import (
 	"pos/internal/sim"
 	"pos/internal/telemetry"
 	"pos/internal/testbed"
+	"pos/internal/timeline"
 	"pos/internal/topo"
 	"pos/internal/trace"
 	"pos/internal/vpos"
@@ -683,8 +684,81 @@ func ReadRuntimeDelta(data []byte) (RuntimeDelta, error) {
 }
 
 // ChromeTrace converts span records to Chrome trace-event JSON, loadable in
-// chrome://tracing or Perfetto.
+// chrome://tracing or Perfetto. Stitched multi-process records render one
+// lane (pid) per process.
 func ChromeTrace(recs []SpanRecord) ([]byte, error) { return telemetry.ChromeTrace(recs) }
+
+// Causal tracing and the campaign timeline (internal/telemetry +
+// internal/timeline): spans carry W3C-traceparent-compatible identities that
+// survive the HTTP API and queue boundaries; the timeline assembler stitches
+// the archived spans, journal, and run artifacts into a per-campaign
+// critical-path profile — the machinery behind `posctl analyze`.
+type (
+	// SpanTrace is one process's hierarchical span tree (spans.json).
+	SpanTrace = telemetry.Trace
+	// TraceSpan is one timed region of a SpanTrace; nil-safe methods.
+	TraceSpan = telemetry.Span
+	// CampaignTimeline is the assembled per-campaign timeline.json: critical
+	// path, per-phase attribution, run/replica statistics, stragglers.
+	CampaignTimeline = timeline.Timeline
+	// TimelineSummary is the critical path + phase attribution core of a
+	// CampaignTimeline (also embedded in flight records).
+	TimelineSummary = timeline.Summary
+	// TimelineDrift is the phase-by-phase comparison of a campaign against
+	// a baseline run of the same experiment.
+	TimelineDrift = timeline.Drift
+)
+
+// NewSpanTrace starts a trace with a fresh trace ID; the root span carries
+// name. Install it on a context with TraceContext to instrument work.
+func NewSpanTrace(name string) *SpanTrace { return telemetry.NewTrace(name) }
+
+// TraceContext installs the trace's root span as the context's current span:
+// client API calls made from the returned context carry the W3C traceparent
+// header, and eventlog records are stamped with trace_id/span_id.
+func TraceContext(ctx context.Context, tr *SpanTrace) context.Context {
+	return telemetry.ContextWithTrace(ctx, tr)
+}
+
+// FormatTraceParent renders a trace/span ID pair as a W3C traceparent value.
+func FormatTraceParent(traceID, spanID string) string {
+	return telemetry.FormatTraceParent(traceID, spanID)
+}
+
+// ParseTraceParent decodes a W3C traceparent value; malformed or all-zero
+// input yields ok == false (callers fall back to a fresh root, never error).
+func ParseTraceParent(s string) (traceID, spanID string, ok bool) {
+	return telemetry.ParseTraceParent(s)
+}
+
+// WithAPITrace records one server-side span per instrumented API request on
+// tr (pass to ServeAPI). Incoming traceparent headers are propagated to
+// handlers regardless of this option.
+func WithAPITrace(tr *SpanTrace) APIServerOption { return api.WithTrace(tr) }
+
+// AssembleTimeline merges an experiment directory's archives — every
+// spans*.json, the event journal, queue admission records, run metadata and
+// attempts — into a campaign timeline.
+func AssembleTimeline(dir string) (*CampaignTimeline, error) { return timeline.Assemble(dir) }
+
+// WriteTimeline archives tl as timeline.json in dir.
+func WriteTimeline(dir string, tl *CampaignTimeline) error { return timeline.Write(dir, tl) }
+
+// ReadSpanArchives loads and stitches every span archive (spans*.json) in an
+// experiment directory: the controller's spans.json plus any lanes dropped by
+// other processes, joined by their hex parent linkage.
+func ReadSpanArchives(dir string) ([]SpanRecord, error) { return timeline.ReadSpans(dir) }
+
+// SummarizeSpans computes critical path and per-phase attribution from span
+// records alone (what flight records embed mid-campaign).
+func SummarizeSpans(recs []SpanRecord) *TimelineSummary { return timeline.Summarize(recs) }
+
+// CompareTimelines diffs cur against base phase by phase; threshold <= 0
+// uses the default (25% growth). Drift.Flagged reports whether any phase —
+// or total wall clock — grew past it.
+func CompareTimelines(base, cur *CampaignTimeline, threshold float64) *TimelineDrift {
+	return timeline.Compare(base, cur, threshold)
+}
 
 // CheckArtifact verifies an experiment's result tree is complete enough to
 // publish (the mechanical part of artifact evaluation).
