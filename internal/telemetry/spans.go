@@ -366,20 +366,29 @@ func ChromeTrace(recs []SpanRecord) ([]byte, error) {
 	}
 	// lane(proc, id): 0 for the process root, else the id of the span's
 	// ancestor that is a direct child of that root — one flamegraph row per
-	// replica / phase, scoped to the process.
-	var lane func(proc string, id int) int
-	lane = func(proc string, id int) int {
-		r, ok := byID[laneKey{proc, id}]
-		if !ok {
-			return id
+	// replica / phase, scoped to the process. A visited set bounds the walk:
+	// a corrupt archive whose int Parent fields form a cycle (never reaching
+	// Parent==0) must not hang the converter, so a cycling span becomes its
+	// own lane.
+	lane := func(proc string, id int) int {
+		seen := make(map[int]bool)
+		for {
+			if seen[id] {
+				return id
+			}
+			seen[id] = true
+			r, ok := byID[laneKey{proc, id}]
+			if !ok {
+				return id
+			}
+			if r.Parent == 0 {
+				return 0
+			}
+			if p, ok := byID[laneKey{proc, r.Parent}]; !ok || p.Parent == 0 {
+				return id
+			}
+			id = r.Parent
 		}
-		if r.Parent == 0 {
-			return 0
-		}
-		if p, ok := byID[laneKey{proc, r.Parent}]; !ok || p.Parent == 0 {
-			return id
-		}
-		return lane(proc, r.Parent)
 	}
 	// One pid per distinct process label, in order of first appearance; a
 	// single-process trace keeps the historical pid 1.

@@ -128,6 +128,30 @@ func TestChromeTraceEmpty(t *testing.T) {
 	}
 }
 
+// TestChromeTraceParentCycle: a corrupt archive whose int Parent fields form
+// a cycle (neither span reaching Parent==0) must convert without recursing
+// forever — each cycling span falls back to its own lane.
+func TestChromeTraceParentCycle(t *testing.T) {
+	now := time.Now()
+	recs := []SpanRecord{
+		{ID: 1, Parent: 0, Name: "root", Start: now, End: now.Add(time.Second)},
+		{ID: 2, Parent: 3, Name: "a", Start: now, End: now.Add(time.Second)},
+		{ID: 3, Parent: 2, Name: "b", Start: now, End: now.Add(time.Second)},
+		{ID: 4, Parent: 4, Name: "self", Start: now, End: now.Add(time.Second)},
+	}
+	data, err := ChromeTrace(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []ChromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(recs) {
+		t.Fatalf("got %d events, want %d", len(events), len(recs))
+	}
+}
+
 // TestTraceConcurrent starts and ends spans from concurrent goroutines,
 // mimicking parallel replicas dispatching runs; meaningful under -race.
 func TestTraceConcurrent(t *testing.T) {

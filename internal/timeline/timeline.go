@@ -274,10 +274,14 @@ func cover(n *node, from, to time.Time, out []Segment, epoch time.Time) []Segmen
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// pickRoot chooses the campaign root among the forest's roots: a campaign
-// span if present, else an experiment span, else the longest root.
-func pickRoot(roots []*node) *node {
-	var best *node
+// pickAnchor chooses the node the analysis anchors on: a campaign span if
+// present anywhere in the forest, else an experiment span, else the longest
+// forest root. The scan covers ALL nodes, not just roots — in the documented
+// `posctl submit -spans` flow the campaign span is a child of a posctl:submit
+// span that ended at submission time, so anchoring on the forest root would
+// clamp the whole analysis to the submit RPC's interval and discard the
+// campaign entirely.
+func pickAnchor(roots []*node) *node {
 	score := func(n *node) int {
 		switch {
 		case strings.HasPrefix(n.rec.Name, "campaign:"):
@@ -288,17 +292,49 @@ func pickRoot(roots []*node) *node {
 			return 0
 		}
 	}
-	for _, r := range roots {
+	var best *node
+	consider := func(n *node, s int) {
 		if best == nil {
-			best = r
-			continue
+			best = n
+			return
 		}
-		sb, sr := score(best), score(r)
-		if sr > sb || (sr == sb && r.rec.End.Sub(r.rec.Start) > best.rec.End.Sub(best.rec.Start)) {
-			best = r
+		sb := score(best)
+		if s > sb || (s == sb && n.rec.End.Sub(n.rec.Start) > best.rec.End.Sub(best.rec.Start)) {
+			best = n
 		}
 	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if s := score(n); s > 0 {
+			consider(n, s)
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	if best != nil {
+		return best
+	}
+	// No campaign/experiment span anywhere: fall back to the longest root.
+	for _, r := range roots {
+		consider(r, 0)
+	}
 	return best
+}
+
+// subtreeEnd returns the latest End across a node's subtree — a mid-campaign
+// snapshot or a cut-short archive can stamp a parent's End before a child's.
+func subtreeEnd(n *node) time.Time {
+	end := n.rec.End
+	for _, c := range n.children {
+		if ce := subtreeEnd(c); ce.After(end) {
+			end = ce
+		}
+	}
+	return end
 }
 
 // Summarize computes the critical path and per-phase attribution from span
@@ -306,11 +342,11 @@ func pickRoot(roots []*node) *node {
 // journal is still being written and run directories are incomplete.
 func Summarize(recs []telemetry.SpanRecord) *Summary {
 	roots := buildTree(recs)
-	root := pickRoot(roots)
+	root := pickAnchor(roots)
 	if root == nil {
 		return &Summary{}
 	}
-	start, end := root.rec.Start, root.rec.End
+	start, end := root.rec.Start, subtreeEnd(root)
 	segs := cover(root, start, end, nil, start)
 	sum := &Summary{
 		TraceID:      root.rec.TraceID,
@@ -436,7 +472,7 @@ func applyAdmission(tl *Timeline, events []eventlog.Event) {
 		}
 		submitted, err := time.Parse(time.RFC3339Nano, ev.Attrs["submitted"])
 		if err != nil || !submitted.Before(tl.Start) {
-			return
+			continue // a later queue event may still carry a usable stamp
 		}
 		wait := tl.Start.Sub(submitted)
 		tl.QueueWaitMS = ms(wait)

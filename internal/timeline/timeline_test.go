@@ -108,6 +108,77 @@ func TestPhaseAttribution(t *testing.T) {
 	}
 }
 
+// TestAnchorBelowSubmitRoot reproduces the documented `posctl submit -spans`
+// flow: the posctl:submit span ends at submission time, and the campaign span
+// — its child via the remote parent linkage — starts long after that End. The
+// analysis must anchor on the campaign span, not clamp to the submit RPC's
+// 100ms interval.
+func TestAnchorBelowSubmitRoot(t *testing.T) {
+	recs := []telemetry.SpanRecord{
+		// posctl's lane: submitted at -20s, the RPC took 100ms.
+		rec(1, "bbbbbbbbbbbbbbb1", "", "posctl", "posctl:submit", -20, -19.9),
+	}
+	for _, r := range campaignRecords() {
+		if r.ParentSpanID == "" {
+			r.ParentSpanID = "bbbbbbbbbbbbbbb1" // controller root joins posctl's tree
+		}
+		recs = append(recs, r)
+	}
+	sum := Summarize(recs)
+	if sum.Root != "campaign:x" {
+		t.Fatalf("anchor = %q, want the campaign span below the submit root", sum.Root)
+	}
+	if sum.WallMS != 100_000 {
+		t.Fatalf("wall = %v ms, want the campaign's 100000, not the submit RPC's", sum.WallMS)
+	}
+	var phaseTotal float64
+	for _, p := range sum.Phases {
+		phaseTotal += p.MS
+	}
+	if math.Abs(phaseTotal-sum.WallMS) > 1e-6 {
+		t.Errorf("phases sum %v != wall %v", phaseTotal, sum.WallMS)
+	}
+}
+
+// TestSubtreeEndExtendsTruncatedAnchor: a cut-short archive can stamp the
+// anchor's End before a still-open child's — the child's tail must not be
+// discarded.
+func TestSubtreeEndExtendsTruncatedAnchor(t *testing.T) {
+	recs := []telemetry.SpanRecord{
+		rec(1, "aaaaaaaaaaaaaaa1", "", "controller", "campaign:x", 0, 50),
+		rec(2, "aaaaaaaaaaaaaaa2", "aaaaaaaaaaaaaaa1", "controller", "run 1", 10, 80),
+	}
+	sum := Summarize(recs)
+	if sum.WallMS != 80_000 {
+		t.Fatalf("wall = %v ms, want 80000 (extended to the subtree's max End)", sum.WallMS)
+	}
+	if got := phaseMS(sum)[PhaseMeasurement]; got != 70_000 {
+		t.Errorf("measurement = %v ms, want 70000", got)
+	}
+}
+
+// TestAdmissionScanSkipsBadEvents: a queue event with an unparsable or late
+// "submitted" stamp must not end the scan — a later valid admission record
+// still attributes the queue wait.
+func TestAdmissionScanSkipsBadEvents(t *testing.T) {
+	tl := &Timeline{Summary: *Summarize(campaignRecords())}
+	events := []eventlog.Event{
+		{Typ: eventlog.TypeQueue, Attrs: map[string]string{"submitted": "not-a-time"}},
+		{Typ: eventlog.TypeQueue, Attrs: map[string]string{
+			"submitted": epoch.Add(time.Second).Format(time.RFC3339Nano), // after start: ignored
+		}},
+		{Typ: eventlog.TypeQueue, Attrs: map[string]string{
+			"submitted":  epoch.Add(-5 * time.Second).Format(time.RFC3339Nano),
+			"queue_user": "bob",
+		}},
+	}
+	applyAdmission(tl, events)
+	if tl.QueueWaitMS != 5_000 || tl.QueueUser != "bob" {
+		t.Errorf("queue wait = %v ms user %q, want 5000/bob from the later valid event",
+			tl.QueueWaitMS, tl.QueueUser)
+	}
+}
+
 // TestLegacyIntLinkage: archives predating trace identities still assemble
 // via the per-process int parent linkage.
 func TestLegacyIntLinkage(t *testing.T) {

@@ -54,17 +54,19 @@ func runTracedCampaign(t *testing.T, tp string, submitted time.Time, delay time.
 
 func TestQueueSubmittedCampaignStitchesOneTrace(t *testing.T) {
 	pos.SetTelemetryEnabled(true)
-	// The posctl side of the story: the submit command's own trace.
+	// The posctl side of the story: the submit command's own trace. The real
+	// CLI finishes it as soon as the submit RPC returns — BEFORE the campaign
+	// runs — so the posctl:submit span must not clamp the analysis interval.
 	submit := pos.NewSpanTrace("posctl:submit")
 	submit.SetProcess("posctl")
 	tp := submit.Root().TraceParent()
+	submit.Finish()
 	submitted := time.Now().Add(-15 * time.Second)
 
 	expdir := runTracedCampaign(t, tp, submitted, 2*time.Millisecond)
 
 	// Drop the posctl lane next to the controller's archive, the way
 	// `posctl submit -spans` documents it.
-	submit.Finish()
 	data, err := submit.RenderJSON()
 	if err != nil {
 		t.Fatal(err)
@@ -83,6 +85,12 @@ func TestQueueSubmittedCampaignStitchesOneTrace(t *testing.T) {
 	// under it.
 	if tl.TraceID != submit.ID() {
 		t.Fatalf("timeline trace = %s, want submitter's %s", tl.TraceID, submit.ID())
+	}
+	// The analysis anchors on the campaign span even though it sits under the
+	// long-finished posctl:submit root — the campaign's wall clock, not the
+	// submit RPC's, is the analyzed interval.
+	if tl.Root != "campaign:parallel-bench" {
+		t.Fatalf("timeline root = %q, want the campaign span", tl.Root)
 	}
 	recs, err := pos.ReadSpanArchives(expdir)
 	if err != nil {
